@@ -1,0 +1,271 @@
+// Command bitmapctl builds, inspects and queries bitmap index files (the
+// .isbm format written by the in-situ pipeline).
+//
+//	bitmapctl build -in data.israw -out index.isbm [-bins N]
+//	bitmapctl info  index.isbm
+//	bitmapctl query -lo V -hi V index.isbm
+//	bitmapctl histogram index.isbm
+//	bitmapctl entropy index.isbm
+//	bitmapctl mi a.isbm b.isbm
+//	bitmapctl emd a.isbm b.isbm
+//
+// Raw input files use the .israw format (WriteRawFile); `bitmapctl genraw`
+// produces a demo file from the Heat3D workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"insitubits"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = cmdBuild(args)
+	case "info":
+		err = cmdInfo(args)
+	case "query":
+		err = cmdQuery(args)
+	case "histogram":
+		err = cmdHistogram(args)
+	case "entropy":
+		err = cmdEntropy(args)
+	case "mi":
+		err = cmdPair(args, "mi")
+	case "emd":
+		err = cmdPair(args, "emd")
+	case "genraw":
+		err = cmdGenRaw(args)
+	case "genocean":
+		err = cmdGenOcean(args)
+	case "vars":
+		err = cmdVars(args)
+	case "mine":
+		err = cmdMine(args)
+	case "subgroup":
+		err = cmdSubgroup(args)
+	case "aggregate":
+		err = cmdAggregate(args)
+	case "evolve":
+		err = cmdEvolve(args)
+	case "manifest":
+		err = cmdManifest(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bitmapctl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl <build|info|query|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|evolve|genraw|genocean> ...`)
+}
+
+func loadIndex(path string) (*insitubits.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return insitubits.ReadIndexFile(f)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input raw array file (.israw)")
+	out := fs.String("out", "", "output index file (.isbm)")
+	bins := fs.Int("bins", 128, "number of value bins")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	data, err := insitubits.ReadRawFile(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	lo, hi := insitubits.MinMax(data)
+	m, err := insitubits.NewUniformBins(lo, hi+1e-9, *bins)
+	if err != nil {
+		return err
+	}
+	x := insitubits.BuildIndex(data, m)
+	g, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	written, err := insitubits.WriteIndexFile(g, x)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d elements into %d bins: %d bytes (%.1f%% of raw)\n",
+		x.N(), x.Bins(), written, 100*float64(written)/float64(insitubits.RawFileSize(x.N())))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: bitmapctl info FILE")
+	}
+	x, err := loadIndex(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("elements:   %d\n", x.N())
+	fmt.Printf("bins:       %d over [%g, %g)\n", x.Bins(), x.Mapper().Low(0), x.Mapper().High(x.Bins()-1))
+	fmt.Printf("compressed: %d bytes (%.1f%% of raw)\n",
+		x.SizeBytes(), 100*float64(x.SizeBytes())/float64(8*x.N()))
+	nonEmpty := 0
+	literals, fills, filledSegs := 0, 0, 0
+	for b := 0; b < x.Bins(); b++ {
+		if x.Count(b) > 0 {
+			nonEmpty++
+		}
+		st := x.Vector(b).Stats()
+		literals += st.LiteralWords
+		fills += st.FillWords
+		filledSegs += st.FilledSegments
+	}
+	fmt.Printf("non-empty:  %d bins\n", nonEmpty)
+	fmt.Printf("encoding:   %d literal words, %d fill words covering %d segments\n",
+		literals, fills, filledSegs)
+	fmt.Printf("entropy:    %.4f bits\n", insitubits.Entropy(x.Histogram(), x.N()))
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	lo := fs.Float64("lo", 0, "lower value bound (inclusive, bin-granular)")
+	hi := fs.Float64("hi", 0, "upper value bound (exclusive, bin-granular)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bitmapctl query -lo V -hi V FILE")
+	}
+	x, err := loadIndex(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	v := x.Query(*lo, *hi)
+	fmt.Printf("%d of %d elements have values in [%g, %g) (bin-granular)\n", v.Count(), x.N(), *lo, *hi)
+	return nil
+}
+
+func cmdHistogram(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: bitmapctl histogram FILE")
+	}
+	x, err := loadIndex(args[0])
+	if err != nil {
+		return err
+	}
+	max := 0
+	for _, c := range x.Histogram() {
+		if c > max {
+			max = c
+		}
+	}
+	for b, c := range x.Histogram() {
+		if c == 0 {
+			continue
+		}
+		bar := ""
+		if max > 0 {
+			for i := 0; i < 50*c/max; i++ {
+				bar += "#"
+			}
+		}
+		fmt.Printf("[%10.3f, %10.3f) %8d %s\n", x.Mapper().Low(b), x.Mapper().High(b), c, bar)
+	}
+	return nil
+}
+
+func cmdEntropy(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: bitmapctl entropy FILE")
+	}
+	x, err := loadIndex(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%.6f\n", insitubits.Entropy(x.Histogram(), x.N()))
+	return nil
+}
+
+func cmdPair(args []string, kind string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: bitmapctl %s A B", kind)
+	}
+	xa, err := loadIndex(args[0])
+	if err != nil {
+		return err
+	}
+	xb, err := loadIndex(args[1])
+	if err != nil {
+		return err
+	}
+	if xa.N() != xb.N() {
+		return fmt.Errorf("indices cover %d and %d elements", xa.N(), xb.N())
+	}
+	switch kind {
+	case "mi":
+		p := insitubits.PairFromBitmaps(xa, xb)
+		fmt.Printf("I(A;B)=%.6f  H(A)=%.6f  H(B)=%.6f  H(A|B)=%.6f  H(B|A)=%.6f\n",
+			p.MI, p.EntropyA, p.EntropyB, p.CondEntropyAB, p.CondEntropyBA)
+	case "emd":
+		if xa.Bins() != xb.Bins() {
+			return fmt.Errorf("spatial EMD needs matching binning (%d vs %d bins)", xa.Bins(), xb.Bins())
+		}
+		fmt.Printf("EMD(count)=%.2f  EMD(spatial)=%.2f\n",
+			insitubits.EMDCount(xa.Histogram(), xb.Histogram()),
+			insitubits.EMDSpatialBitmaps(xa, xb))
+	}
+	return nil
+}
+
+func cmdGenRaw(args []string) error {
+	fs := flag.NewFlagSet("genraw", flag.ExitOnError)
+	out := fs.String("out", "heat3d.israw", "output raw array file")
+	steps := fs.Int("steps", 10, "heat3d steps to advance before capture")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := insitubits.NewHeat3D(32, 32, 24)
+	if err != nil {
+		return err
+	}
+	var data []float64
+	for i := 0; i < *steps; i++ {
+		data = h.Step(2)[0].Data
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := insitubits.WriteRawFile(f, data); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d temperatures to %s\n", len(data), *out)
+	return nil
+}

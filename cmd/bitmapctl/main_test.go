@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"insitubits"
+)
+
+// The subcommands are plain functions, so the CLI is tested end to end
+// through temp files without exec'ing anything.
+
+func TestBuildInfoQueryFlow(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "data.israw")
+	idx := filepath.Join(dir, "data.isbm")
+	if err := cmdGenRaw([]string{"-out", raw, "-steps", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBuild([]string{"-in", raw, "-out", idx, "-bins", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{idx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-lo", "20", "-hi", "90", idx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdHistogram([]string{idx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEntropy([]string{idx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPair([]string{idx, idx}, "mi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPair([]string{idx, idx}, "emd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAggregate([]string{"-slo", "0", "-shi", "100", idx}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if err := cmdBuild([]string{"-in", "", "-out", ""}); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := cmdBuild([]string{"-in", "/nonexistent", "-out", "/tmp/x"}); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := cmdInfo([]string{"/nonexistent"}); err == nil {
+		t.Error("missing index accepted")
+	}
+	if err := cmdInfo(nil); err == nil {
+		t.Error("no args accepted")
+	}
+}
+
+func TestOceanWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "ocean.isds")
+	if err := cmdGenOcean([]string{"-out", ds, "-lon", "32", "-lat", "32", "-depth", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVars([]string{ds}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMine([]string{"-in", ds, "-unit", "256", "-top", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSubgroup([]string{"-in", ds, "-top", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown variable errors cleanly.
+	if err := cmdMine([]string{"-in", ds, "-a", "nope"}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if err := cmdMine([]string{"-in", ""}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := cmdVars([]string{filepath.Join(dir, "missing.isds")}); err == nil {
+		t.Error("missing dataset accepted")
+	}
+}
+
+func TestManifestAndEvolve(t *testing.T) {
+	// Produce an archive via the library, then drive the CLI over it.
+	dir := t.TempDir()
+	if err := runPipelineForTest(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdManifest([]string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEvolve([]string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEvolve([]string{"-var", "nope", dir}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	// Corrupt one artifact: manifest validation must fail.
+	m, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m {
+		if filepath.Ext(e.Name()) == ".isbm" {
+			if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if err := cmdManifest([]string{dir}); err == nil {
+		t.Error("corrupt archive passed validation")
+	}
+}
+
+func runPipelineForTest(dir string) error {
+	h, err := insitubits.NewHeat3D(10, 10, 10)
+	if err != nil {
+		return err
+	}
+	_, err = insitubits.RunPipeline(insitubits.PipelineConfig{
+		Sim: h, Steps: 10, Select: 3,
+		Method: insitubits.MethodBitmaps, Bins: 48,
+		Metric:    insitubits.MetricConditionalEntropy,
+		Cores:     1,
+		OutputDir: dir,
+	})
+	return err
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"insitubits"
+)
+
+// figCluster renders Figure 13: Heat3D in a parallel in-situ environment,
+// 1..32 nodes (8 cores each in the paper), four series: {bitmaps, full
+// data} x {local disks, shared remote server at 100 MB/s}.
+func figCluster() error {
+	gx, gy, gz := 32, 32, 192
+	steps, sel := 40, 10
+	nodeCounts := []int{1, 2, 4, 8, 16, 32}
+	if *quick {
+		gx, gy, gz = 12, 12, 48
+		steps, sel = 12, 4
+		nodeCounts = []int{1, 2, 4}
+	}
+	coresPerNode := 8 // as in the paper's Oakley runs
+	header(
+		fmt.Sprintf("Figure 13 — parallel in-situ scalability, Heat3D %dx%dx%d, selecting %d of %d (conditional entropy)", gx, gy, gz, sel, steps),
+		fmt.Sprintf("%d cores/node; local disk %.0f MB/s, remote server %.0f MB/s shared (modelled); compute scaled to nodes x cores via Amdahl",
+			coresPerNode, insitubits.OakleyNode.DiskMBps, float64(insitubits.Xeon.NetMBps)),
+	)
+	row("%-6s %-9s %-7s %9s %10s %8s %8s %9s", "nodes", "method", "target", "simulate", "bitmapgen", "select", "output", "total")
+
+	type key struct {
+		method insitubits.ReductionMethod
+		remote bool
+	}
+	totals := map[int]map[key]time.Duration{}
+	for _, n := range nodeCounts {
+		totals[n] = map[key]time.Duration{}
+		for _, method := range []insitubits.ReductionMethod{insitubits.MethodFullData, insitubits.MethodBitmaps} {
+			for _, remote := range []bool{false, true} {
+				cfg := insitubits.ClusterConfig{
+					Nodes:        n,
+					CoresPerNode: 1, // real execution; scaling modelled below
+					GridX:        gx, GridY: gy, GridZ: gz,
+					Steps:  steps,
+					Select: sel,
+					Metric: insitubits.MetricConditionalEntropy,
+					Method: insitubits.ClusterFullData,
+					Bins:   160,
+				}
+				if method == insitubits.MethodBitmaps {
+					cfg.Method = insitubits.ClusterBitmaps
+				}
+				if remote {
+					st, err := insitubits.NewIOStore(100)
+					if err != nil {
+						return err
+					}
+					cfg.Remote = st
+				} else {
+					cfg.LocalMBps = insitubits.OakleyNode.DiskMBps
+				}
+				res, err := insitubits.RunCluster(cfg)
+				if err != nil {
+					return err
+				}
+				// Measured busy times are total work on the fixed global
+				// grid; model the n-node x 8-core machine.
+				c := n * coresPerNode
+				simT := amdahl(res.Simulate, c, 0.95)
+				redT := amdahl(res.Reduce, c, 0.99)
+				selT := amdahl(res.Select, c, 0.90)
+				total := simT + redT + selT + res.Output
+				totals[n][key{method, remote}] = total
+				target := "local"
+				if remote {
+					target = "remote"
+				}
+				name := "fulldata"
+				if method == insitubits.MethodBitmaps {
+					name = "bitmaps"
+				}
+				row("%-6d %-9s %-7s %9.3f %10.3f %8.3f %8.3f %9.3f",
+					n, name, target, secs(simT), secs(redT), secs(selT), secs(res.Output), secs(total))
+			}
+		}
+	}
+	for _, n := range nodeCounts {
+		local := float64(totals[n][key{insitubits.MethodFullData, false}]) / float64(totals[n][key{insitubits.MethodBitmaps, false}])
+		remote := float64(totals[n][key{insitubits.MethodFullData, true}]) / float64(totals[n][key{insitubits.MethodBitmaps, true}])
+		row("nodes=%-3d speedup bitmaps-vs-fulldata: local %.2fx, remote %.2fx (paper: 1.24-1.29x local, 1.24-3.79x remote)",
+			n, local, remote)
+	}
+	return nil
+}

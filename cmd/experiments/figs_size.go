@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+
+	"insitubits"
+)
+
+// figSizes renders the §2.2 size claim: compressed bitmaps are well under
+// 30% of the raw data across all three workloads, with the BBC codec shown
+// for comparison (the WAH-vs-BBC ablation).
+func figSizes() error {
+	header("Size table — bitmap index vs raw data (§2.2: bitmaps < 30% of data)",
+		"WAH = this library's index; BBC = byte-aligned baseline codec")
+	row("%-24s %10s %10s %8s %10s %8s %6s", "array", "raw(MB)", "WAH(MB)", "WAH%", "BBC(MB)", "BBC%", "bins")
+
+	report := func(name string, data []float64, bins int) error {
+		lo, hi := insitubits.MinMax(data)
+		m, err := insitubits.NewUniformBins(lo, hi+1e-9, bins)
+		if err != nil {
+			return err
+		}
+		x := insitubits.BuildIndex(data, m)
+		raw := int64(8 * len(data))
+		wah := int64(x.SizeBytes())
+		bbc := int64(0)
+		for b := 0; b < x.Bins(); b++ {
+			bbc += int64(insitubits.BBCFromVector(x.Vector(b)).SizeBytes())
+		}
+		row("%-24s %10.2f %10.2f %7.1f%% %10.2f %7.1f%% %6d",
+			name, mb(raw), mb(wah), 100*float64(wah)/float64(raw), mb(bbc), 100*float64(bbc)/float64(raw), bins)
+		return nil
+	}
+
+	gx, gy, gz := 64, 64, 32
+	if *quick {
+		gx, gy, gz = 24, 24, 16
+	}
+	h, err := insitubits.NewHeat3D(gx, gy, gz)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		h.Step(1)
+	}
+	if err := report("heat3d temperature", h.Step(1)[0].Data, 160); err != nil {
+		return err
+	}
+
+	ln := 16
+	if *quick {
+		ln = 8
+	}
+	l, err := insitubits.NewLulesh(ln, ln, ln)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		l.Step(1)
+	}
+	fields := l.Step(1)
+	for _, k := range []int{0, 3, 9} { // one coordinate, one force, one velocity
+		if err := report("lulesh "+fields[k].Name, fields[k].Data, 120); err != nil {
+			return err
+		}
+	}
+
+	olon, olat, odep := 64, 64, 16
+	if *quick {
+		olon, olat, odep = 32, 32, 8
+	}
+	d, err := insitubits.GenerateOcean(olon, olat, odep, 3)
+	if err != nil {
+		return err
+	}
+	for _, v := range []string{"temperature", "salinity"} {
+		data, err := d.VarCurveOrder(v)
+		if err != nil {
+			return err
+		}
+		if err := report(fmt.Sprintf("ocean %s", v), data, 64); err != nil {
+			return err
+		}
+	}
+	return nil
+}

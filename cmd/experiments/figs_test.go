@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// captureFig runs one figure function with -quick sizing and returns its
+// printed output.
+func captureFig(t *testing.T, fn func() error) string {
+	t.Helper()
+	oldQuick := *quick
+	*quick = true
+	defer func() { *quick = oldQuick }()
+	var buf bytes.Buffer
+	oldOut := out
+	out = &buf
+	defer func() { out = oldOut }()
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestSizeTableContent checks the deterministic parts of the size table:
+// every workload row appears and the WAH column reports a genuine
+// reduction for every array.
+func TestSizeTableContent(t *testing.T) {
+	got := captureFig(t, figSizes)
+	for _, want := range []string{
+		"heat3d temperature", "lulesh coord.x", "lulesh force.x",
+		"lulesh veloc.x", "ocean temperature", "ocean salinity",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("size table missing %q:\n%s", want, got)
+		}
+	}
+	// Every percentage in the WAH column must be below 100 (a reduction).
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.Contains(line, "%") || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "array") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// fields: name..., raw, wah, wah%, bbc, bbc%, bins — find the
+		// first percentage token.
+		for _, f := range fields {
+			if strings.HasSuffix(f, "%") {
+				var v float64
+				if _, err := fmtSscanf(strings.TrimSuffix(f, "%"), &v); err == nil && v >= 100 {
+					t.Fatalf("array not compressed (%s): %s", f, line)
+				}
+				break
+			}
+		}
+	}
+}
+
+func fmtSscanf(s string, v *float64) (int, error) {
+	return sscan(s, v)
+}
+
+// TestFigure16ZeroBitmapLoss runs the accuracy figure at quick size and
+// asserts the machine-checked part of its output: bitmaps report exactly
+// zero loss and the sampling losses appear for all three levels.
+func TestFigure16ZeroBitmapLoss(t *testing.T) {
+	got := captureFig(t, figSamplingAccuracy)
+	if !strings.Contains(got, "mean loss 0.00%") {
+		t.Fatalf("no zero-loss bitmap line:\n%s", got)
+	}
+	for _, level := range []string{"sample-30%", "sample-15%", "sample- 5%"} {
+		if !strings.Contains(got, level) {
+			t.Fatalf("missing %s row:\n%s", level, got)
+		}
+	}
+}
+
+// TestFigure11Ratios asserts the memory figure prints a >1 ratio for every
+// workload (bitmaps always smaller under the model).
+func TestFigure11Ratios(t *testing.T) {
+	got := captureFig(t, figMemory)
+	rows := 0
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.Contains(line, "Heat3D") && !strings.Contains(line, "Lulesh") {
+			continue
+		}
+		fields := strings.Fields(line)
+		last := fields[len(fields)-1]
+		if !strings.HasSuffix(last, "x") {
+			continue
+		}
+		rows++
+		var ratio float64
+		if _, err := fmt.Sscanf(strings.TrimSuffix(last, "x"), "%f", &ratio); err != nil {
+			t.Fatalf("unparseable ratio %q in: %s", last, line)
+		}
+		if ratio <= 1 {
+			t.Fatalf("ratio %.2f not above 1 in: %s", ratio, line)
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("%d workload rows, want 4:\n%s", rows, got)
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	var f float64
+	n, err := fmt.Sscanf(s, "%f", &f)
+	*v = f
+	return n, err
+}

@@ -1,0 +1,107 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each subcommand prints the same rows/series the paper
+// reports, at reproduction scale (dataset sizes are MB not GB; scale
+// factors are printed in each header and recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-quick] [-cores N] <figure>
+//
+// where <figure> is one of: fig7 fig8 fig9 fig10 fig11 fig12a fig12b fig12c
+// fig13 fig14 fig15 fig16 fig17 size all.
+//
+// All computation (simulation, bitmap generation, metric evaluation,
+// selection, mining) is executed for real. Two things are modelled, and
+// both are printed as such: storage/network transfer times (bytes over the
+// profile's bandwidth) and — because this reproduction may run on a host
+// with fewer cores than the paper's 32-60-core testbeds — the multi-core
+// scaling of measured single-core busy times, via Amdahl's law with
+// per-phase parallel fractions (see model.go).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+var (
+	quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	cores  = flag.Int("cores", 0, "override the modelled max core count (0 = per-figure default)")
+	datDir = flag.String("dat", "", "also write each figure's output to <dir>/<figure>.dat (plot-ready)")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	figs := map[string]func() error{
+		"fig7":      func() error { return figHeatXeon() },
+		"fig8":      func() error { return figHeatMIC() },
+		"fig9":      func() error { return figLuleshXeon() },
+		"fig10":     func() error { return figLuleshMIC() },
+		"fig11":     func() error { return figMemory() },
+		"fig12a":    func() error { return figAllocation("12a") },
+		"fig12b":    func() error { return figAllocation("12b") },
+		"fig12c":    func() error { return figAllocation("12c") },
+		"fig13":     func() error { return figCluster() },
+		"fig14":     func() error { return figMiningTime() },
+		"fig15":     func() error { return figSamplingTime() },
+		"fig16":     func() error { return figSamplingAccuracy() },
+		"fig17":     func() error { return figMiningAccuracy() },
+		"size":      func() error { return figSizes() },
+		"ablations": func() error { return figAblations() },
+		"verify":    func() error { return figVerify() },
+	}
+	runFig := func(n string) error {
+		if *datDir == "" {
+			return figs[n]()
+		}
+		// Tee the figure's rows into a plot-ready .dat file.
+		if err := os.MkdirAll(*datDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*datDir, n+".dat"))
+		if err != nil {
+			return err
+		}
+		oldOut := out
+		out = io.MultiWriter(oldOut, f)
+		err = figs[n]()
+		out = oldOut
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if name == "all" {
+		order := []string{"size", "fig7", "fig8", "fig9", "fig10", "fig11",
+			"fig12a", "fig12b", "fig12c", "fig13", "fig14", "fig15", "fig16", "fig17", "ablations", "verify"}
+		for _, n := range order {
+			if err := runFig(n); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", n, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if _, ok := figs[name]; !ok {
+		usage()
+		os.Exit(2)
+	}
+	if err := runFig(name); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments [-quick] [-cores N] <figure>
+figures: fig7 fig8 fig9 fig10 fig11 fig12a fig12b fig12c fig13 fig14 fig15 fig16 fig17 size ablations verify all`)
+}

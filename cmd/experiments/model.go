@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"insitubits"
+)
+
+// The multi-core performance model. Every phase is executed for real and
+// its single-core busy time measured; the per-core-count series the paper's
+// figures plot are then derived with Amdahl's law:
+//
+//	T(c) = T1 × (f/c + (1-f))
+//
+// with a per-phase parallel fraction f. The fractions below are calibrated
+// to the scaling the paper reports: Heat3D "does not scale well" (speedup
+// 1.3× from 12→28 cores means a substantial serial fraction), bitmap
+// generation "is reduced almost linearly", Lulesh is a scalable compute
+// kernel. Transfer (Output) time never scales with cores — that is the
+// paper's central observation.
+type fractions struct {
+	sim    float64
+	reduce float64
+	sel    float64
+}
+
+var (
+	heatFracs   = fractions{sim: 0.78, reduce: 0.99, sel: 0.95}
+	luleshFracs = fractions{sim: 0.97, reduce: 0.99, sel: 0.95}
+)
+
+// amdahl scales a measured 1-core busy time to c cores.
+func amdahl(t1 time.Duration, c int, f float64) time.Duration {
+	if c < 1 {
+		c = 1
+	}
+	return time.Duration(float64(t1) * (f/float64(c) + (1 - f)))
+}
+
+// scaleBreakdown derives the c-core phase times of a 1-core measured run.
+func scaleBreakdown(b insitubits.Breakdown, c int, f fractions) insitubits.Breakdown {
+	return insitubits.Breakdown{
+		Simulate: amdahl(b.Simulate, c, f.sim),
+		Reduce:   amdahl(b.Reduce, c, f.reduce),
+		Select:   amdahl(b.Select, c, f.sel),
+		Output:   b.Output, // I/O does not parallelize
+	}
+}
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// out is where figures print; tests swap in a buffer.
+var out io.Writer = os.Stdout
+
+// row prints one aligned figure row.
+func row(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) }
+
+// header prints a figure banner.
+func header(title, detail string) {
+	fmt.Fprintf(out, "# %s\n", title)
+	if detail != "" {
+		fmt.Fprintf(out, "# %s\n", detail)
+	}
+}
+
+func mb(bytes int64) float64 { return float64(bytes) / 1e6 }
+
+// coreSeries are the core counts each single-node figure sweeps.
+func coreSeries(maxCores int) []int {
+	series := []int{1, 2, 4, 8, 16, 32, 56}
+	var out []int
+	for _, c := range series {
+		if c <= maxCores {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != maxCores {
+		out = append(out, maxCores)
+	}
+	return out
+}

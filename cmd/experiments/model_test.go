@@ -1,0 +1,109 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"insitubits"
+)
+
+func TestAmdahl(t *testing.T) {
+	t1 := time.Second
+	// One core: unchanged.
+	if got := amdahl(t1, 1, 0.9); got != t1 {
+		t.Fatalf("amdahl(1s, 1) = %v", got)
+	}
+	// Perfectly parallel: 1/c.
+	if got := amdahl(t1, 4, 1.0); got != t1/4 {
+		t.Fatalf("amdahl fully parallel = %v", got)
+	}
+	// Fully serial: unchanged at any core count.
+	if got := amdahl(t1, 64, 0); got != t1 {
+		t.Fatalf("amdahl fully serial = %v", got)
+	}
+	// Monotone non-increasing in cores; asymptote is the serial fraction.
+	prev := t1
+	for _, c := range []int{1, 2, 4, 8, 16, 1 << 20} {
+		got := amdahl(t1, c, 0.8)
+		if got > prev {
+			t.Fatalf("amdahl not monotone at c=%d", c)
+		}
+		prev = got
+	}
+	if floor := amdahl(t1, 1<<20, 0.8); floor < t1/5 || floor > t1/4 {
+		t.Fatalf("asymptote %v, want ~0.2s", floor)
+	}
+	// Degenerate core counts clamp.
+	if amdahl(t1, 0, 0.5) != t1 || amdahl(t1, -3, 0.5) != t1 {
+		t.Fatal("non-positive cores not clamped")
+	}
+}
+
+func TestScaleBreakdownKeepsOutputFlat(t *testing.T) {
+	b := insitubits.Breakdown{
+		Simulate: time.Second,
+		Reduce:   time.Second,
+		Select:   time.Second,
+		Output:   time.Second,
+	}
+	scaled := scaleBreakdown(b, 32, heatFracs)
+	if scaled.Output != time.Second {
+		t.Fatalf("output scaled: %v", scaled.Output)
+	}
+	if scaled.Simulate >= b.Simulate || scaled.Reduce >= b.Reduce || scaled.Select >= b.Select {
+		t.Fatal("compute phases did not shrink")
+	}
+	// Bitmap generation scales the best (highest fraction).
+	if scaled.Reduce >= scaled.Simulate {
+		t.Fatalf("reduce (f=%.2f) should shrink below simulate (f=%.2f): %v vs %v",
+			heatFracs.reduce, heatFracs.sim, scaled.Reduce, scaled.Simulate)
+	}
+}
+
+func TestCoreSeries(t *testing.T) {
+	s := coreSeries(32)
+	if s[0] != 1 || s[len(s)-1] != 32 {
+		t.Fatalf("series %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("series not ascending: %v", s)
+		}
+	}
+	// Max not in the canonical list is appended.
+	s = coreSeries(28)
+	if s[len(s)-1] != 28 {
+		t.Fatalf("series %v missing max", s)
+	}
+	// Tiny max still produces a valid series.
+	s = coreSeries(1)
+	if len(s) != 1 || s[0] != 1 {
+		t.Fatalf("series %v", s)
+	}
+}
+
+func TestEqualInts(t *testing.T) {
+	if !equalInts([]int{1, 2}, []int{1, 2}) {
+		t.Fatal("equal slices reported unequal")
+	}
+	if equalInts([]int{1, 2}, []int{1, 3}) || equalInts([]int{1}, []int{1, 2}) {
+		t.Fatal("unequal slices reported equal")
+	}
+}
+
+// TestWorkloadsConstructible ensures every figure's workload definition can
+// actually build its simulator (guards against size/flag regressions).
+func TestWorkloadsConstructible(t *testing.T) {
+	for _, w := range []workload{heatXeonWorkload(), heatMICWorkload(), luleshXeonWorkload(), luleshMICWorkload()} {
+		s, err := w.mkSim()
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if s.Elements() <= 0 || len(s.Vars()) != len(s.Ranges()) {
+			t.Fatalf("%s: inconsistent simulator", w.name)
+		}
+		if w.steps < w.selectK {
+			t.Fatalf("%s: selects %d of %d", w.name, w.selectK, w.steps)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command insitu-run executes a configurable in-situ pipeline: pick the
+// workload, reduction method, metric, core strategy and sizes from flags
+// and get the paper-style phase breakdown.
+//
+//	insitu-run -sim heat3d -method bitmaps -steps 100 -select 25 -cores 8
+//	insitu-run -sim lulesh -method fulldata -metric emd-spatial
+//	insitu-run -sim heat3d -method sampling -sample 10
+//	insitu-run -sim heat3d -strategy separate -simcores 2 -redcores 2
+//	insitu-run -sim heat3d -strategy auto      # Eq. 1/2 calibration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"insitubits"
+)
+
+func main() {
+	simName := flag.String("sim", "heat3d", "workload: heat3d | lulesh")
+	method := flag.String("method", "bitmaps", "reduction: bitmaps | fulldata | sampling")
+	metric := flag.String("metric", "cond-entropy", "selection metric: cond-entropy | emd-count | emd-spatial")
+	steps := flag.Int("steps", 50, "time-steps to simulate")
+	selectK := flag.Int("select", 10, "time-steps to keep")
+	bins := flag.Int("bins", 160, "value bins per variable")
+	sample := flag.Float64("sample", 10, "sampling percentage (method=sampling)")
+	cores := flag.Int("cores", runtime.NumCPU(), "worker goroutines")
+	strategy := flag.String("strategy", "shared", "core allocation: shared | separate | auto")
+	simCores := flag.Int("simcores", 0, "simulation cores (strategy=separate)")
+	redCores := flag.Int("redcores", 0, "reduction cores (strategy=separate)")
+	disk := flag.Float64("disk", insitubits.Xeon.DiskMBps, "modelled disk bandwidth MB/s")
+	dim := flag.Int("dim", 32, "grid/mesh edge length")
+	outDir := flag.String("out", "", "persist selected summaries (+manifest.json) to this directory")
+	flag.Parse()
+
+	mkSim := func() (insitubits.Simulator, error) {
+		switch *simName {
+		case "heat3d":
+			return insitubits.NewHeat3D(*dim, *dim, *dim)
+		case "lulesh":
+			return insitubits.NewLulesh(*dim, *dim, *dim)
+		default:
+			return nil, fmt.Errorf("unknown workload %q", *simName)
+		}
+	}
+	s, err := mkSim()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := insitubits.PipelineConfig{
+		Sim:       s,
+		Steps:     *steps,
+		Select:    *selectK,
+		Bins:      *bins,
+		SamplePct: *sample,
+		Seed:      1,
+		Cores:     *cores,
+	}
+	switch *method {
+	case "bitmaps":
+		cfg.Method = insitubits.MethodBitmaps
+	case "fulldata":
+		cfg.Method = insitubits.MethodFullData
+	case "sampling":
+		cfg.Method = insitubits.MethodSampling
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	switch *metric {
+	case "cond-entropy":
+		cfg.Metric = insitubits.MetricConditionalEntropy
+	case "emd-count":
+		cfg.Metric = insitubits.MetricEMDCount
+	case "emd-spatial":
+		cfg.Metric = insitubits.MetricEMDSpatial
+	default:
+		log.Fatalf("unknown metric %q", *metric)
+	}
+	switch *strategy {
+	case "shared":
+		cfg.Strategy = insitubits.SharedCores{}
+	case "separate":
+		if *simCores < 1 || *redCores < 1 {
+			log.Fatal("strategy=separate needs -simcores and -redcores")
+		}
+		cfg.Strategy = insitubits.SeparateCores{SimCores: *simCores, ReduceCores: *redCores}
+	case "auto":
+		calibSim, err := mkSim()
+		if err != nil {
+			log.Fatal(err)
+		}
+		calCfg := cfg
+		calCfg.Sim = calibSim
+		split, err := insitubits.Calibrate(calCfg, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("calibrated allocation (Eq. 1/2): %s\n", split.Describe())
+		cfg.Strategy = split
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+	store, err := insitubits.NewIOStore(*disk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Store = store
+	cfg.OutputDir = *outDir
+
+	res, err := insitubits.RunPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload:       %s (%d vars x %d elements, %.2f MB/step)\n",
+		*simName, len(s.Vars()), s.Elements(), float64(res.StepBytes)/1e6)
+	fmt.Printf("method:         %v, metric %v, %d bins\n", cfg.Method, cfg.Metric, *bins)
+	fmt.Printf("selected:       %v\n", res.Selected)
+	fmt.Printf("simulate:       %.3fs\n", res.Breakdown.Simulate.Seconds())
+	fmt.Printf("reduce:         %.3fs\n", res.Breakdown.Reduce.Seconds())
+	fmt.Printf("select:         %.3fs\n", res.Breakdown.Select.Seconds())
+	fmt.Printf("output:         %.3fs (modelled, %.2f MB at %.0f MB/s)\n",
+		res.Breakdown.Output.Seconds(), float64(res.BytesWritten)/1e6, *disk)
+	fmt.Printf("total:          %.3fs (wall with overlap: %.3fs)\n",
+		res.Breakdown.Total().Seconds(), res.Wall.Seconds())
+	fmt.Printf("summary size:   %.2f MB/step (%.1fx smaller than raw)\n",
+		float64(res.SummaryBytes)/1e6, float64(res.StepBytes)/float64(res.SummaryBytes))
+	fmt.Printf("modelled peak:  %.2f MB\n", float64(res.PeakMemory)/1e6)
+}

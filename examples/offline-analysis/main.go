@@ -1,0 +1,105 @@
+// Offline analysis over an in-situ archive: run a pipeline that persists
+// only the selected bitmaps, then — pretending the simulation is long gone —
+// load the archive and do the paper's post-analysis: trace the phenomenon's
+// evolution, re-rank the archived steps with the DP selector, and answer
+// value queries against data that no longer exists.
+//
+//	go run ./examples/offline-analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"insitubits"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "insitu-archive-")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- In-situ phase: simulate, keep only bitmaps of 8 of 40 steps. ---
+	h, err := insitubits.NewHeat3D(32, 32, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := insitubits.RunPipeline(insitubits.PipelineConfig{
+		Sim: h, Steps: 40, Select: 8,
+		Method: insitubits.MethodBitmaps, Bins: 160,
+		Metric:    insitubits.MetricConditionalEntropy,
+		Cores:     2,
+		OutputDir: dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-situ phase kept steps %v as bitmaps in %s\n", res.Selected, dir)
+	fmt.Printf("(the raw 40 x %.1f MB of simulation output is gone)\n\n", float64(res.StepBytes)/1e6)
+
+	// --- Offline phase: everything below uses only the archive. ---
+	a, err := insitubits.LoadArchive(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Evolution of the phenomenon across the kept steps.
+	ev, err := a.Evolve("temperature")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %10s %14s %12s\n", "step", "entropy", "H(cur|prev)", "EMD(prev)")
+	for _, e := range ev {
+		fmt.Printf("%-6d %10.4f %14.4f %12.0f\n", e.Step, e.Entropy, e.CondEntropy, e.EMD)
+	}
+
+	// 2. Offline re-selection: with time to spare, the DP selector finds
+	//    the best 4-step storyline among the archived 8.
+	picked, err := a.Reselect("temperature", 4, insitubits.MetricConditionalEntropy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDP re-selection of 4 storyline steps: %v\n", picked)
+
+	// 3. Value queries against the discarded data.
+	last := a.Steps()[len(a.Steps())-1]
+	x, err := a.Index(last, "temperature")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot, err := insitubits.SubsetCount(x, insitubits.QuerySubset{ValueLo: 80, ValueHi: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	med, err := insitubits.SubsetQuantile(x, insitubits.QuerySubset{}, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstep %d, from bitmaps alone: %d cells >= 80 C; median in [%.2f, %.2f] C\n",
+		last, hot, med.Lo, med.Hi)
+
+	// 4. Pairwise similarity matrix of the archived steps.
+	pm, err := a.PairwiseMetrics("temperature")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmutual information between archived steps (bits):\n      ")
+	steps := a.Steps()
+	for _, s := range steps {
+		fmt.Printf("%7d", s)
+	}
+	fmt.Println()
+	for i, s := range steps {
+		fmt.Printf("%5d ", s)
+		for j := range steps {
+			if i == j {
+				fmt.Printf("%7s", "-")
+			} else {
+				fmt.Printf("%7.2f", pm[i][j].MI)
+			}
+		}
+		fmt.Println()
+	}
+}

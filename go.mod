@@ -1,0 +1,3 @@
+module insitubits
+
+go 1.22

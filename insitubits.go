@@ -1,0 +1,408 @@
+// Package insitubits is a Go reproduction of "In-Situ Bitmaps Generation and
+// Efficient Data Analysis based on Bitmaps" (Su, Wang, Agrawal — HPDC 2015).
+//
+// It provides, as one coherent library:
+//
+//   - WAH-compressed bitvectors with in-place streaming compression
+//     (the paper's Algorithm 1) and compressed bitwise operations;
+//   - binned, multi-level bitmap indices over floating-point arrays;
+//   - information-theoretic metrics (entropy, mutual information,
+//     conditional entropy, Earth Mover's Distance) computed either from raw
+//     data or — with identical results — from bitmaps alone;
+//   - importance-driven time-step selection (online analysis);
+//   - correlation mining between variables (offline analysis, Algorithm 2);
+//   - an in-situ pipeline with Shared/Separate core-allocation strategies
+//     and the paper's Equation 1/2 calibration;
+//   - a multi-node in-situ driver with halo exchange and local/remote
+//     storage models;
+//   - the simulation workloads the paper evaluates on (Heat3D, a LULESH
+//     proxy, a POP-like ocean dataset generator) and the sampling baseline;
+//   - the companion bitmap-only analyses the paper cites: subset queries,
+//     approximate aggregation with rigorous bounds, interactive correlation
+//     queries, incomplete-data analysis and subgroup discovery;
+//   - persistence (index, raw-array and multi-variable dataset formats, plus
+//     pipeline output manifests) and an offline archive loader for post-hoc
+//     analysis of the summarized data.
+//
+// This package is a facade: it re-exports the stable API of the internal
+// packages so applications depend on a single import path. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the paper-vs-measured
+// results; `go run ./cmd/experiments` regenerates every figure.
+package insitubits
+
+import (
+	"insitubits/internal/binning"
+	"insitubits/internal/bitvec"
+	"insitubits/internal/cluster"
+	"insitubits/internal/index"
+	"insitubits/internal/insitu"
+	"insitubits/internal/iosim"
+	"insitubits/internal/machine"
+	"insitubits/internal/metrics"
+	"insitubits/internal/mining"
+	"insitubits/internal/offline"
+	"insitubits/internal/query"
+	"insitubits/internal/sampling"
+	"insitubits/internal/selection"
+	"insitubits/internal/sim"
+	"insitubits/internal/sim/heat3d"
+	"insitubits/internal/sim/lulesh"
+	"insitubits/internal/sim/ocean"
+	"insitubits/internal/store"
+	"insitubits/internal/subgroup"
+	"insitubits/internal/zorder"
+)
+
+// --- Compressed bitvectors (internal/bitvec) ---
+
+// BitVector is a WAH-compressed bitvector supporting AND/OR/XOR/NOT,
+// population counts and range counts directly on the compressed form.
+type BitVector = bitvec.Vector
+
+// BitAppender builds a BitVector incrementally, one 31-bit segment at a
+// time, merging fills in place (the paper's Algorithm 1 primitive).
+type BitAppender = bitvec.Appender
+
+// BBC is a byte-aligned compressed bitmap, the WAH-vs-BBC ablation baseline.
+type BBC = bitvec.BBC
+
+// SegmentBits is the number of logical bits per WAH word (31).
+const SegmentBits = bitvec.SegmentBits
+
+// Re-exported bitvec constructors.
+var (
+	FromBools     = bitvec.FromBools
+	FromIndices   = bitvec.FromIndices
+	ConcatVectors = bitvec.Concat
+	BBCFromVector = bitvec.BBCFromVector
+)
+
+// --- Binning (internal/binning) ---
+
+// Mapper assigns values to bins; the same Mapper drives bitmap construction
+// and the full-data baselines, which is why both paths agree exactly.
+type Mapper = binning.Mapper
+
+// UniformBins is an equal-width Mapper.
+type UniformBins = binning.Uniform
+
+// ExplicitBins is an arbitrary-edge Mapper.
+type ExplicitBins = binning.Explicit
+
+// GroupedBins coarsens a base Mapper into high-level interval bins.
+type GroupedBins = binning.Grouped
+
+// Re-exported binning constructors.
+var (
+	NewUniformBins   = binning.NewUniform
+	NewPrecisionBins = binning.NewPrecision
+	NewEquiDepthBins = binning.NewEquiDepth
+	NewExplicitBins  = binning.NewExplicit
+	NewGroupedBins   = binning.NewGrouped
+	MinMax           = binning.MinMax
+)
+
+// --- Bitmap indices (internal/index) ---
+
+// Index is a bitmap index: one compressed BitVector per value bin, with the
+// per-bin counts (the histogram) cached.
+type Index = index.Index
+
+// MultiLevelIndex pairs a fine low-level index with derived high-level
+// interval vectors (Figure 1 of the paper).
+type MultiLevelIndex = index.MultiLevel
+
+// StreamIndexBuilder indexes a value stream chunk by chunk — the in-situ
+// generation path.
+type StreamIndexBuilder = index.StreamBuilder
+
+// Re-exported index constructors.
+var (
+	BuildIndex           = index.Build
+	BuildIndexAlgorithm1 = index.BuildAlgorithm1
+	BuildIndexTwoPhase   = index.BuildTwoPhase
+	BuildIndexParallel   = index.BuildParallel
+	BuildMultiLevel      = index.BuildMultiLevel
+	NewStreamIndex       = index.NewStreamBuilder
+)
+
+// --- Metrics (internal/metrics) ---
+
+// PairMetrics bundles the pairwise metrics (entropies, mutual information,
+// conditional entropies) of two variables or time-steps.
+type PairMetrics = metrics.Pair
+
+// CFP is the cumulative frequency plot used for accuracy-loss reporting.
+type CFP = metrics.CFP
+
+// Re-exported metric functions; the *Bitmaps variants compute identical
+// values from indices alone.
+var (
+	Histogram                = metrics.Histogram
+	JointHistogram           = metrics.JointHistogram
+	JointHistogramBitmaps    = metrics.JointHistogramBitmaps
+	JointHistogramBitmapsAND = metrics.JointHistogramBitmapsAND
+	Entropy                  = metrics.Entropy
+	MutualInformation        = metrics.MutualInformation
+	ConditionalEntropy       = metrics.ConditionalEntropy
+	EMDCount                 = metrics.EMDCount
+	EMDSpatialData           = metrics.EMDSpatialData
+	EMDSpatialBitmaps        = metrics.EMDSpatialBitmaps
+	PairFromData             = metrics.PairFromData
+	PairFromBitmaps          = metrics.PairFromBitmaps
+	NewCFP                   = metrics.NewCFP
+)
+
+// --- Time-step selection (internal/selection) ---
+
+// Summary is a time-step's analyzable representation (raw data or bitmaps).
+type Summary = selection.Summary
+
+// SelectionResult reports the chosen steps and scores.
+type SelectionResult = selection.Result
+
+// SelectionMetric picks the correlation measure for selection.
+type SelectionMetric = selection.Metric
+
+// Selection metrics.
+const (
+	MetricConditionalEntropy = selection.ConditionalEntropy
+	MetricEMDCount           = selection.EMDCount
+	MetricEMDSpatial         = selection.EMDSpatial
+)
+
+// FixedLengthPartitioning and InfoVolumePartitioning are the paper's two
+// interval partitioners.
+type (
+	FixedLengthPartitioning = selection.FixedLength
+	InfoVolumePartitioning  = selection.InfoVolume
+)
+
+// Re-exported selection API. SelectTimeSteps is the paper's greedy
+// algorithm; SelectTimeStepsDP the dynamic-programming alternative it
+// references (offline only).
+var (
+	SelectTimeSteps     = selection.Select
+	SelectTimeStepsDP   = selection.SelectDP
+	SelectionChainScore = selection.ChainScore
+	NewDataSummary      = selection.NewDataSummary
+	NewBitmapSummary    = selection.NewBitmapSummary
+)
+
+// --- Correlation mining (internal/mining) ---
+
+// MiningConfig parameterizes Algorithm 2 (unit size and the T/T' thresholds).
+type MiningConfig = mining.Config
+
+// Finding is one mined high-correlation (value pair, spatial unit).
+type Finding = mining.Finding
+
+// MinedRegion is a run of adjacent high-correlation spatial units merged
+// into one contiguous block.
+type MinedRegion = mining.Region
+
+// Re-exported mining API.
+var (
+	Mine                  = mining.Mine
+	MineParallel          = mining.MineParallel
+	MineMultiLevel        = mining.MineMultiLevel
+	MineFullData          = mining.MineFullData
+	MergeFindings         = mining.MergeFindings
+	DefaultValueThreshold = mining.DefaultValueThreshold
+)
+
+// --- Bitmap-only queries and aggregation (internal/query) ---
+
+// QuerySubset selects elements by value and/or spatial range; Aggregate
+// carries an estimate with rigorous bin-edge bounds.
+type (
+	QuerySubset = query.Subset
+	Aggregate   = query.Aggregate
+	// MaskedIndex pairs an index with a validity bitvector for
+	// incomplete-data analysis.
+	MaskedIndex = query.Masked
+)
+
+// Re-exported query API — all of it consumes indices only.
+var (
+	SubsetBits       = query.Bits
+	SubsetCount      = query.Count
+	SubsetSum        = query.Sum
+	SubsetMean       = query.Mean
+	SubsetMinMax     = query.MinMax
+	SubsetQuantile   = query.Quantile
+	SumMasked        = query.SumMasked
+	MeanMasked       = query.MeanMasked
+	CorrelationQuery = query.Correlation
+	NewMaskedIndex   = query.NewMasked
+)
+
+// --- Subgroup discovery (internal/subgroup) ---
+
+// SubgroupCondition, Subgroup and SubgroupConfig drive bitmap-based
+// subgroup discovery (the SciSD companion analysis).
+type (
+	SubgroupCondition = subgroup.Condition
+	Subgroup          = subgroup.Subgroup
+	SubgroupConfig    = subgroup.Config
+)
+
+// Re-exported subgroup API.
+var (
+	DiscoverSubgroups = subgroup.Discover
+	DescribeSubgroup  = subgroup.Describe
+)
+
+// --- In-situ pipeline (internal/insitu) ---
+
+// PipelineConfig configures one in-situ run; PipelineResult reports it.
+type (
+	PipelineConfig  = insitu.Config
+	PipelineResult  = insitu.Result
+	Breakdown       = insitu.Breakdown
+	ReductionMethod = insitu.Method
+	CoreStrategy    = insitu.Strategy
+	SharedCores     = insitu.SharedCores
+	SeparateCores   = insitu.SeparateCores
+)
+
+// Reduction methods.
+const (
+	MethodBitmaps  = insitu.Bitmaps
+	MethodFullData = insitu.FullData
+	MethodSampling = insitu.Sampling
+)
+
+// PipelineManifestName is the manifest file written into OutputDir.
+const PipelineManifestName = insitu.ManifestName
+
+// Manifest records what a pipeline run persisted when
+// PipelineConfig.OutputDir is set.
+type (
+	Manifest     = insitu.Manifest
+	ManifestFile = insitu.ManifestFile
+)
+
+// Re-exported pipeline API.
+var (
+	RunPipeline  = insitu.Run
+	Calibrate    = insitu.Calibrate
+	MemoryModel  = insitu.MemoryModel
+	ReadManifest = insitu.ReadManifest
+)
+
+// --- Offline archives (internal/offline) ---
+
+// Archive is a loaded pipeline output directory (manifest + artifacts);
+// ArchiveEvolution is one point of a variable's evolution series.
+type (
+	Archive          = offline.Archive
+	ArchiveEvolution = offline.Evolution
+)
+
+// LoadArchive reads a pipeline's OutputDir back for offline analysis.
+var LoadArchive = offline.Load
+
+// --- Cluster driver (internal/cluster) ---
+
+// ClusterConfig configures a multi-node in-situ run; ClusterResult reports it.
+type (
+	ClusterConfig = cluster.Config
+	ClusterResult = cluster.Result
+)
+
+// Cluster reduction methods.
+const (
+	ClusterBitmaps  = cluster.Bitmaps
+	ClusterFullData = cluster.FullData
+)
+
+// RunCluster executes a multi-node in-situ experiment.
+var RunCluster = cluster.Run
+
+// --- Simulations (internal/sim/...) ---
+
+// Simulator is the workload abstraction the pipeline drives.
+type Simulator = sim.Simulator
+
+// Field is one named output array of a time-step.
+type Field = sim.Field
+
+// Heat3D is the heat-diffusion workload; Lulesh the shock-hydro proxy;
+// OceanDataset the POP-substitute multivariable dataset.
+type (
+	Heat3D       = heat3d.Sim
+	Lulesh       = lulesh.Sim
+	OceanDataset = ocean.Dataset
+	OceanRegion  = ocean.Region
+)
+
+// FeedSimulator adapts an external simulation loop to the pipeline: the
+// producer pushes per-step fields into the channel NewFeedSimulator
+// returns.
+type FeedSimulator = sim.FeedSimulator
+
+// Re-exported workload constructors.
+var (
+	NewHeat3D        = heat3d.New
+	NewLulesh        = lulesh.New
+	GenerateOcean    = ocean.Generate
+	NewFeedSimulator = sim.NewFeed
+)
+
+// --- Sampling baseline (internal/sampling) ---
+
+// Sampler keeps a fixed element subset of every array (the §5.5 baseline).
+type Sampler = sampling.Sampler
+
+// Re-exported sampler constructors.
+var (
+	NewStridedSampler = sampling.NewStrided
+	NewRandomSampler  = sampling.NewRandom
+)
+
+// --- Storage (internal/store, internal/iosim, internal/machine) ---
+
+// IOStore is a bandwidth-modelled storage device.
+type IOStore = iosim.Store
+
+// MachineProfile describes one of the paper's testbed node types.
+type MachineProfile = machine.Profile
+
+// The paper's testbeds.
+var (
+	Xeon       = machine.Xeon
+	MIC        = machine.MIC
+	OakleyNode = machine.OakleyNode
+)
+
+// DatasetFile is the multi-variable container format (the reproduction's
+// NetCDF stand-in).
+type DatasetFile = store.Dataset
+
+// Re-exported storage API.
+var (
+	NewIOStore       = iosim.NewStore
+	NewIOStoreWriter = iosim.NewStoreWriter
+	WriteIndexFile   = store.WriteIndex
+	ReadIndexFile    = store.ReadIndex
+	IndexFileSize    = store.IndexSize
+	WriteRawFile     = store.WriteRaw
+	ReadRawFile      = store.ReadRaw
+	RawFileSize      = store.RawSize
+	NewDatasetFile   = store.NewDataset
+	WriteDatasetFile = store.WriteDataset
+	ReadDatasetFile  = store.ReadDataset
+)
+
+// --- Z-order curves (internal/zorder) ---
+
+// ZLayout3 maps a 3-D grid between row-major and Z-order positions.
+type ZLayout3 = zorder.Layout3
+
+// Re-exported Z-order API.
+var (
+	NewZLayout3 = zorder.NewLayout3
+	ZEncode3    = zorder.Encode3
+	ZDecode3    = zorder.Decode3
+)

@@ -1,0 +1,201 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppenderMatchesFromBools(t *testing.T) {
+	f := func(bs boolsValue) bool {
+		// Feed the same bits through the streaming appender in randomly
+		// sized full-segment chunks and compare with the one-shot path.
+		var a Appender
+		i := 0
+		for i+SegmentBits <= len(bs) {
+			var seg uint32
+			for j := 0; j < SegmentBits; j++ {
+				if bs[i+j] {
+					seg |= 1 << uint(j)
+				}
+			}
+			a.AppendSegment(seg)
+			i += SegmentBits
+		}
+		if i < len(bs) {
+			var seg uint32
+			for j := 0; i+j < len(bs); j++ {
+				if bs[i+j] {
+					seg |= 1 << uint(j)
+				}
+			}
+			a.AppendPartial(seg, len(bs)-i)
+		}
+		return a.Vector().Equal(FromBools(bs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppenderFillMerging(t *testing.T) {
+	var a Appender
+	for i := 0; i < 100; i++ {
+		a.AppendSegment(0) // 100 all-zero segments must merge into one word
+	}
+	v := a.Vector()
+	if v.Words() != 1 {
+		t.Fatalf("100 zero segments -> %d words, want 1", v.Words())
+	}
+	if v.Len() != 100*SegmentBits {
+		t.Fatalf("Len=%d", v.Len())
+	}
+}
+
+func TestAppenderAlternatingNoMerge(t *testing.T) {
+	var a Appender
+	for i := 0; i < 10; i++ {
+		a.AppendSegment(0)
+		a.AppendSegment(literalMask)
+	}
+	v := a.Vector()
+	if v.Words() != 20 {
+		t.Fatalf("alternating fills merged incorrectly: %d words", v.Words())
+	}
+	if v.Count() != 10*SegmentBits {
+		t.Fatalf("Count=%d", v.Count())
+	}
+}
+
+func TestAppenderAppendFill(t *testing.T) {
+	var a Appender
+	a.AppendFill(0, 5)
+	a.AppendFill(0, 7) // merges with previous
+	a.AppendFill(1, 2)
+	v := a.Vector()
+	if v.Words() != 2 {
+		t.Fatalf("words=%d want 2: %s", v.Words(), v.String())
+	}
+	if v.Count() != 2*SegmentBits {
+		t.Fatalf("Count=%d", v.Count())
+	}
+	if v.Len() != 14*SegmentBits {
+		t.Fatalf("Len=%d", v.Len())
+	}
+}
+
+func TestAppenderPartialWidthValidation(t *testing.T) {
+	for _, w := range []int{0, -1, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AppendPartial width %d did not panic", w)
+				}
+			}()
+			var a Appender
+			a.AppendPartial(0, w)
+		}()
+	}
+}
+
+func TestAppenderPartialMasksHighBits(t *testing.T) {
+	var a Appender
+	a.AppendPartial(^uint32(0), 3) // junk above bit 2 must be masked
+	v := a.Vector()
+	if v.Count() != 3 {
+		t.Fatalf("Count=%d want 3", v.Count())
+	}
+}
+
+func TestSnapshotThenContinue(t *testing.T) {
+	var a Appender
+	a.AppendSegment(5)
+	snap := a.Snapshot()
+	a.AppendSegment(literalMask)
+	v := a.Vector()
+	if snap.Len() != SegmentBits || v.Len() != 2*SegmentBits {
+		t.Fatalf("snapshot len=%d final len=%d", snap.Len(), v.Len())
+	}
+	if snap.Count() != 2 {
+		t.Fatalf("snapshot count=%d", snap.Count())
+	}
+	if v.Count() != 2+SegmentBits {
+		t.Fatalf("final count=%d", v.Count())
+	}
+}
+
+func TestAppenderReset(t *testing.T) {
+	var a Appender
+	a.AppendSegment(1)
+	a.Reset()
+	if a.Len() != 0 || a.SizeBytes() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	a.AppendSegment(0)
+	if v := a.Vector(); v.Len() != SegmentBits || v.Count() != 0 {
+		t.Fatal("appender unusable after Reset")
+	}
+}
+
+func TestAppenderReuseAfterVector(t *testing.T) {
+	var a Appender
+	a.AppendSegment(literalMask)
+	v1 := a.Vector()
+	a.AppendSegment(0)
+	v2 := a.Vector()
+	if v1.Count() != SegmentBits || v2.Count() != 0 {
+		t.Fatal("appender state leaked across Vector() calls")
+	}
+}
+
+func BenchmarkAppenderStreaming(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	segs := make([]uint32, 1<<16)
+	for i := range segs {
+		switch r.Intn(4) {
+		case 0:
+			segs[i] = 0
+		case 1:
+			segs[i] = literalMask
+		default:
+			segs[i] = r.Uint32() & literalMask
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var a Appender
+		for _, s := range segs {
+			a.AppendSegment(s)
+		}
+		_ = a.Vector()
+	}
+}
+
+func TestAppendAfterPartialPanics(t *testing.T) {
+	for name, fn := range map[string]func(a *Appender){
+		"segment": func(a *Appender) { a.AppendSegment(1) },
+		"fill":    func(a *Appender) { a.AppendFill(1, 2) },
+		"partial": func(a *Appender) { a.AppendPartial(1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after partial did not panic", name)
+				}
+			}()
+			var a Appender
+			a.AppendPartial(3, 7)
+			fn(&a)
+		}()
+	}
+	// Reset and Vector clear the partial state.
+	var a Appender
+	a.AppendPartial(1, 3)
+	a.Reset()
+	a.AppendSegment(1) // must not panic
+	_ = a.Vector()
+	a.AppendPartial(1, 3)
+	_ = a.Vector()
+	a.AppendSegment(1) // must not panic
+}

@@ -1,0 +1,86 @@
+package bitvec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBBCRoundTripProperty(t *testing.T) {
+	f := func(bs boolsValue) bool {
+		raw := make([]byte, (len(bs)+7)/8)
+		for i, b := range bs {
+			if b {
+				raw[i/8] |= 1 << uint(i%8)
+			}
+		}
+		c := BBCFromBytes(raw, len(bs))
+		return bytes.Equal(c.Bytes(), raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBBCCountMatchesVector(t *testing.T) {
+	f := func(bs boolsValue) bool {
+		v := FromBools(bs)
+		c := BBCFromVector(v)
+		return c.Count() == v.Count() && c.Len() == v.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBBCAndMatchesWAH(t *testing.T) {
+	f := func(p pairValue) bool {
+		va, vb := FromBools(p.A), FromBools(p.B)
+		ca, cb := BBCFromVector(va), BBCFromVector(vb)
+		return ca.And(cb).Count() == va.AndCount(vb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBBCCompressesSparse(t *testing.T) {
+	n := 1 << 16
+	raw := make([]byte, n/8)
+	raw[0] = 1
+	raw[len(raw)-1] = 0x80
+	c := BBCFromBytes(raw, n)
+	if c.SizeBytes() > 32 {
+		t.Fatalf("sparse BBC size %dB, expected tiny", c.SizeBytes())
+	}
+	if c.Count() != 2 {
+		t.Fatalf("Count=%d want 2", c.Count())
+	}
+}
+
+func TestBBCLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BBCFromBytes(make([]byte, 2), 100)
+}
+
+func TestBBCLiteralChunkLimit(t *testing.T) {
+	// >128 consecutive non-run bytes must split into multiple literal chunks.
+	r := rand.New(rand.NewSource(9))
+	raw := make([]byte, 400)
+	for i := range raw {
+		b := byte(r.Intn(254)) + 1
+		if b == 0xFF {
+			b = 0xFE
+		}
+		raw[i] = b
+	}
+	c := BBCFromBytes(raw, len(raw)*8)
+	if !bytes.Equal(c.Bytes(), raw) {
+		t.Fatal("long literal round trip failed")
+	}
+}

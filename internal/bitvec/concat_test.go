@@ -1,0 +1,74 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConcatProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		// Build 1..5 parts; all but the last aligned to SegmentBits.
+		nParts := 1 + r.Intn(5)
+		var all []bool
+		parts := make([]*Vector, nParts)
+		for i := 0; i < nParts; i++ {
+			n := r.Intn(10) * SegmentBits
+			if i == nParts-1 {
+				n += r.Intn(SegmentBits + 1) // last part may be ragged
+			}
+			bs := make([]bool, n)
+			for j := range bs {
+				bs[j] = r.Intn(3) == 0
+			}
+			parts[i] = FromBools(bs)
+			all = append(all, bs...)
+		}
+		got, err := Concat(parts...)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(FromBools(all)) {
+			t.Fatalf("trial %d: concat mismatch", trial)
+		}
+	}
+}
+
+func TestConcatMergesBoundaryFills(t *testing.T) {
+	zeros := func(nSegs int) *Vector {
+		var a Appender
+		a.AppendFill(0, nSegs)
+		return a.Vector()
+	}
+	v, err := Concat(zeros(10), zeros(20), zeros(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Words() != 1 {
+		t.Fatalf("boundary fills not merged: %d words (%s)", v.Words(), v.String())
+	}
+	if v.Len() != 35*SegmentBits {
+		t.Fatalf("Len=%d", v.Len())
+	}
+}
+
+func TestConcatRejectsMisaligned(t *testing.T) {
+	ragged := FromBools(make([]bool, 17))
+	tail := FromBools(make([]bool, 31))
+	if _, err := Concat(ragged, tail); err == nil {
+		t.Fatal("misaligned concat accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustConcat did not panic")
+		}
+	}()
+	MustConcat(ragged, tail)
+}
+
+func TestConcatEmpty(t *testing.T) {
+	v, err := Concat()
+	if err != nil || v.Len() != 0 {
+		t.Fatalf("empty concat: %v len=%d", err, v.Len())
+	}
+}

@@ -1,0 +1,135 @@
+package bitvec
+
+import "fmt"
+
+// Binary bitwise operations on the compressed form. Both operands must have
+// the same logical length; the result has that length. No operand is ever
+// decompressed: aligned runs of fill words are combined in O(1) per run,
+// which is what makes the paper's metric computations (XOR for EMD, AND for
+// joint distributions) fast.
+
+// And returns v AND o.
+func (v *Vector) And(o *Vector) *Vector { return v.binary(o, opAnd) }
+
+// Or returns v OR o.
+func (v *Vector) Or(o *Vector) *Vector { return v.binary(o, opOr) }
+
+// Xor returns v XOR o.
+func (v *Vector) Xor(o *Vector) *Vector { return v.binary(o, opXor) }
+
+// AndNot returns v AND NOT o.
+func (v *Vector) AndNot(o *Vector) *Vector { return v.binary(o, opAndNot) }
+
+// Not returns the complement of v (within its logical length).
+func (v *Vector) Not() *Vector {
+	var a Appender
+	var it runIter
+	it.reset(v.words)
+	remaining := v.nbits
+	for it.valid() && remaining > 0 {
+		if it.fill {
+			n := it.run
+			covered := n * SegmentBits
+			if covered <= remaining {
+				a.appendFill(1-it.fillBit(), n)
+				a.nbits += covered
+				remaining -= covered
+				it.consume(n)
+				continue
+			}
+			// trailing fill extends past the logical end; emit full segments
+			// then the partial remainder
+			full := remaining / SegmentBits
+			if full > 0 {
+				a.appendFill(1-it.fillBit(), full)
+				a.nbits += full * SegmentBits
+				remaining -= full * SegmentBits
+				it.consume(full)
+			}
+			if remaining > 0 {
+				inv := ^it.payload() & literalMask
+				a.AppendPartial(inv, remaining)
+				remaining = 0
+			}
+			break
+		}
+		inv := ^it.payload() & literalMask
+		if remaining >= SegmentBits {
+			a.AppendSegment(inv)
+			remaining -= SegmentBits
+		} else {
+			a.AppendPartial(inv, remaining)
+			remaining = 0
+		}
+		it.consume(1)
+	}
+	return a.Vector()
+}
+
+type opKind uint8
+
+const (
+	opAnd opKind = iota
+	opOr
+	opXor
+	opAndNot
+)
+
+func (k opKind) apply(x, y uint32) uint32 {
+	switch k {
+	case opAnd:
+		return x & y
+	case opOr:
+		return x | y
+	case opXor:
+		return x ^ y
+	default:
+		return x &^ y
+	}
+}
+
+// fillResult returns, for two fill bits, whether the op yields a fill and of
+// what value. For all four ops, fill ⊗ fill is always a fill.
+func (k opKind) fillBits(x, y uint32) uint32 {
+	return k.apply(x, y) & 1
+}
+
+func (v *Vector) binary(o *Vector, k opKind) *Vector {
+	if v.nbits != o.nbits {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.nbits, o.nbits))
+	}
+	var a runIter
+	var b runIter
+	a.reset(v.words)
+	b.reset(o.words)
+	var out Appender
+	for a.valid() && b.valid() {
+		if a.fill && b.fill {
+			n := a.run
+			if b.run < n {
+				n = b.run
+			}
+			out.appendFill(k.fillBits(a.fillBit(), b.fillBit()), n)
+			out.nbits += n * SegmentBits
+			a.consume(n)
+			b.consume(n)
+			continue
+		}
+		// at least one literal: process exactly one segment
+		w := k.apply(a.payload(), b.payload()) & literalMask
+		switch w {
+		case literalMask:
+			out.appendFill(1, 1)
+		case 0:
+			out.appendFill(0, 1)
+		default:
+			out.words = append(out.words, w)
+		}
+		out.nbits += SegmentBits
+		a.consume(1)
+		b.consume(1)
+	}
+	res := out.Vector()
+	res.nbits = v.nbits // trailing partial segment keeps the logical length
+	return res
+}

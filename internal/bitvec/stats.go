@@ -1,0 +1,67 @@
+package bitvec
+
+// Stats describes a vector's physical composition — how well WAH is
+// working on this data. LiteralWords counts verbatim 31-bit words,
+// FillWords the run-length words, and FilledSegments the segments those
+// fills cover; high FilledSegments per FillWord is what makes compressed
+// operations fast.
+type Stats struct {
+	LiteralWords   int
+	FillWords      int
+	ZeroFillWords  int
+	OneFillWords   int
+	FilledSegments int
+	Bits           int
+	SetBits        int
+}
+
+// CompressionRatio is the compressed size relative to the uncompressed
+// bitmap (1 bit per element, 32/31 overhead ignored); lower is better.
+func (s Stats) CompressionRatio() float64 {
+	if s.Bits == 0 {
+		return 0
+	}
+	return float64(32*(s.LiteralWords+s.FillWords)) / float64(s.Bits)
+}
+
+// Stats scans the encoded words.
+func (v *Vector) Stats() Stats {
+	st := Stats{Bits: v.nbits, SetBits: v.Count()}
+	for _, w := range v.words {
+		if w&fillFlag != 0 {
+			st.FillWords++
+			st.FilledSegments += int(w & countMask)
+			if w&fillValue != 0 {
+				st.OneFillWords++
+			} else {
+				st.ZeroFillWords++
+			}
+		} else {
+			st.LiteralWords++
+		}
+	}
+	return st
+}
+
+// OrCount returns Count(v OR o) without materializing the result.
+func (v *Vector) OrCount(o *Vector) int {
+	// |A ∪ B| = |A| + |B| − |A ∩ B|: two cached counts and one fused pass.
+	return v.Count() + o.Count() - v.AndCount(o)
+}
+
+// AndNotCount returns Count(v AND NOT o) without materializing the result.
+func (v *Vector) AndNotCount(o *Vector) int {
+	// |A \ B| = |A| − |A ∩ B|.
+	return v.Count() - v.AndCount(o)
+}
+
+// Jaccard returns |A∩B| / |A∪B|, the similarity measure used to compare
+// bin occupancy patterns; two empty vectors have similarity 1.
+func (v *Vector) Jaccard(o *Vector) float64 {
+	inter := v.AndCount(o)
+	union := v.Count() + o.Count() - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,82 @@
+package bitvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatsAccounting(t *testing.T) {
+	var a Appender
+	a.AppendFill(0, 10)
+	a.AppendSegment(0x5)
+	a.AppendFill(1, 3)
+	v := a.Vector()
+	st := v.Stats()
+	if st.LiteralWords != 1 || st.FillWords != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ZeroFillWords != 1 || st.OneFillWords != 1 {
+		t.Fatalf("fill split %+v", st)
+	}
+	if st.FilledSegments != 13 {
+		t.Fatalf("FilledSegments=%d", st.FilledSegments)
+	}
+	if st.Bits != 14*SegmentBits || st.SetBits != 2+3*SegmentBits {
+		t.Fatalf("bit accounting %+v", st)
+	}
+	if r := st.CompressionRatio(); r <= 0 || r > 1 {
+		t.Fatalf("ratio %g", r)
+	}
+	empty := (&Vector{}).Stats()
+	if empty.CompressionRatio() != 0 {
+		t.Fatal("empty ratio nonzero")
+	}
+}
+
+func TestStatsConsistentWithWords(t *testing.T) {
+	f := func(bs boolsValue) bool {
+		v := FromBools(bs)
+		st := v.Stats()
+		return st.LiteralWords+st.FillWords == v.Words() &&
+			st.SetBits == v.Count() && st.Bits == v.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerivedCountsProperty(t *testing.T) {
+	f := func(p pairValue) bool {
+		va, vb := FromBools(p.A), FromBools(p.B)
+		if va.OrCount(vb) != va.Or(vb).Count() {
+			return false
+		}
+		if va.AndNotCount(vb) != va.AndNot(vb).Count() {
+			return false
+		}
+		// Inclusion-exclusion sanity.
+		return va.OrCount(vb)+va.AndCount(vb) == va.Count()+vb.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := FromIndices(100, []int{1, 2, 3, 4})
+	b := FromIndices(100, []int{3, 4, 5, 6})
+	if j := a.Jaccard(b); math.Abs(j-2.0/6.0) > 1e-12 {
+		t.Fatalf("Jaccard=%g want 1/3", j)
+	}
+	if j := a.Jaccard(a); j != 1 {
+		t.Fatalf("self Jaccard=%g", j)
+	}
+	empty := FromBools(make([]bool, 100))
+	if j := empty.Jaccard(empty); j != 1 {
+		t.Fatalf("empty Jaccard=%g (defined as 1)", j)
+	}
+	if j := a.Jaccard(empty); j != 0 {
+		t.Fatalf("disjoint Jaccard=%g", j)
+	}
+}

@@ -1,0 +1,329 @@
+// Package bitvec implements WAH (Word-Aligned Hybrid) compressed bitvectors,
+// the storage primitive behind the paper's bitmap indices. A vector is a
+// sequence of logical bits stored as 32-bit words of two kinds:
+//
+//   - literal word: bit 31 = 0, bits 0..30 hold 31 logical bits verbatim
+//     (bit j of the word is logical bit j of the segment, matching the
+//     "Segments[VectorID] |= 1 << j" convention of the paper's Algorithm 1);
+//   - fill word: bit 31 = 1, bit 30 is the fill value, bits 0..29 count how
+//     many consecutive 31-bit segments carry that value.
+//
+// All bitwise operations (And, Or, Xor, AndNot) work directly on the
+// compressed form, never materializing the uncompressed bits, as does
+// counting (Count, CountRange). The package also provides the streaming
+// Appender used by the paper's in-place, in-situ compression (Algorithm 1)
+// and a byte-aligned (BBC-style) codec for size comparisons.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// SegmentBits is the number of logical bits carried by one WAH word.
+const SegmentBits = 31
+
+const (
+	fillFlag    = uint32(1) << 31            // distinguishes fill words from literals
+	fillValue   = uint32(1) << 30            // the repeated bit of a fill word
+	countMask   = fillValue - 1              // low 30 bits: run length in segments
+	literalMask = uint32(1)<<SegmentBits - 1 // low 31 bits of a literal
+	// maxRun is the largest segment count representable by one fill word.
+	maxRun = int(countMask)
+)
+
+// Vector is a WAH-compressed bitvector. The zero value is an empty vector
+// ready for use. Vectors are immutable once built except through Appender.
+type Vector struct {
+	words []uint32
+	nbits int // logical length in bits
+}
+
+// New returns an empty vector with capacity hints for w words.
+func New(hintWords int) *Vector {
+	return &Vector{words: make([]uint32, 0, hintWords)}
+}
+
+// FromBools compresses a boolean slice.
+func FromBools(bs []bool) *Vector {
+	var a Appender
+	for i := 0; i < len(bs); i += SegmentBits {
+		var seg uint32
+		w := len(bs) - i
+		if w > SegmentBits {
+			w = SegmentBits
+		}
+		for j := 0; j < w; j++ {
+			if bs[i+j] {
+				seg |= 1 << uint(j)
+			}
+		}
+		a.AppendPartial(seg, w)
+	}
+	return a.Vector()
+}
+
+// FromIndices builds a vector of length n with 1-bits at the given sorted,
+// distinct positions. It panics if an index is out of range or unsorted.
+func FromIndices(n int, idx []int) *Vector {
+	var a Appender
+	prev := -1
+	cur := 0
+	var seg uint32
+	segStart := 0
+	flush := func(upTo int) { // emit full segments until segStart+31 > upTo
+		for segStart+SegmentBits <= upTo {
+			a.AppendSegment(seg)
+			seg = 0
+			segStart += SegmentBits
+		}
+	}
+	for _, i := range idx {
+		if i <= prev || i >= n {
+			panic(fmt.Sprintf("bitvec: FromIndices: index %d out of order or range [0,%d)", i, n))
+		}
+		prev = i
+		flush(i)
+		seg |= 1 << uint(i-segStart)
+		cur = i + 1
+	}
+	_ = cur
+	flush(n)
+	if segStart < n {
+		a.AppendPartial(seg, n-segStart)
+	}
+	return a.Vector()
+}
+
+// Len returns the logical number of bits.
+func (v *Vector) Len() int { return v.nbits }
+
+// Words returns the number of physical 32-bit words.
+func (v *Vector) Words() int { return len(v.words) }
+
+// SizeBytes returns the compressed size in bytes.
+func (v *Vector) SizeBytes() int { return 4 * len(v.words) }
+
+// RawWords exposes the underlying encoded words (read-only; used by store).
+func (v *Vector) RawWords() []uint32 { return v.words }
+
+// FromRawWords reconstructs a vector from encoded words and a bit length.
+// It validates the encoding and returns an error on malformed input.
+func FromRawWords(words []uint32, nbits int) (*Vector, error) {
+	if nbits < 0 {
+		return nil, fmt.Errorf("bitvec: negative bit length %d", nbits)
+	}
+	total := 0
+	for _, w := range words {
+		if w&fillFlag != 0 {
+			c := int(w & countMask)
+			if c == 0 {
+				return nil, fmt.Errorf("bitvec: zero-length fill word %#x", w)
+			}
+			total += c * SegmentBits
+		} else {
+			total += SegmentBits
+		}
+	}
+	if total < nbits || total-nbits >= SegmentBits {
+		return nil, fmt.Errorf("bitvec: words cover %d bits, incompatible with declared length %d", total, nbits)
+	}
+	return &Vector{words: append([]uint32(nil), words...), nbits: nbits}, nil
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return &Vector{words: append([]uint32(nil), v.words...), nbits: v.nbits}
+}
+
+// Equal reports whether two vectors have identical logical contents.
+// Physical encodings may differ (e.g. two adjacent fills vs one); Equal
+// compares run-by-run, not word-by-word.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.nbits != o.nbits {
+		return false
+	}
+	var a, b runIter
+	a.reset(v.words)
+	b.reset(o.words)
+	for a.valid() && b.valid() {
+		n := a.run
+		if b.run < n {
+			n = b.run
+		}
+		if a.fill && b.fill {
+			if a.fillBit() != b.fillBit() {
+				return false
+			}
+		} else {
+			// at least one is a literal, so n == 1 for that side; compare payloads
+			if a.payload() != b.payload() {
+				return false
+			}
+			n = 1
+		}
+		a.consume(n)
+		b.consume(n)
+	}
+	return !a.valid() && !b.valid()
+}
+
+// Get reports the value of logical bit i.
+func (v *Vector) Get(i int) bool {
+	if i < 0 || i >= v.nbits {
+		panic(fmt.Sprintf("bitvec: Get(%d) out of range [0,%d)", i, v.nbits))
+	}
+	seg := i / SegmentBits
+	off := uint(i % SegmentBits)
+	var it runIter
+	it.reset(v.words)
+	pos := 0
+	for it.valid() {
+		if seg < pos+it.run {
+			if it.fill {
+				return it.word&fillValue != 0
+			}
+			return it.payload()&(1<<off) != 0
+		}
+		pos += it.run
+		it.consume(it.run)
+	}
+	return false
+}
+
+// Bools decompresses the vector into a boolean slice (for tests/debugging).
+func (v *Vector) Bools() []bool {
+	out := make([]bool, v.nbits)
+	i := 0
+	v.Iterate(func(pos int) bool {
+		out[pos] = true
+		i++
+		return true
+	})
+	return out
+}
+
+// Iterate calls fn for each set bit in ascending order; fn returning false
+// stops the iteration early.
+func (v *Vector) Iterate(fn func(pos int) bool) {
+	var it runIter
+	it.reset(v.words)
+	base := 0
+	for it.valid() {
+		if it.fill {
+			if it.word&fillValue != 0 {
+				end := base + it.run*SegmentBits
+				if end > v.nbits {
+					end = v.nbits
+				}
+				for p := base; p < end; p++ {
+					if !fn(p) {
+						return
+					}
+				}
+			}
+			base += it.run * SegmentBits
+			it.consume(it.run)
+			continue
+		}
+		w := it.payload()
+		for w != 0 {
+			j := bits.TrailingZeros32(w)
+			p := base + j
+			if p >= v.nbits {
+				break
+			}
+			if !fn(p) {
+				return
+			}
+			w &= w - 1
+		}
+		base += SegmentBits
+		it.consume(1)
+	}
+}
+
+// String renders a compact run description, e.g. "len=93 [L:0000001f F1x2]".
+func (v *Vector) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "len=%d [", v.nbits)
+	for i, w := range v.words {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if w&fillFlag != 0 {
+			bit := 0
+			if w&fillValue != 0 {
+				bit = 1
+			}
+			fmt.Fprintf(&sb, "F%dx%d", bit, w&countMask)
+		} else {
+			fmt.Fprintf(&sb, "L:%08x", w)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// runIter walks the encoded words as a sequence of runs. For a fill word the
+// run is its segment count; for a literal the run is 1. consume(n) advances
+// by n segments within the current run (n must not exceed run).
+type runIter struct {
+	words []uint32
+	pos   int
+	fill  bool
+	word  uint32 // current raw word
+	run   int    // remaining segments in current run
+}
+
+func (it *runIter) reset(words []uint32) {
+	it.words = words
+	it.pos = 0
+	it.load()
+}
+
+func (it *runIter) load() {
+	if it.pos >= len(it.words) {
+		it.run = 0
+		return
+	}
+	w := it.words[it.pos]
+	it.word = w
+	if w&fillFlag != 0 {
+		it.fill = true
+		it.run = int(w & countMask)
+	} else {
+		it.fill = false
+		it.run = 1
+	}
+}
+
+func (it *runIter) valid() bool { return it.run > 0 }
+
+// payload returns the expanded 31-bit segment content of the current run.
+func (it *runIter) payload() uint32 {
+	if it.fill {
+		if it.word&fillValue != 0 {
+			return literalMask
+		}
+		return 0
+	}
+	return it.word & literalMask
+}
+
+// fillBit reports the repeated bit of a fill run (only valid when fill).
+func (it *runIter) fillBit() uint32 {
+	if it.word&fillValue != 0 {
+		return 1
+	}
+	return 0
+}
+
+func (it *runIter) consume(n int) {
+	it.run -= n
+	if it.run == 0 {
+		it.pos++
+		it.load()
+	}
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"testing"
+
+	"insitubits/internal/iosim"
+	"insitubits/internal/selection"
+	"insitubits/internal/sim/heat3d"
+)
+
+func baseConfig() Config {
+	return Config{
+		Nodes:        2,
+		CoresPerNode: 2,
+		GridX:        12, GridY: 12, GridZ: 24,
+		Steps:     12,
+		Select:    4,
+		Metric:    selection.ConditionalEntropy,
+		Method:    Bitmaps,
+		Bins:      64,
+		LocalMBps: 200,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CoresPerNode = 0 },
+		func(c *Config) { c.GridZ = 5; c.Nodes = 4 },
+		func(c *Config) { c.Steps = 0 },
+		func(c *Config) { c.Select = 0 },
+		func(c *Config) { c.Select = c.Steps + 1 },
+		func(c *Config) { c.Bins = 0 },
+		func(c *Config) { c.LocalMBps = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunBitmapsLocal(t *testing.T) {
+	cfg := baseConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != cfg.Select || res.Selected[0] != 0 {
+		t.Fatalf("selected %v", res.Selected)
+	}
+	if res.BytesWritten <= 0 || res.Output <= 0 {
+		t.Fatalf("output unaccounted: %d bytes, %v", res.BytesWritten, res.Output)
+	}
+	if res.Simulate <= 0 || res.Reduce <= 0 {
+		t.Fatalf("phases unmeasured: %+v", res)
+	}
+}
+
+func TestRemoteSharedContention(t *testing.T) {
+	// The same run against a shared 100 MB/s remote store must model a
+	// transfer time based on TOTAL bytes, and full data must pay far more
+	// than bitmaps — the Figure 13 remote-series gap.
+	mk := func(method Method) *Result {
+		cfg := baseConfig()
+		cfg.Method = method
+		remote, err := iosim.NewStore(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Remote = remote
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output != remote.ModeledTime() {
+			t.Fatalf("output %v != store model %v", res.Output, remote.ModeledTime())
+		}
+		return res
+	}
+	rb := mk(Bitmaps)
+	rf := mk(FullData)
+	if rb.BytesWritten >= rf.BytesWritten/2 {
+		t.Fatalf("bitmaps wrote %d, full data %d", rb.BytesWritten, rf.BytesWritten)
+	}
+	if rb.Output >= rf.Output {
+		t.Fatalf("bitmaps remote output %v not below full data %v", rb.Output, rf.Output)
+	}
+}
+
+func TestMethodsSelectSameSteps(t *testing.T) {
+	// Bitmaps vs full data on the cluster path: identical selections
+	// (global metrics reduce to identical numbers).
+	run := func(m Method) []int {
+		cfg := baseConfig()
+		cfg.Method = m
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Selected
+	}
+	sb := run(Bitmaps)
+	sf := run(FullData)
+	if len(sb) != len(sf) {
+		t.Fatalf("lengths differ: %v vs %v", sb, sf)
+	}
+	for i := range sb {
+		if sb[i] != sf[i] {
+			t.Fatalf("bitmaps %v, full data %v", sb, sf)
+		}
+	}
+}
+
+func TestAllMetricsRun(t *testing.T) {
+	for _, m := range []selection.Metric{selection.ConditionalEntropy, selection.EMDCount, selection.EMDSpatial} {
+		cfg := baseConfig()
+		cfg.Metric = m
+		cfg.Steps, cfg.Select = 8, 3
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(res.Selected) != 3 {
+			t.Fatalf("%v: selected %v", m, res.Selected)
+		}
+	}
+}
+
+// TestHaloExchangeMatchesGlobalSim verifies the decomposition is exact: a
+// 2-node cluster whose slabs are initialized from a single global
+// simulation evolves identically to that global simulation (sources off).
+func TestHaloExchangeMatchesGlobalSim(t *testing.T) {
+	const nx, ny, nz = 8, 8, 16
+	global, err := heat3d.New(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global.SourceEnabled = false
+
+	cfg := baseConfig()
+	cfg.GridX, cfg.GridY, cfg.GridZ = nx, ny, nz
+	nodes, err := buildNodes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 owns planes [0,8) plus ghost 8; node 1 owns [8,16) plus ghost 7.
+	plane := make([]float64, nx*ny)
+	for z := 0; z < 9; z++ {
+		nodes[0].sim.SetPlaneZ(z, global.PlaneZ(z, plane))
+	}
+	for z := 0; z < 9; z++ {
+		nodes[1].sim.SetPlaneZ(z, global.PlaneZ(z+7, plane))
+	}
+	for _, n := range nodes {
+		n.sim.SourceEnabled = false
+	}
+
+	for step := 0; step < 10; step++ {
+		global.StepInto(2, nil)
+		parallelStep(nodes, 2)
+	}
+
+	g := global.Temperature()
+	for z := 0; z < 8; z++ { // node 0 interior
+		got := nodes[0].sim.PlaneZ(z, nil)
+		want := global.PlaneZ(z, nil)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node 0 plane %d cell %d: %g vs %g", z, i, got[i], want[i])
+			}
+		}
+	}
+	for z := 8; z < 16; z++ { // node 1 interior (local plane z-7)
+		got := nodes[1].sim.PlaneZ(z-7, nil)
+		want := global.PlaneZ(z, nil)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node 1 plane %d cell %d: %g vs %g", z, i, got[i], want[i])
+			}
+		}
+	}
+	_ = g
+}
+
+func TestInteriorCoversGlobalGrid(t *testing.T) {
+	// The union of node interiors must equal the global element count for
+	// any node count, so analysis always sees the whole domain.
+	for _, nodes := range []int{1, 2, 3, 5} {
+		cfg := baseConfig()
+		cfg.Nodes = nodes
+		cfg.GridZ = 30
+		ns, err := buildNodes(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for k := range ns {
+			total += len(interiorCopy(cfg, ns, k))
+		}
+		if want := cfg.GridX * cfg.GridY * cfg.GridZ; total != want {
+			t.Fatalf("nodes=%d: interiors cover %d cells, want %d", nodes, total, want)
+		}
+	}
+}
+
+func TestSingleNodeDegeneratesGracefully(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Nodes = 1
+	cfg.GridZ = 12
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != cfg.Select {
+		t.Fatalf("selected %v", res.Selected)
+	}
+}

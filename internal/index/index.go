@@ -1,0 +1,407 @@
+// Package index builds and queries the paper's bitmap indices: one
+// compressed bitvector per value bin (the low level of Figure 1), optionally
+// grouped into high-level interval vectors, generated in a single streaming
+// pass over the data with in-place WAH compression (Algorithm 1).
+package index
+
+import (
+	"fmt"
+	"sync"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/bitvec"
+)
+
+// Index is a bitmap index over one array of values. The per-bin 1-counts —
+// the value histogram — fall out of construction for free and are cached,
+// because every information-theoretic metric in the paper starts from them.
+type Index struct {
+	mapper binning.Mapper
+	vecs   []*bitvec.Vector
+	counts []int
+	n      int
+}
+
+// Build generates the index in one pass using the lazy builder: only bins
+// touched by the current 31-element segment are visited, with untouched bins
+// accumulating pending zero-fill. This is behaviourally identical to the
+// paper's Algorithm 1 (see BuildAlgorithm1) but costs O(values + touched)
+// instead of O(values + segments×bins).
+func Build(data []float64, m binning.Mapper) *Index {
+	b := NewStreamBuilder(m)
+	b.Append(data)
+	return b.Finish()
+}
+
+// BuildAlgorithm1 is a faithful transcription of the paper's Algorithm 1
+// ("Generate_Bitmaps"): for every 31-element segment it materializes the
+// uncompressed per-bin segment words and merges each — including the
+// untouched all-zero ones — into the compressed result. Kept as the fidelity
+// reference and the baseline of the dense-vs-lazy ablation bench.
+func BuildAlgorithm1(data []float64, m binning.Mapper) *Index {
+	binNum := m.Bins()
+	segments := make([]uint32, binNum)        // "Segments" of Algorithm 1
+	result := make([]bitvec.Appender, binNum) // "Result" of Algorithm 1
+	id := 0
+	for i := 0; i < len(data); i += bitvec.SegmentBits {
+		for j := range segments { // line 5: initialize Segments to 0
+			segments[j] = 0
+		}
+		width := 0
+		for j := 0; j < bitvec.SegmentBits && i+j < len(data); j++ {
+			vectorID := m.Bin(data[id]) // line 7: MapValueToID
+			id++
+			segments[vectorID] |= 1 << uint(j) // line 8
+			width++
+		}
+		for j := 0; j < binNum; j++ { // lines 10-27: merge into Result
+			if width == bitvec.SegmentBits {
+				result[j].AppendSegment(segments[j])
+			} else {
+				result[j].AppendPartial(segments[j], width)
+			}
+		}
+	}
+	idx := &Index{mapper: m, vecs: make([]*bitvec.Vector, binNum), counts: make([]int, binNum), n: len(data)}
+	for j := range result {
+		idx.vecs[j] = result[j].Vector()
+		idx.counts[j] = idx.vecs[j].Count()
+	}
+	return idx
+}
+
+// FromParts reassembles an Index from deserialized vectors (the store
+// package's read path). Every vector must cover exactly n bits and there
+// must be one per bin of the mapper.
+func FromParts(m binning.Mapper, vecs []*bitvec.Vector, n int) (*Index, error) {
+	if len(vecs) != m.Bins() {
+		return nil, fmt.Errorf("index: %d vectors for %d bins", len(vecs), m.Bins())
+	}
+	x := &Index{mapper: m, vecs: vecs, counts: make([]int, len(vecs)), n: n}
+	for b, v := range vecs {
+		if v.Len() != n {
+			return nil, fmt.Errorf("index: bin %d covers %d bits, want %d", b, v.Len(), n)
+		}
+		x.counts[b] = v.Count()
+	}
+	return x, nil
+}
+
+// BuildTwoPhase is the strawman Algorithm 1 replaces: materialize every
+// bin's *uncompressed* bitvector first, then compress in a second pass.
+// The paper rules this out for in-situ use because the uncompressed bitmaps
+// occupy bins × n bits — potentially more than the data itself — while the
+// streaming builder never holds more than one 31-bit segment per bin.
+// Kept as the streaming-vs-two-phase ablation baseline.
+func BuildTwoPhase(data []float64, m binning.Mapper) *Index {
+	nb := m.Bins()
+	words := (len(data) + 63) / 64
+	dense := make([][]uint64, nb)
+	for b := range dense {
+		dense[b] = make([]uint64, words)
+	}
+	for i, v := range data {
+		b := m.Bin(v)
+		dense[b][i/64] |= 1 << uint(i%64)
+	}
+	x := &Index{mapper: m, vecs: make([]*bitvec.Vector, nb), counts: make([]int, nb), n: len(data)}
+	for b := range dense {
+		var a bitvec.Appender
+		for i := 0; i < len(data); i += bitvec.SegmentBits {
+			var seg uint32
+			width := len(data) - i
+			if width > bitvec.SegmentBits {
+				width = bitvec.SegmentBits
+			}
+			for j := 0; j < width; j++ {
+				p := i + j
+				if dense[b][p/64]&(1<<uint(p%64)) != 0 {
+					seg |= 1 << uint(j)
+				}
+			}
+			if width == bitvec.SegmentBits {
+				a.AppendSegment(seg)
+			} else {
+				a.AppendPartial(seg, width)
+			}
+		}
+		x.vecs[b] = a.Vector()
+		x.counts[b] = x.vecs[b].Count()
+	}
+	return x
+}
+
+// N returns the number of indexed elements.
+func (x *Index) N() int { return x.n }
+
+// Bins returns the number of bins (bitvectors).
+func (x *Index) Bins() int { return len(x.vecs) }
+
+// Mapper returns the binning used to build the index.
+func (x *Index) Mapper() binning.Mapper { return x.mapper }
+
+// Vector returns the bitvector of bin b (shared, do not mutate).
+func (x *Index) Vector(b int) *bitvec.Vector { return x.vecs[b] }
+
+// Count returns the cached number of elements in bin b.
+func (x *Index) Count(b int) int { return x.counts[b] }
+
+// Histogram returns the per-bin element counts (shared slice; copy to mutate).
+func (x *Index) Histogram() []int { return x.counts }
+
+// BinIDs decodes the index into a per-element bin-id array: out[i] is the
+// bin containing element i. One pass over the compressed vectors (every
+// element is set in exactly one bin, so the total decode work is O(n)).
+// This powers the scale-robust joint-histogram path: at reproduction scale
+// bins² compressed ANDs can exceed an O(n) decode, while both use only the
+// bitmaps and produce identical numbers.
+func (x *Index) BinIDs(dst []int32) []int32 {
+	if len(dst) != x.n {
+		dst = make([]int32, x.n)
+	}
+	for b, v := range x.vecs {
+		if x.counts[b] == 0 {
+			continue
+		}
+		v.WriteIDs(dst, int32(b))
+	}
+	return dst
+}
+
+// SizeBytes returns the total compressed size of all bitvectors — the
+// number that must stay well under the raw data size (paper: < 30 %).
+func (x *Index) SizeBytes() int {
+	total := 0
+	for _, v := range x.vecs {
+		total += v.SizeBytes()
+	}
+	return total
+}
+
+// Query returns the bitvector of elements whose value lies in [lo, hi),
+// OR-ing together every bin overlapping the range. Bins straddling the
+// endpoints are included whole (bin-granular semantics, as in the paper).
+func (x *Index) Query(lo, hi float64) *bitvec.Vector {
+	var acc *bitvec.Vector
+	for b := 0; b < x.Bins(); b++ {
+		if x.mapper.High(b) <= lo || x.mapper.Low(b) >= hi {
+			continue
+		}
+		if acc == nil {
+			acc = x.vecs[b]
+		} else {
+			acc = acc.Or(x.vecs[b])
+		}
+	}
+	if acc == nil {
+		return bitvec.FromBools(make([]bool, x.n))
+	}
+	return acc.Clone()
+}
+
+// StreamBuilder incrementally indexes a stream of values — the in-situ
+// generation path, where simulation output is consumed segment by segment
+// and immediately discarded (paper §2.3 "Online Compression"). Each bin
+// holds a compressed appender plus a pending count of all-zero segments, so
+// a segment only costs work proportional to the bins it actually touches.
+type StreamBuilder struct {
+	mapper  binning.Mapper
+	apps    []bitvec.Appender
+	segs    []uint32
+	touched []int32
+	width   int // elements in the current (unflushed) segment
+	nSegs   int // full segments flushed so far
+	n       int
+}
+
+// NewStreamBuilder returns an empty builder for the given binning.
+func NewStreamBuilder(m binning.Mapper) *StreamBuilder {
+	nb := m.Bins()
+	return &StreamBuilder{
+		mapper: m,
+		apps:   make([]bitvec.Appender, nb),
+		segs:   make([]uint32, nb),
+	}
+}
+
+// Append indexes a chunk of values; chunks of any size may be appended.
+func (sb *StreamBuilder) Append(data []float64) {
+	for _, v := range data {
+		b := sb.mapper.Bin(v)
+		if sb.segs[b] == 0 {
+			sb.touched = append(sb.touched, int32(b))
+		}
+		sb.segs[b] |= 1 << uint(sb.width)
+		sb.width++
+		if sb.width == bitvec.SegmentBits {
+			sb.flushSegment()
+		}
+	}
+	sb.n += len(data)
+}
+
+// flushSegment merges the current 31-element segment into each touched bin.
+// A touched bin that fell behind (untouched for some segments) first catches
+// up with one zero-fill run, so untouched bins cost nothing per segment —
+// the lazy improvement over Algorithm 1's dense merge loop.
+func (sb *StreamBuilder) flushSegment() {
+	for _, b := range sb.touched {
+		if gap := sb.nSegs - sb.apps[b].Len()/bitvec.SegmentBits; gap > 0 {
+			sb.apps[b].AppendFill(0, gap)
+		}
+		sb.apps[b].AppendSegment(sb.segs[b])
+		sb.segs[b] = 0
+	}
+	sb.touched = sb.touched[:0]
+	sb.nSegs++
+	sb.width = 0
+}
+
+// Finish flushes the trailing partial segment and outstanding zero runs and
+// returns the completed index. The builder must not be reused afterwards.
+func (sb *StreamBuilder) Finish() *Index {
+	nb := len(sb.apps)
+	inSeg := make([]bool, nb)
+	for _, b := range sb.touched {
+		inSeg[b] = true
+	}
+	for b := 0; b < nb; b++ {
+		if gap := sb.nSegs - sb.apps[b].Len()/bitvec.SegmentBits; gap > 0 {
+			sb.apps[b].AppendFill(0, gap)
+		}
+		if sb.width > 0 {
+			if inSeg[b] {
+				sb.apps[b].AppendPartial(sb.segs[b], sb.width)
+			} else {
+				sb.apps[b].AppendPartial(0, sb.width)
+			}
+		}
+	}
+	x := &Index{mapper: sb.mapper, vecs: make([]*bitvec.Vector, nb), counts: make([]int, nb), n: sb.n}
+	for b := 0; b < nb; b++ {
+		x.vecs[b] = sb.apps[b].Vector()
+		x.counts[b] = x.vecs[b].Count()
+	}
+	return x
+}
+
+// SizeBytes reports the compressed bytes accumulated so far — the in-situ
+// memory footprint of the partially built index.
+func (sb *StreamBuilder) SizeBytes() int {
+	total := 0
+	for i := range sb.apps {
+		total += sb.apps[i].SizeBytes()
+	}
+	return total
+}
+
+// BuildParallel partitions the data into nWorkers sub-blocks aligned to the
+// 31-bit segment size, builds a sub-index per block concurrently — the
+// paper's Figure 2, where each bitmap-generation core owns one sub-block —
+// and concatenates the per-block bitvectors into one index.
+func BuildParallel(data []float64, m binning.Mapper, nWorkers int) *Index {
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	nSegs := (len(data) + bitvec.SegmentBits - 1) / bitvec.SegmentBits
+	if nWorkers > nSegs && nSegs > 0 {
+		nWorkers = nSegs
+	}
+	if nWorkers <= 1 || len(data) == 0 {
+		return Build(data, m)
+	}
+	// Split on segment boundaries so Concat is exact.
+	segsPer := nSegs / nWorkers
+	extra := nSegs % nWorkers
+	bounds := make([]int, nWorkers+1)
+	pos := 0
+	for w := 0; w < nWorkers; w++ {
+		bounds[w] = pos
+		s := segsPer
+		if w < extra {
+			s++
+		}
+		pos += s * bitvec.SegmentBits
+		if pos > len(data) {
+			pos = len(data)
+		}
+	}
+	bounds[nWorkers] = len(data)
+	parts := make([]*Index, nWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parts[w] = Build(data[bounds[w]:bounds[w+1]], m)
+		}(w)
+	}
+	wg.Wait()
+	return ConcatIndexes(parts...)
+}
+
+// ConcatIndexes joins sub-indices built over consecutive sub-blocks of the
+// same array with the same binning. All but the last must cover a multiple
+// of 31 elements.
+func ConcatIndexes(parts ...*Index) *Index {
+	if len(parts) == 0 {
+		panic("index: ConcatIndexes needs at least one part")
+	}
+	first := parts[0]
+	nb := first.Bins()
+	out := &Index{mapper: first.mapper, vecs: make([]*bitvec.Vector, nb), counts: make([]int, nb)}
+	vecs := make([]*bitvec.Vector, len(parts))
+	for b := 0; b < nb; b++ {
+		for i, p := range parts {
+			if p.Bins() != nb {
+				panic(fmt.Sprintf("index: part %d has %d bins, want %d", i, p.Bins(), nb))
+			}
+			vecs[i] = p.vecs[b]
+		}
+		out.vecs[b] = bitvec.MustConcat(vecs...)
+		for _, p := range parts {
+			out.counts[b] += p.counts[b]
+		}
+	}
+	for _, p := range parts {
+		out.n += p.n
+	}
+	return out
+}
+
+// MultiLevel couples a fine low-level index with a coarse high-level one
+// (Figure 1's value-interval vectors). The high-level vectors are the ORs of
+// their low-level children, so they are derived rather than rebuilt from
+// data.
+type MultiLevel struct {
+	Low  *Index
+	High *Index
+	G    *binning.Grouped
+}
+
+// BuildMultiLevel derives a high-level index with the given fanout from an
+// existing low-level index.
+func BuildMultiLevel(low *Index, fanout int) (*MultiLevel, error) {
+	g, err := binning.NewGrouped(low.mapper, fanout)
+	if err != nil {
+		return nil, err
+	}
+	high := &Index{mapper: g, vecs: make([]*bitvec.Vector, g.Bins()), counts: make([]int, g.Bins()), n: low.n}
+	for h := 0; h < g.Bins(); h++ {
+		lo, hi := g.Children(h)
+		acc := low.vecs[lo]
+		for b := lo + 1; b < hi; b++ {
+			acc = acc.Or(low.vecs[b])
+		}
+		if hi == lo+1 {
+			acc = acc.Clone()
+		}
+		high.vecs[h] = acc
+		c := 0
+		for b := lo; b < hi; b++ {
+			c += low.counts[b]
+		}
+		high.counts[h] = c
+	}
+	return &MultiLevel{Low: low, High: high, G: g}, nil
+}

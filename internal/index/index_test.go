@@ -1,0 +1,364 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"insitubits/internal/binning"
+)
+
+func testData(r *rand.Rand, n int) []float64 {
+	// Piecewise-smooth values in [0, 10): long runs land in one bin, which
+	// exercises the fill paths the same way simulation output does.
+	out := make([]float64, n)
+	v := r.Float64() * 10
+	for i := range out {
+		if r.Intn(40) == 0 {
+			v = r.Float64() * 10
+		}
+		v += (r.Float64() - 0.5) * 0.01
+		if v < 0 {
+			v = 0
+		}
+		if v >= 10 {
+			v = 9.999
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func mustUniform(t *testing.T, n int) binning.Mapper {
+	t.Helper()
+	m, err := binning.NewUniform(0, 10, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildMatchesAlgorithm1(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		data := testData(r, r.Intn(3000))
+		m := mustUniform(t, 1+r.Intn(64))
+		lazy := Build(data, m)
+		dense := BuildAlgorithm1(data, m)
+		if lazy.Bins() != dense.Bins() || lazy.N() != dense.N() {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for b := 0; b < lazy.Bins(); b++ {
+			if !lazy.Vector(b).Equal(dense.Vector(b)) {
+				t.Fatalf("trial %d: bin %d differs\nlazy:  %s\ndense: %s",
+					trial, b, lazy.Vector(b), dense.Vector(b))
+			}
+			if lazy.Count(b) != dense.Count(b) {
+				t.Fatalf("trial %d: bin %d count %d vs %d", trial, b, lazy.Count(b), dense.Count(b))
+			}
+		}
+	}
+}
+
+func TestEveryElementInExactlyOneBin(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	data := testData(r, 5000)
+	m := mustUniform(t, 32)
+	x := Build(data, m)
+	for i, v := range data {
+		want := m.Bin(v)
+		hits := 0
+		for b := 0; b < x.Bins(); b++ {
+			if x.Vector(b).Get(i) {
+				hits++
+				if b != want {
+					t.Fatalf("element %d (value %g) in bin %d, want %d", i, v, b, want)
+				}
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("element %d appears in %d bins", i, hits)
+		}
+	}
+}
+
+func TestHistogramSumsToN(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		data := testData(r, r.Intn(4000))
+		x := Build(data, mustUniform(t, 1+r.Intn(100)))
+		sum := 0
+		for _, c := range x.Histogram() {
+			sum += c
+		}
+		if sum != len(data) {
+			t.Fatalf("trial %d: histogram sums to %d, want %d", trial, sum, len(data))
+		}
+	}
+}
+
+func TestStreamBuilderChunkInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data := testData(r, 2500)
+	m := mustUniform(t, 40)
+	oneShot := Build(data, m)
+	sb := NewStreamBuilder(m)
+	i := 0
+	for i < len(data) {
+		n := 1 + r.Intn(200)
+		if i+n > len(data) {
+			n = len(data) - i
+		}
+		sb.Append(data[i : i+n])
+		i += n
+	}
+	chunked := sb.Finish()
+	for b := 0; b < oneShot.Bins(); b++ {
+		if !oneShot.Vector(b).Equal(chunked.Vector(b)) {
+			t.Fatalf("bin %d differs between one-shot and chunked append", b)
+		}
+	}
+}
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		data := testData(r, 4000+r.Intn(100))
+		m := mustUniform(t, 50)
+		serial := Build(data, m)
+		parallel := BuildParallel(data, m, workers)
+		if parallel.N() != serial.N() {
+			t.Fatalf("workers=%d: N=%d want %d", workers, parallel.N(), serial.N())
+		}
+		for b := 0; b < serial.Bins(); b++ {
+			if !serial.Vector(b).Equal(parallel.Vector(b)) {
+				t.Fatalf("workers=%d: bin %d differs", workers, b)
+			}
+			if serial.Count(b) != parallel.Count(b) {
+				t.Fatalf("workers=%d: bin %d count differs", workers, b)
+			}
+		}
+	}
+}
+
+func TestBuildParallelTinyInput(t *testing.T) {
+	m := mustUniform(t, 8)
+	for _, n := range []int{0, 1, 30, 31, 32, 62} {
+		data := make([]float64, n)
+		x := BuildParallel(data, m, 8)
+		if x.N() != n {
+			t.Fatalf("n=%d: N=%d", n, x.N())
+		}
+		if n > 0 && x.Count(0) != n {
+			t.Fatalf("n=%d: all-zero data should land in bin 0, count=%d", n, x.Count(0))
+		}
+	}
+}
+
+func TestQuery(t *testing.T) {
+	data := []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 1.4, 2.2}
+	m := mustUniform(t, 10) // bins of width 1 over [0,10)
+	x := Build(data, m)
+	q := x.Query(1, 3) // bins [1,2) and [2,3): elements 1.5, 2.5, 1.4, 2.2
+	if q.Count() != 4 {
+		t.Fatalf("Query(1,3) count=%d want 4", q.Count())
+	}
+	for _, i := range []int{1, 2, 6, 7} {
+		if !q.Get(i) {
+			t.Fatalf("Query(1,3) missing element %d", i)
+		}
+	}
+	empty := x.Query(100, 200)
+	if empty.Count() != 0 || empty.Len() != len(data) {
+		t.Fatalf("out-of-range query: count=%d len=%d", empty.Count(), empty.Len())
+	}
+}
+
+func TestPaperFigure1(t *testing.T) {
+	// The exact example of the paper's Figure 1: 8 elements, 4 distinct
+	// values, low-level vectors e0..e3 and high-level i0 ([1,2]) i1 ([3,4]).
+	data := []float64{4, 1, 2, 2, 3, 4, 3, 1}
+	m, err := binning.NewExplicit([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Build(data, m)
+	want := map[int][]int{ // bin -> positions of 1-bits, straight from Figure 1
+		0: {1, 7}, // e0: value 1
+		1: {2, 3}, // e1: value 2
+		2: {4, 6}, // e2: value 3
+		3: {0, 5}, // e3: value 4
+	}
+	for b, positions := range want {
+		if x.Count(b) != len(positions) {
+			t.Fatalf("bin %d count=%d want %d", b, x.Count(b), len(positions))
+		}
+		for _, p := range positions {
+			if !x.Vector(b).Get(p) {
+				t.Fatalf("bin %d missing bit %d", b, p)
+			}
+		}
+	}
+	ml, err := BuildMultiLevel(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHigh := map[int][]int{
+		0: {1, 2, 3, 7}, // i0: values in [1,2]
+		1: {0, 4, 5, 6}, // i1: values in [3,4]
+	}
+	for h, positions := range wantHigh {
+		if ml.High.Count(h) != len(positions) {
+			t.Fatalf("high bin %d count=%d want %d", h, ml.High.Count(h), len(positions))
+		}
+		for _, p := range positions {
+			if !ml.High.Vector(h).Get(p) {
+				t.Fatalf("high bin %d missing bit %d", h, p)
+			}
+		}
+	}
+}
+
+func TestMultiLevelHighIsOrOfChildren(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	data := testData(r, 3000)
+	x := Build(data, mustUniform(t, 37))
+	ml, err := BuildMultiLevel(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < ml.High.Bins(); h++ {
+		lo, hi := ml.G.Children(h)
+		acc := x.Vector(lo).Clone()
+		for b := lo + 1; b < hi; b++ {
+			acc = acc.Or(x.Vector(b))
+		}
+		if !ml.High.Vector(h).Equal(acc) {
+			t.Fatalf("high bin %d is not the OR of children [%d,%d)", h, lo, hi)
+		}
+	}
+	// High-level histogram must also sum to N.
+	sum := 0
+	for _, c := range ml.High.Histogram() {
+		sum += c
+	}
+	if sum != x.N() {
+		t.Fatalf("high histogram sums to %d want %d", sum, x.N())
+	}
+}
+
+func TestCompressionRatioSmooth(t *testing.T) {
+	// The §2.2 claim: for simulation-like (smooth) data, bitmaps are much
+	// smaller than the raw float64 array — under 30 % in most cases.
+	r := rand.New(rand.NewSource(7))
+	data := testData(r, 200000)
+	x := Build(data, mustUniform(t, 128))
+	raw := 8 * len(data)
+	ratio := float64(x.SizeBytes()) / float64(raw)
+	if ratio > 0.30 {
+		t.Fatalf("compression ratio %.2f exceeds the paper's 30%% envelope", ratio)
+	}
+	t.Logf("bitmap size = %.1f%% of raw data (%d bins)", 100*ratio, x.Bins())
+}
+
+func TestSizeBytesMatchesVectors(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	data := testData(r, 1000)
+	x := Build(data, mustUniform(t, 16))
+	sum := 0
+	for b := 0; b < x.Bins(); b++ {
+		sum += x.Vector(b).SizeBytes()
+	}
+	if x.SizeBytes() != sum {
+		t.Fatalf("SizeBytes=%d, sum of vectors=%d", x.SizeBytes(), sum)
+	}
+}
+
+func TestBinIDs(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	data := testData(r, 3000)
+	m := mustUniform(t, 40)
+	x := Build(data, m)
+	ids := x.BinIDs(nil)
+	if len(ids) != len(data) {
+		t.Fatalf("BinIDs len %d", len(ids))
+	}
+	for i, v := range data {
+		if int(ids[i]) != m.Bin(v) {
+			t.Fatalf("element %d: BinIDs=%d, mapper=%d", i, ids[i], m.Bin(v))
+		}
+	}
+	// Buffer reuse: correct length reuses, wrong length reallocates.
+	buf := make([]int32, len(data))
+	if got := x.BinIDs(buf); &got[0] != &buf[0] {
+		t.Fatal("BinIDs did not reuse the buffer")
+	}
+	if got := x.BinIDs(make([]int32, 5)); len(got) != len(data) {
+		t.Fatal("BinIDs kept a wrong-size buffer")
+	}
+}
+
+func TestEmptyBuild(t *testing.T) {
+	x := Build(nil, mustUniform(t, 4))
+	if x.N() != 0 || x.SizeBytes() != 0 {
+		t.Fatalf("empty build: N=%d size=%d", x.N(), x.SizeBytes())
+	}
+	for b := 0; b < 4; b++ {
+		if x.Vector(b).Len() != 0 {
+			t.Fatalf("bin %d not empty", b)
+		}
+	}
+}
+
+func BenchmarkBuildLazy(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	data := testData(r, 1<<18)
+	m, _ := binning.NewUniform(0, 10, 128)
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(data, m)
+	}
+}
+
+func BenchmarkBuildAlgorithm1Dense(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	data := testData(r, 1<<18)
+	m, _ := binning.NewUniform(0, 10, 128)
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildAlgorithm1(data, m)
+	}
+}
+
+func BenchmarkBuildParallel8(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	data := testData(r, 1<<18)
+	m, _ := binning.NewUniform(0, 10, 128)
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildParallel(data, m, 8)
+	}
+}
+
+func TestBuildTwoPhaseMatchesStreaming(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		data := testData(r, r.Intn(3000))
+		m := mustUniform(t, 1+r.Intn(48))
+		a := Build(data, m)
+		b := BuildTwoPhase(data, m)
+		if a.Bins() != b.Bins() || a.N() != b.N() {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for bin := 0; bin < a.Bins(); bin++ {
+			if !a.Vector(bin).Equal(b.Vector(bin)) {
+				t.Fatalf("trial %d: bin %d differs", trial, bin)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package insitu
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"insitubits/internal/selection"
+	"insitubits/internal/store"
+)
+
+// Manifest records what a pipeline run persisted, one entry per selected
+// time-step, written as manifest.json next to the data files so offline
+// tools can find and validate everything.
+type Manifest struct {
+	Workload string         `json:"workload"`
+	Method   string         `json:"method"`
+	Vars     []string       `json:"vars"`
+	Steps    int            `json:"steps"`
+	Selected []int          `json:"selected"`
+	Files    []ManifestFile `json:"files"`
+}
+
+// ManifestFile describes one persisted artifact.
+type ManifestFile struct {
+	Step  int    `json:"step"`
+	Var   string `json:"var"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// ManifestName is the manifest's file name inside the output directory.
+const ManifestName = "manifest.json"
+
+// writer persists selected summaries when Config.OutputDir is set.
+type writer struct {
+	dir      string
+	vars     []string
+	manifest Manifest
+}
+
+func newWriter(cfg Config) (*writer, error) {
+	if cfg.OutputDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(cfg.OutputDir, 0o755); err != nil {
+		return nil, fmt.Errorf("insitu: output dir: %w", err)
+	}
+	return &writer{
+		dir:  cfg.OutputDir,
+		vars: cfg.Sim.Vars(),
+		manifest: Manifest{
+			Workload: cfg.Sim.Name(),
+			Method:   cfg.Method.String(),
+			Vars:     cfg.Sim.Vars(),
+			Steps:    cfg.Steps,
+		},
+	}, nil
+}
+
+// writeStep persists one selected step's per-variable summaries.
+func (w *writer) writeStep(sum *stepSummary) error {
+	w.manifest.Selected = append(w.manifest.Selected, sum.step)
+	for k, part := range sum.parts {
+		name := fmt.Sprintf("step%04d_%s", sum.step, sanitize(w.vars[k]))
+		var path string
+		var n int64
+		var err error
+		switch p := part.(type) {
+		case *selection.BitmapSummary:
+			path = filepath.Join(w.dir, name+".isbm")
+			n, err = writeFile(path, func(f *os.File) (int64, error) {
+				return store.WriteIndex(f, p.X)
+			})
+		case *selection.DataSummary:
+			path = filepath.Join(w.dir, name+".israw")
+			n, err = writeFile(path, func(f *os.File) (int64, error) {
+				return store.WriteRaw(f, p.Data)
+			})
+		default:
+			return fmt.Errorf("insitu: cannot persist summary type %T", part)
+		}
+		if err != nil {
+			return err
+		}
+		w.manifest.Files = append(w.manifest.Files, ManifestFile{
+			Step: sum.step, Var: w.vars[k], Path: filepath.Base(path), Bytes: n,
+		})
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) (int64, error)) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// finish writes the manifest.
+func (w *writer) finish() error {
+	data, err := json.MarshalIndent(&w.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(w.dir, ManifestName), data, 0o644)
+}
+
+// sanitize maps a variable name to a file-name-safe token.
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// ReadManifest loads and validates a manifest from an output directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("insitu: parsing manifest: %w", err)
+	}
+	if len(m.Selected)*max(1, len(m.Vars)) != len(m.Files) {
+		return nil, fmt.Errorf("insitu: manifest lists %d files for %d selections x %d vars",
+			len(m.Files), len(m.Selected), len(m.Vars))
+	}
+	return &m, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

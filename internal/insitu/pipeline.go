@@ -1,0 +1,462 @@
+// Package insitu is the paper's end-to-end system (§2.3, Figure 2): a
+// simulation produces time-steps in memory; a reduction method (bitmaps,
+// full data, or sampling) summarizes each step; time-step selection runs
+// online over the summaries; and only the selected summaries are written
+// out. Core allocation between simulation and bitmap generation follows the
+// paper's two strategies — Shared Cores and Separate Cores with the
+// Equation 1/2 calibrated split — and all phase costs are reported
+// separately so the Figure 7-10/12/15 breakdowns can be regenerated.
+package insitu
+
+import (
+	"fmt"
+	"time"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/index"
+	"insitubits/internal/iosim"
+	"insitubits/internal/sampling"
+	"insitubits/internal/selection"
+	"insitubits/internal/sim"
+	"insitubits/internal/store"
+)
+
+// Method is the data-reduction approach applied to each time-step.
+type Method int
+
+const (
+	// Bitmaps is the paper's method: compress each variable into a WAH
+	// bitmap index and discard the raw data.
+	Bitmaps Method = iota
+	// FullData is the baseline: keep (and eventually write) raw arrays.
+	FullData
+	// Sampling keeps a fixed element subset of each array (§5.5 baseline).
+	Sampling
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Bitmaps:
+		return "bitmaps"
+	case FullData:
+		return "fulldata"
+	case Sampling:
+		return "sampling"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Config parameterizes one pipeline run.
+type Config struct {
+	Sim    sim.Simulator
+	Steps  int // time-steps to simulate (paper: 100)
+	Select int // time-steps to keep (paper: 25)
+
+	Method    Method
+	Bins      int     // bins per variable (bitmaps/fulldata metrics)
+	SamplePct float64 // sampling percentage for Method == Sampling
+	Seed      int64   // sampler seed
+
+	Metric selection.Metric
+	Part   selection.Partitioner
+
+	// VarWeights optionally weights each variable's contribution to the
+	// multi-variable selection score (nil = equal weights, the paper's
+	// implicit choice for Lulesh's 12 arrays). Length must match the
+	// simulator's variable count; weights must be non-negative.
+	VarWeights []float64
+
+	Cores    int      // total cores (worker goroutines)
+	Strategy Strategy // nil defaults to SharedCores
+
+	// MemoryBudgetBytes, when positive, bounds the separate-cores step
+	// queue: its capacity becomes QueueCapForMemory(budget, step bytes)
+	// whenever the strategy leaves QueueCap zero — the paper's "the queue
+	// size is limited by the memory capacity".
+	MemoryBudgetBytes int64
+
+	Store *iosim.Store // output device; nil disables output accounting
+
+	// OutputDir, when set, persists every selected step's summaries for
+	// real: one .isbm (bitmaps) or .israw (full data, sampling) file per
+	// variable, plus a manifest.json index (see Manifest).
+	OutputDir string
+
+	// Window is how many current time-steps the memory model assumes held
+	// in memory for selection (paper Figure 11 uses 10).
+	Window int
+}
+
+func (c *Config) validate() error {
+	if c.Sim == nil {
+		return fmt.Errorf("insitu: nil simulator")
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("insitu: %d steps", c.Steps)
+	}
+	if c.Select < 1 || c.Select > c.Steps {
+		return fmt.Errorf("insitu: select %d of %d steps", c.Select, c.Steps)
+	}
+	if c.Bins < 1 && c.Method != Sampling {
+		return fmt.Errorf("insitu: %d bins", c.Bins)
+	}
+	if c.Method == Sampling && (c.SamplePct <= 0 || c.SamplePct > 100) {
+		return fmt.Errorf("insitu: sample percentage %g", c.SamplePct)
+	}
+	if c.Cores < 1 {
+		return fmt.Errorf("insitu: %d cores", c.Cores)
+	}
+	if c.Method == Sampling && c.Bins < 1 {
+		return fmt.Errorf("insitu: sampling still needs bins for selection metrics, got %d", c.Bins)
+	}
+	if c.VarWeights != nil {
+		if len(c.VarWeights) != len(c.Sim.Vars()) {
+			return fmt.Errorf("insitu: %d weights for %d variables", len(c.VarWeights), len(c.Sim.Vars()))
+		}
+		positive := false
+		for i, w := range c.VarWeights {
+			if w < 0 {
+				return fmt.Errorf("insitu: negative weight %g for variable %d", w, i)
+			}
+			if w > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return fmt.Errorf("insitu: all variable weights are zero")
+		}
+	}
+	if c.Part != nil {
+		if _, ok := c.Part.(selection.FixedLength); !ok {
+			// Online selection sees steps as they stream, so importance-
+			// balanced partitioning (which needs all importances up front)
+			// is an offline-only feature.
+			return fmt.Errorf("insitu: online selection supports fixed-length partitioning only, got %T", c.Part)
+		}
+	}
+	return nil
+}
+
+// Breakdown is the per-phase cost of a run. Simulate, Reduce and Select are
+// measured busy time on the host; Output is modelled from bytes written and
+// the store's bandwidth (see DESIGN.md on the I/O substitution).
+type Breakdown struct {
+	Simulate time.Duration
+	Reduce   time.Duration
+	Select   time.Duration
+	Output   time.Duration
+}
+
+// Total sums the phases; under SharedCores this equals end-to-end time.
+func (b Breakdown) Total() time.Duration {
+	return b.Simulate + b.Reduce + b.Select + b.Output
+}
+
+// Result reports a pipeline run.
+type Result struct {
+	Breakdown Breakdown
+	// Wall is the measured wall-clock time of the produce/reduce loop; with
+	// SeparateCores it is less than Simulate+Reduce because they overlap.
+	Wall time.Duration
+	// Selected are the kept time-step indices.
+	Selected []int
+	// BytesWritten is the total output volume (selected summaries only).
+	BytesWritten int64
+	// StepBytes is the raw size of one time-step (all variables).
+	StepBytes int64
+	// SummaryBytes is the average per-step summary size.
+	SummaryBytes int64
+	// PeakMemory is the modelled in-situ working set (Figure 11).
+	PeakMemory int64
+}
+
+// Run executes the configured pipeline and reports the phase breakdown.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = SharedCores{}
+	}
+	red, err := newReducer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newWriter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sel := newSelector(cfg)
+	sel.w = w
+	res, err := strategy.run(cfg, red, sel)
+	if err != nil {
+		return nil, err
+	}
+	if sel.err != nil {
+		return nil, sel.err
+	}
+	if w != nil {
+		if err := w.finish(); err != nil {
+			return nil, err
+		}
+	}
+	res.finishMemory(cfg, red)
+	return res, nil
+}
+
+// reducer turns one time-step's fields into a selection.Summary plus the
+// byte count its serialized form would occupy on the output device.
+type reducer struct {
+	cfg     Config
+	mappers []binning.Mapper
+	sampler *sampling.Sampler
+}
+
+func newReducer(cfg Config) (*reducer, error) {
+	r := &reducer{cfg: cfg}
+	ranges := cfg.Sim.Ranges()
+	if len(ranges) != len(cfg.Sim.Vars()) {
+		return nil, fmt.Errorf("insitu: simulator %s declares %d ranges for %d vars",
+			cfg.Sim.Name(), len(ranges), len(cfg.Sim.Vars()))
+	}
+	for _, rg := range ranges {
+		m, err := binning.NewUniform(rg[0], rg[1], cfg.Bins)
+		if err != nil {
+			return nil, fmt.Errorf("insitu: binning for range %v: %w", rg, err)
+		}
+		r.mappers = append(r.mappers, m)
+	}
+	if cfg.Method == Sampling {
+		s, err := sampling.NewRandom(cfg.Sim.Elements(), cfg.SamplePct, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r.sampler = s
+	}
+	return r, nil
+}
+
+// reduce summarizes one step's fields using nWorkers cores.
+func (r *reducer) reduce(fields []sim.Field, nWorkers int) (*stepSummary, error) {
+	parts := make([]selection.Summary, len(fields))
+	outBytes := int64(0)
+	memBytes := int64(0)
+	switch r.cfg.Method {
+	case Bitmaps:
+		// Multi-variable steps (Lulesh's 12 arrays) index their variables
+		// concurrently; a single-variable step parallelizes within the
+		// build via sub-block decomposition instead. Aggregation below is
+		// in variable order, so the result is deterministic either way.
+		if len(fields) > 1 && nWorkers > 1 {
+			xs := make([]*index.Index, len(fields))
+			perVar := nWorkers / len(fields)
+			if perVar < 1 {
+				perVar = 1
+			}
+			sim.ParallelFor(len(fields), nWorkers, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					xs[k] = index.BuildParallel(fields[k].Data, r.mappers[k], perVar)
+				}
+			})
+			for k, x := range xs {
+				parts[k] = selection.NewBitmapSummary(x)
+				outBytes += store.IndexSize(x)
+				memBytes += int64(x.SizeBytes())
+			}
+			break
+		}
+		for k, f := range fields {
+			x := index.BuildParallel(f.Data, r.mappers[k], nWorkers)
+			parts[k] = selection.NewBitmapSummary(x)
+			outBytes += store.IndexSize(x)
+			memBytes += int64(x.SizeBytes())
+		}
+	case FullData:
+		for k, f := range fields {
+			parts[k] = selection.NewDataSummary(f.Data, r.mappers[k])
+			outBytes += store.RawSize(len(f.Data))
+			memBytes += int64(8 * len(f.Data))
+		}
+	case Sampling:
+		for k, f := range fields {
+			sampled, err := r.sampler.Sample(f.Data)
+			if err != nil {
+				return nil, err
+			}
+			parts[k] = selection.NewDataSummary(sampled, r.mappers[k])
+			outBytes += store.RawSize(len(sampled))
+			memBytes += int64(8 * len(sampled))
+		}
+	default:
+		return nil, fmt.Errorf("insitu: unknown method %v", r.cfg.Method)
+	}
+	return &stepSummary{
+		parts: parts, outBytes: outBytes, memBytes: memBytes,
+		weights: r.cfg.VarWeights, cores: nWorkers,
+	}, nil
+}
+
+// stepSummary aggregates one time-step's per-variable summaries; metric
+// scores sum across variables (the paper analyzes all 12 Lulesh arrays).
+type stepSummary struct {
+	step     int
+	parts    []selection.Summary
+	outBytes int64
+	memBytes int64
+	weights  []float64 // nil = equal weights
+	// cores lets multi-variable metric evaluation fan out across the
+	// pipeline's workers ("the time-steps selection time is reduced almost
+	// linearly" with cores, §5.1). Scores are accumulated in variable
+	// order, so the result is deterministic regardless of core count.
+	cores int
+}
+
+func (s *stepSummary) weight(k int) float64 {
+	if s.weights == nil {
+		return 1
+	}
+	return s.weights[k]
+}
+
+// Dissimilarity implements selection.Summary.
+func (s *stepSummary) Dissimilarity(other selection.Summary, m selection.Metric) float64 {
+	o, ok := other.(*stepSummary)
+	if !ok {
+		panic(fmt.Sprintf("insitu: stepSummary compared against %T", other))
+	}
+	if s.cores > 1 && len(s.parts) > 1 {
+		scores := make([]float64, len(s.parts))
+		sim.ParallelFor(len(s.parts), s.cores, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				if w := s.weight(k); w > 0 {
+					scores[k] = w * s.parts[k].Dissimilarity(o.parts[k], m)
+				}
+			}
+		})
+		total := 0.0
+		for _, v := range scores { // fixed order: deterministic sum
+			total += v
+		}
+		return total
+	}
+	total := 0.0
+	for k := range s.parts {
+		if w := s.weight(k); w > 0 {
+			total += w * s.parts[k].Dissimilarity(o.parts[k], m)
+		}
+	}
+	return total
+}
+
+// Importance implements selection.Summary.
+func (s *stepSummary) Importance() float64 {
+	total := 0.0
+	for _, p := range s.parts {
+		total += p.Importance()
+	}
+	return total
+}
+
+// SizeBytes implements selection.Summary.
+func (s *stepSummary) SizeBytes() int { return int(s.memBytes) }
+
+var _ selection.Summary = (*stepSummary)(nil)
+
+// selector performs the streaming greedy selection: each interval's steps
+// are scored against the previously selected step as they arrive, so only
+// the incumbent best (plus the previous selection) stays referenced.
+type selector struct {
+	cfg       Config
+	intervals [][2]int
+	ivPos     int
+	prev      *stepSummary
+	best      *stepSummary
+	bestScore float64
+	selected  []int
+	written   int64
+	sumBytes  int64
+	nSeen     int
+	w         *writer
+	err       error
+}
+
+func newSelector(cfg Config) *selector {
+	imp := make([]float64, cfg.Steps) // fixed-length partitioning ignores it
+	part := cfg.Part
+	if part == nil {
+		part = selection.FixedLength{}
+	}
+	return &selector{cfg: cfg, intervals: part.Partition(imp, cfg.Select)}
+}
+
+// offer consumes step t's summary in order; it returns the time spent in
+// metric evaluation so strategies can attribute it to the Select phase.
+func (s *selector) offer(t int, sum *stepSummary) time.Duration {
+	sum.step = t
+	s.sumBytes += sum.memBytes
+	s.nSeen++
+	if t == 0 { // step 0 is always selected (paper Figure 3)
+		s.prev = sum
+		s.selected = append(s.selected, 0)
+		s.write(sum)
+		return 0
+	}
+	start := time.Now()
+	score := sum.Dissimilarity(s.prev, s.cfg.Metric)
+	elapsed := time.Since(start)
+	if s.ivPos < len(s.intervals) {
+		iv := s.intervals[s.ivPos]
+		if t >= iv[0] && t < iv[1] {
+			if s.best == nil || score > s.bestScore {
+				s.best, s.bestScore = sum, score
+			}
+			if t == iv[1]-1 { // interval complete: commit the winner
+				s.selected = append(s.selected, s.best.step)
+				s.prev = s.best
+				s.write(s.best)
+				s.best = nil
+				s.ivPos++
+			}
+		}
+	}
+	return elapsed
+}
+
+func (s *selector) write(sum *stepSummary) {
+	s.written += sum.outBytes
+	if s.cfg.Store != nil {
+		s.cfg.Store.Account(sum.outBytes)
+	}
+	if s.w != nil && s.err == nil {
+		s.err = s.w.writeStep(sum)
+	}
+}
+
+func (r *Result) finishMemory(cfg Config, red *reducer) {
+	window := cfg.Window
+	if window < 1 {
+		window = 10
+	}
+	stepBytes := int64(8*cfg.Sim.Elements()) * int64(len(cfg.Sim.Vars()))
+	r.StepBytes = stepBytes
+	r.PeakMemory = MemoryModel(cfg.Method, stepBytes, r.SummaryBytes, window)
+}
+
+// MemoryModel reproduces the paper's Figure 11 accounting. Full data holds
+// the previous selected step, one in-flight (simulating) step, and `window`
+// current steps — all raw. The reduced methods hold the in-flight raw step,
+// the previous selected summary, and `window` current summaries.
+func MemoryModel(m Method, stepBytes, summaryBytes int64, window int) int64 {
+	switch m {
+	case FullData:
+		return stepBytes /* prev selected */ + stepBytes /* in-flight */ +
+			int64(window)*stepBytes
+	default:
+		return stepBytes /* in-flight raw step being reduced */ +
+			summaryBytes /* prev selected */ +
+			int64(window)*summaryBytes
+	}
+}

@@ -1,0 +1,180 @@
+package insitu
+
+import (
+	"fmt"
+	"time"
+
+	"insitubits/internal/sim"
+)
+
+// Strategy is a core-allocation policy for running the pipeline (§2.3).
+type Strategy interface {
+	run(cfg Config, red *reducer, sel *selector) (*Result, error)
+	// Describe names the strategy for experiment output (e.g. "c_all",
+	// "c12_c16").
+	Describe() string
+}
+
+// SharedCores assigns all cores to simulation, then all cores to reduction,
+// alternating per time-step — the paper's first strategy.
+type SharedCores struct{}
+
+// Describe implements Strategy.
+func (SharedCores) Describe() string { return "c_all" }
+
+func (SharedCores) run(cfg Config, red *reducer, sel *selector) (*Result, error) {
+	res := &Result{}
+	wallStart := time.Now()
+	for t := 0; t < cfg.Steps; t++ {
+		t0 := time.Now()
+		fields := cfg.Sim.Step(cfg.Cores)
+		t1 := time.Now()
+		summary, err := red.reduce(fields, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		t2 := time.Now()
+		res.Breakdown.Simulate += t1.Sub(t0)
+		res.Breakdown.Reduce += t2.Sub(t1)
+		res.Breakdown.Select += sel.offer(t, summary)
+	}
+	res.Wall = time.Since(wallStart)
+	finishResult(cfg, sel, res)
+	return res, nil
+}
+
+// SeparateCores splits the cores into a simulation set and a reduction set
+// connected by a bounded time-step queue — the paper's second strategy. The
+// queue blocks the producer when full (memory capacity) and the consumer
+// when empty, exactly as described in §2.3.
+type SeparateCores struct {
+	SimCores    int
+	ReduceCores int
+	// QueueCap bounds the in-memory step queue; 0 means 2.
+	QueueCap int
+}
+
+// Describe implements Strategy.
+func (s SeparateCores) Describe() string {
+	return fmt.Sprintf("c%d_c%d", s.SimCores, s.ReduceCores)
+}
+
+func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, error) {
+	if s.SimCores < 1 || s.ReduceCores < 1 {
+		return nil, fmt.Errorf("insitu: separate-cores split %d/%d invalid", s.SimCores, s.ReduceCores)
+	}
+	if s.SimCores+s.ReduceCores > cfg.Cores {
+		return nil, fmt.Errorf("insitu: split %d+%d exceeds %d cores", s.SimCores, s.ReduceCores, cfg.Cores)
+	}
+	qcap := s.QueueCap
+	if qcap <= 0 && cfg.MemoryBudgetBytes > 0 {
+		stepBytes := int64(8*cfg.Sim.Elements()) * int64(len(cfg.Sim.Vars()))
+		qcap = QueueCapForMemory(cfg.MemoryBudgetBytes, stepBytes)
+	}
+	if qcap <= 0 {
+		qcap = 2
+	}
+	type queued struct {
+		step   int
+		fields []sim.Field
+	}
+	queue := make(chan queued, qcap)
+	simDone := make(chan time.Duration, 1)
+
+	// Producer: the simulation owns its core set.
+	go func() {
+		var busy time.Duration
+		for t := 0; t < cfg.Steps; t++ {
+			t0 := time.Now()
+			fields := cfg.Sim.Step(s.SimCores)
+			busy += time.Since(t0)
+			queue <- queued{step: t, fields: fields}
+		}
+		close(queue)
+		simDone <- busy
+	}()
+
+	// Consumer: reduction + streaming selection own the other set. A single
+	// consumer preserves step order (selection is order-dependent); the
+	// parallelism is inside the per-step reduction.
+	res := &Result{}
+	wallStart := time.Now()
+	for q := range queue {
+		t0 := time.Now()
+		summary, err := red.reduce(q.fields, s.ReduceCores)
+		if err != nil {
+			// Drain so the producer can finish; first error wins.
+			for range queue {
+			}
+			<-simDone
+			return nil, err
+		}
+		res.Breakdown.Reduce += time.Since(t0)
+		res.Breakdown.Select += sel.offer(q.step, summary)
+	}
+	res.Breakdown.Simulate = <-simDone
+	res.Wall = time.Since(wallStart)
+	finishResult(cfg, sel, res)
+	return res, nil
+}
+
+func finishResult(cfg Config, sel *selector, res *Result) {
+	res.Selected = sel.selected
+	res.BytesWritten = sel.written
+	if sel.nSeen > 0 {
+		res.SummaryBytes = sel.sumBytes / int64(sel.nSeen)
+	}
+	if cfg.Store != nil {
+		res.Breakdown.Output = cfg.Store.ModeledTime()
+	}
+}
+
+// QueueCapForMemory derives the separate-cores queue capacity from a
+// memory budget, implementing the paper's "the queue size is limited by the
+// memory capacity": the queue holds raw time-steps of stepBytes each, and
+// at least one slot is always granted so the pipeline can make progress.
+func QueueCapForMemory(budgetBytes, stepBytes int64) int {
+	if stepBytes <= 0 {
+		return 1
+	}
+	cap := int(budgetBytes / stepBytes)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// Calibrate implements the paper's Equations 1 and 2: run a few steps with
+// all cores, measure average simulation and reduction time, and split the
+// cores proportionally. The returned strategy always grants each side at
+// least one core. The calibration steps advance the simulator, mirroring
+// the paper's "initial set of cores" warm-up.
+func Calibrate(cfg Config, calibSteps int) (SeparateCores, error) {
+	if calibSteps < 1 {
+		calibSteps = 2
+	}
+	red, err := newReducer(cfg)
+	if err != nil {
+		return SeparateCores{}, err
+	}
+	var simTime, redTime time.Duration
+	for t := 0; t < calibSteps; t++ {
+		t0 := time.Now()
+		fields := cfg.Sim.Step(cfg.Cores)
+		t1 := time.Now()
+		if _, err := red.reduce(fields, cfg.Cores); err != nil {
+			return SeparateCores{}, err
+		}
+		simTime += t1.Sub(t0)
+		redTime += time.Since(t1)
+	}
+	total := simTime + redTime
+	simCores := int(float64(cfg.Cores) * float64(simTime) / float64(total)) // Equation 1
+	if simCores < 1 {
+		simCores = 1
+	}
+	if simCores >= cfg.Cores {
+		simCores = cfg.Cores - 1
+	}
+	return SeparateCores{SimCores: simCores, ReduceCores: cfg.Cores - simCores}, nil // Equation 2
+}

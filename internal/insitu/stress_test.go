@@ -1,0 +1,246 @@
+package insitu
+
+import (
+	"testing"
+
+	"insitubits/internal/iosim"
+	"insitubits/internal/selection"
+	"insitubits/internal/sim"
+	"insitubits/internal/sim/heat3d"
+	"insitubits/internal/sim/lulesh"
+)
+
+// countingSim wraps a simulator and records how many times Step ran, so
+// the queue tests can prove no step is lost or duplicated.
+type countingSim struct {
+	inner sim.Simulator
+	steps int
+}
+
+func (c *countingSim) Name() string         { return c.inner.Name() }
+func (c *countingSim) Vars() []string       { return c.inner.Vars() }
+func (c *countingSim) Elements() int        { return c.inner.Elements() }
+func (c *countingSim) Ranges() [][2]float64 { return c.inner.Ranges() }
+func (c *countingSim) Step(n int) []sim.Field {
+	c.steps++
+	return c.inner.Step(n)
+}
+
+// TestSeparateCoresQueueInvariants runs the separate-cores strategy with
+// the tightest possible queue over many steps and checks: every step
+// simulated exactly once, every step consumed exactly once and in order
+// (the streaming selector requires order — a violated invariant would
+// corrupt the selection), and no deadlock (the test finishing is the
+// proof).
+func TestSeparateCoresQueueInvariants(t *testing.T) {
+	for _, qcap := range []int{1, 2, 7} {
+		h, err := heat3d.New(8, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := &countingSim{inner: h}
+		st, err := iosim.NewStore(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const steps = 64
+		res, err := Run(Config{
+			Sim:    cs,
+			Steps:  steps,
+			Select: 16,
+			Method: Bitmaps,
+			Bins:   32,
+			Metric: selection.EMDCount,
+			Cores:  2,
+			Strategy: SeparateCores{
+				SimCores: 1, ReduceCores: 1, QueueCap: qcap,
+			},
+			Store: st,
+		})
+		if err != nil {
+			t.Fatalf("qcap=%d: %v", qcap, err)
+		}
+		if cs.steps != steps {
+			t.Fatalf("qcap=%d: simulator stepped %d times, want %d", qcap, cs.steps, steps)
+		}
+		if len(res.Selected) != 16 {
+			t.Fatalf("qcap=%d: selected %v", qcap, res.Selected)
+		}
+		for i := 1; i < len(res.Selected); i++ {
+			if res.Selected[i] <= res.Selected[i-1] {
+				t.Fatalf("qcap=%d: out-of-order selection %v (queue reordered steps?)", qcap, res.Selected)
+			}
+		}
+	}
+}
+
+// TestSeparateCoresDeterministicAcrossQueueCaps verifies the selection is a
+// pure function of the data: queue capacity affects throughput only.
+func TestSeparateCoresDeterministicAcrossQueueCaps(t *testing.T) {
+	run := func(qcap int) []int {
+		h, err := heat3d.New(10, 10, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Sim: h, Steps: 30, Select: 8,
+			Method: Bitmaps, Bins: 64,
+			Metric:   selection.ConditionalEntropy,
+			Cores:    2,
+			Strategy: SeparateCores{SimCores: 1, ReduceCores: 1, QueueCap: qcap},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Selected
+	}
+	want := run(1)
+	for _, qcap := range []int{2, 5, 30} {
+		got := run(qcap)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("qcap=%d selected %v, qcap=1 selected %v", qcap, got, want)
+			}
+		}
+	}
+}
+
+// TestMultiVarParallelScoringDeterministic: the per-variable fan-out in
+// stepSummary.Dissimilarity must not change scores or selections.
+func TestMultiVarParallelScoringDeterministic(t *testing.T) {
+	mk := func(cores int) []int {
+		// A 12-array workload exercises the parallel path.
+		l := newTestLulesh(t)
+		res, err := Run(Config{
+			Sim: l, Steps: 10, Select: 4,
+			Method: Bitmaps, Bins: 48,
+			Metric: selection.EMDSpatial,
+			Cores:  cores,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Selected
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("cores changed selection: %v vs %v", serial, parallel)
+		}
+	}
+}
+
+func newTestLulesh(t *testing.T) sim.Simulator {
+	t.Helper()
+	l, err := lulesh.New(7, 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestQueueCapForMemory(t *testing.T) {
+	cases := []struct {
+		budget, step int64
+		want         int
+	}{
+		{1 << 30, 1 << 20, 1024},
+		{1 << 20, 1 << 30, 1}, // budget below one step: still one slot
+		{0, 100, 1},
+		{100, 0, 1},
+		{-5, 100, 1},
+	}
+	for _, c := range cases {
+		if got := QueueCapForMemory(c.budget, c.step); got != c.want {
+			t.Errorf("QueueCapForMemory(%d, %d) = %d, want %d", c.budget, c.step, got, c.want)
+		}
+	}
+}
+
+func TestMemoryBudgetBoundsQueue(t *testing.T) {
+	// A budget of exactly 3 steps must run (cap 3); a tiny budget degrades
+	// to cap 1 but still completes.
+	for _, budgetSteps := range []float64{3, 0.1} {
+		h, err := heat3d.New(8, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepBytes := int64(8 * h.Elements())
+		res, err := Run(Config{
+			Sim: h, Steps: 12, Select: 3,
+			Method: Bitmaps, Bins: 32,
+			Metric:            selection.EMDCount,
+			Cores:             2,
+			Strategy:          SeparateCores{SimCores: 1, ReduceCores: 1},
+			MemoryBudgetBytes: int64(budgetSteps * float64(stepBytes)),
+		})
+		if err != nil {
+			t.Fatalf("budget=%g steps: %v", budgetSteps, err)
+		}
+		if len(res.Selected) != 3 {
+			t.Fatalf("budget=%g steps: selected %v", budgetSteps, res.Selected)
+		}
+	}
+}
+
+func TestVarWeights(t *testing.T) {
+	// Weighting one Lulesh variable to zero must not crash and can change
+	// the selection; invalid weight vectors are rejected.
+	base := Config{
+		Steps: 10, Select: 4,
+		Method: Bitmaps, Bins: 48,
+		Metric: selection.EMDSpatial,
+		Cores:  1,
+	}
+	run := func(weights []float64) ([]int, error) {
+		cfg := base
+		cfg.Sim = newTestLulesh(t)
+		cfg.VarWeights = weights
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Selected, nil
+	}
+	equal, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-equal explicit weights reproduce the nil-weights selection.
+	ones := make([]float64, 12)
+	for i := range ones {
+		ones[i] = 1
+	}
+	same, err := run(ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range equal {
+		if equal[i] != same[i] {
+			t.Fatalf("explicit equal weights changed selection: %v vs %v", same, equal)
+		}
+	}
+	// Only-coordinates weighting runs and yields a valid selection.
+	coordOnly := make([]float64, 12)
+	coordOnly[0], coordOnly[1], coordOnly[2] = 1, 1, 1
+	sel, err := run(coordOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 4 || sel[0] != 0 {
+		t.Fatalf("weighted selection %v", sel)
+	}
+	// Invalid vectors.
+	if _, err := run(make([]float64, 3)); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+	if _, err := run(make([]float64, 12)); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	bad := make([]float64, 12)
+	bad[0] = -1
+	if _, err := run(bad); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

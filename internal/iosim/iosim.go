@@ -1,0 +1,107 @@
+// Package iosim provides bandwidth-modelled storage accounting. A Store
+// tallies the bytes written to a device of fixed bandwidth and reports the
+// modelled transfer time, optionally passing the bytes through to a real
+// io.Writer. Sharing one Store between several writers models contention on
+// a shared device (the paper's single remote data server in Figure 13):
+// modelled time is total bytes over device bandwidth regardless of who
+// wrote them.
+package iosim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Store is a bandwidth-modelled storage target. Safe for concurrent use.
+type Store struct {
+	mu            sync.Mutex
+	bandwidthMBps float64
+	bytes         int64
+	writes        int64
+	sink          io.Writer // optional write-through
+}
+
+// NewStore models a device with the given bandwidth in MB/s.
+func NewStore(bandwidthMBps float64) (*Store, error) {
+	if bandwidthMBps <= 0 {
+		return nil, fmt.Errorf("iosim: bandwidth %g MB/s must be positive", bandwidthMBps)
+	}
+	return &Store{bandwidthMBps: bandwidthMBps}, nil
+}
+
+// NewStoreWriter models a device and forwards all written bytes to sink.
+func NewStoreWriter(bandwidthMBps float64, sink io.Writer) (*Store, error) {
+	s, err := NewStore(bandwidthMBps)
+	if err != nil {
+		return nil, err
+	}
+	s.sink = sink
+	return s, nil
+}
+
+// Write implements io.Writer, accounting (and optionally forwarding) p.
+func (s *Store) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	sink := s.sink
+	s.bytes += int64(len(p))
+	s.writes++
+	s.mu.Unlock()
+	if sink != nil {
+		return sink.Write(p)
+	}
+	return len(p), nil
+}
+
+// Account records n bytes without materializing them — used when the
+// experiment only needs the cost model, not the artifact.
+func (s *Store) Account(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("iosim: negative byte count %d", n))
+	}
+	s.mu.Lock()
+	s.bytes += n
+	s.writes++
+	s.mu.Unlock()
+}
+
+// BytesWritten returns the total bytes recorded so far.
+func (s *Store) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Writes returns the number of write operations recorded.
+func (s *Store) Writes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// BandwidthMBps returns the modelled device bandwidth.
+func (s *Store) BandwidthMBps() float64 { return s.bandwidthMBps }
+
+// ModeledTime converts the bytes written so far into transfer time on the
+// modelled device.
+func (s *Store) ModeledTime() time.Duration {
+	s.mu.Lock()
+	b := s.bytes
+	s.mu.Unlock()
+	return ModelTransfer(b, s.bandwidthMBps)
+}
+
+// Reset clears the accounting (bandwidth and sink are kept).
+func (s *Store) Reset() {
+	s.mu.Lock()
+	s.bytes = 0
+	s.writes = 0
+	s.mu.Unlock()
+}
+
+// ModelTransfer returns the time to move n bytes at the given bandwidth.
+func ModelTransfer(n int64, bandwidthMBps float64) time.Duration {
+	seconds := float64(n) / (bandwidthMBps * 1e6)
+	return time.Duration(seconds * float64(time.Second))
+}

@@ -1,0 +1,254 @@
+// Package metrics implements the information-theoretic correlation metrics
+// of the paper's §3.1 — Shannon entropy, mutual information, conditional
+// entropy, and the Earth Mover's Distance in both its count and spatial
+// variants — each computable two ways: from raw data arrays (the "full data"
+// baseline) and from bitmap indices (the paper's method). Because both paths
+// bin identically, they produce *identical* results; the bitmap path is just
+// cheaper, replacing full-array scans with cached histograms, bitwise AND
+// (joint distributions) and XOR (spatial differences) on compressed vectors.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/index"
+)
+
+// Histogram counts elements per bin by scanning the data (full-data path).
+// The bitmap path gets the same numbers for free from Index.Histogram.
+func Histogram(data []float64, m binning.Mapper) []int {
+	h := make([]int, m.Bins())
+	for _, v := range data {
+		h[m.Bin(v)]++
+	}
+	return h
+}
+
+// JointHistogram scans two equally long arrays once and counts co-occurring
+// bin pairs: joint[i][j] = |{k : a_k ∈ bin i of ma, b_k ∈ bin j of mb}|.
+func JointHistogram(a, b []float64, ma, mb binning.Mapper) [][]int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: joint histogram over arrays of length %d and %d", len(a), len(b)))
+	}
+	joint := make([][]int, ma.Bins())
+	cells := make([]int, ma.Bins()*mb.Bins())
+	for i := range joint {
+		joint[i], cells = cells[:mb.Bins()], cells[mb.Bins():]
+	}
+	for k := range a {
+		joint[ma.Bin(a[k])][mb.Bin(b[k])]++
+	}
+	return joint
+}
+
+// JointHistogramBitmaps produces the same joint distribution as
+// JointHistogram from the two indices alone (the raw data may already be
+// discarded). It decodes each index into per-element bin ids in one pass —
+// O(n) total regardless of bin count — and tallies the pairs. See
+// JointHistogramBitmapsAND for the paper's literal bins×bins AND
+// formulation, which this replaces as the default because at reproduction
+// scale the AND product term (bins² × compressed words) can exceed O(n);
+// both compute identical numbers (asserted by tests).
+func JointHistogramBitmaps(xa, xb *index.Index) [][]int {
+	if xa.N() != xb.N() {
+		panic(fmt.Sprintf("metrics: joint histogram over indices of %d and %d elements", xa.N(), xb.N()))
+	}
+	joint := make([][]int, xa.Bins())
+	cells := make([]int, xa.Bins()*xb.Bins())
+	for i := range joint {
+		joint[i], cells = cells[:xb.Bins()], cells[xb.Bins():]
+	}
+	ida := xa.BinIDs(nil)
+	idb := xb.BinIDs(nil)
+	for k := range ida {
+		joint[ida[k]][idb[k]]++
+	}
+	return joint
+}
+
+// JointHistogramBitmapsAND is the paper's Figure 5 formulation verbatim:
+// one compressed AndCount per bin pair, with a zero-count shortcut. Kept as
+// the mining building block (where only surviving pairs are ANDed) and as
+// the decode-vs-AND ablation baseline.
+func JointHistogramBitmapsAND(xa, xb *index.Index) [][]int {
+	if xa.N() != xb.N() {
+		panic(fmt.Sprintf("metrics: joint histogram over indices of %d and %d elements", xa.N(), xb.N()))
+	}
+	joint := make([][]int, xa.Bins())
+	cells := make([]int, xa.Bins()*xb.Bins())
+	for i := range joint {
+		joint[i], cells = cells[:xb.Bins()], cells[xb.Bins():]
+	}
+	for i := 0; i < xa.Bins(); i++ {
+		if xa.Count(i) == 0 {
+			continue
+		}
+		va := xa.Vector(i)
+		for j := 0; j < xb.Bins(); j++ {
+			if xb.Count(j) == 0 {
+				continue
+			}
+			joint[i][j] = va.AndCount(xb.Vector(j))
+		}
+	}
+	return joint
+}
+
+// Entropy returns Shannon's entropy H = -Σ p·log2(p) in bits over a count
+// histogram with n total elements (Equation 4).
+func Entropy(counts []int, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	h := 0.0
+	inv := 1.0 / float64(n)
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) * inv
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// MutualInformation returns I(A;B) in bits from a joint histogram and the
+// two marginals (Equation 5). All histograms must be over the same n.
+func MutualInformation(joint [][]int, ca, cb []int, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	inv := 1.0 / float64(n)
+	mi := 0.0
+	for i := range joint {
+		if ca[i] == 0 {
+			continue
+		}
+		pa := float64(ca[i]) * inv
+		for j, cij := range joint[i] {
+			if cij == 0 || cb[j] == 0 {
+				continue
+			}
+			pab := float64(cij) * inv
+			pb := float64(cb[j]) * inv
+			mi += pab * math.Log2(pab/(pa*pb))
+		}
+	}
+	if mi < 0 { // clamp tiny negative FP residue
+		mi = 0
+	}
+	return mi
+}
+
+// MutualInformationTerm returns the single (i,j) summand of Equation 7,
+// used by correlation mining to score one joint bin.
+func MutualInformationTerm(cij, ci, cj, n int) float64 {
+	if cij == 0 || ci == 0 || cj == 0 || n == 0 {
+		return 0
+	}
+	inv := 1.0 / float64(n)
+	pab := float64(cij) * inv
+	return pab * math.Log2(pab/(float64(ci)*inv*float64(cj)*inv))
+}
+
+// ConditionalEntropy returns H(A|B) = H(A) − I(A;B) (Equation 6): the
+// information A carries beyond what B already conveys — the paper's
+// importance score for time-step selection.
+func ConditionalEntropy(joint [][]int, ca, cb []int, n int) float64 {
+	return Entropy(ca, n) - MutualInformation(joint, ca, cb, n)
+}
+
+// EMDCount is the count variant of the Earth Mover's Distance (Equation 3,
+// first method): bins are compared by element count only. CFP(j) accumulates
+// the signed count differences and the distance sums |CFP(j)|, the classic
+// 1-D EMD between the two value distributions.
+func EMDCount(ha, hb []int) float64 {
+	if len(ha) != len(hb) {
+		panic(fmt.Sprintf("metrics: EMD over histograms of %d and %d bins", len(ha), len(hb)))
+	}
+	cfp := 0
+	total := 0.0
+	for j := range ha {
+		cfp += ha[j] - hb[j]
+		total += math.Abs(float64(cfp))
+	}
+	return total
+}
+
+// EMDSpatialData is the spatial variant of EMD computed from raw data
+// (Equation 3, second method): Diff(j) counts the *positions* where exactly
+// one of the two time-steps has an element in bin j, so spatial arrangement
+// matters, not just counts.
+func EMDSpatialData(a, b []float64, m binning.Mapper) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: spatial EMD over arrays of length %d and %d", len(a), len(b)))
+	}
+	diffs := make([]int, m.Bins())
+	for k := range a {
+		ba, bb := m.Bin(a[k]), m.Bin(b[k])
+		if ba != bb {
+			diffs[ba]++
+			diffs[bb]++
+		}
+	}
+	cfp := 0
+	total := 0.0
+	for _, d := range diffs {
+		cfp += d
+		total += float64(cfp)
+	}
+	return total
+}
+
+// EMDSpatialBitmaps computes the identical spatial EMD from two indices
+// with one XorCount per bin pair of the same bin id (Figure 4): the XOR
+// popcount is exactly the number of positions where the bins differ.
+func EMDSpatialBitmaps(xa, xb *index.Index) float64 {
+	if xa.Bins() != xb.Bins() {
+		panic(fmt.Sprintf("metrics: spatial EMD over indices with %d and %d bins", xa.Bins(), xb.Bins()))
+	}
+	cfp := 0
+	total := 0.0
+	for j := 0; j < xa.Bins(); j++ {
+		cfp += xa.Vector(j).XorCount(xb.Vector(j))
+		total += float64(cfp)
+	}
+	return total
+}
+
+// Pair bundles the full set of pairwise metrics the selection algorithm
+// consumes, so one joint-distribution computation serves them all.
+type Pair struct {
+	EntropyA, EntropyB float64
+	MI                 float64
+	CondEntropyAB      float64 // H(A|B)
+	CondEntropyBA      float64 // H(B|A)
+}
+
+// PairFromData computes every pairwise metric by scanning the raw arrays.
+func PairFromData(a, b []float64, ma, mb binning.Mapper) Pair {
+	ha := Histogram(a, ma)
+	hb := Histogram(b, mb)
+	joint := JointHistogram(a, b, ma, mb)
+	return pairFrom(joint, ha, hb, len(a))
+}
+
+// PairFromBitmaps computes the identical metrics from two indices.
+func PairFromBitmaps(xa, xb *index.Index) Pair {
+	joint := JointHistogramBitmaps(xa, xb)
+	return pairFrom(joint, xa.Histogram(), xb.Histogram(), xa.N())
+}
+
+func pairFrom(joint [][]int, ha, hb []int, n int) Pair {
+	ea := Entropy(ha, n)
+	eb := Entropy(hb, n)
+	mi := MutualInformation(joint, ha, hb, n)
+	return Pair{
+		EntropyA:      ea,
+		EntropyB:      eb,
+		MI:            mi,
+		CondEntropyAB: ea - mi,
+		CondEntropyBA: eb - mi,
+	}
+}

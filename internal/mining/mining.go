@@ -1,0 +1,275 @@
+// Package mining implements the paper's offline analysis: correlation mining
+// between two variables (§4, Algorithm 2). Joint bitvectors are produced by
+// AND-ing every bin pair, low-correlation value subsets are pruned top-down
+// with threshold T (justified by the paper's Equation 7), and surviving
+// joint vectors are scanned bottom-up over basic spatial units with
+// threshold T' (Equation 8 shows why spatial pruning cannot be top-down).
+// Spatial units are contiguous ranges of the (Z-order) element layout, so
+// per-unit counting is CountRange on compressed vectors.
+package mining
+
+import (
+	"fmt"
+	"math"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/index"
+	"insitubits/internal/metrics"
+)
+
+// Config parameterizes Algorithm 2.
+type Config struct {
+	// UnitSize is the basic spatial unit in elements. With Z-order layout
+	// this is the paper's "smallest unit of Z orders"; powers of two keep
+	// units cube-shaped.
+	UnitSize int
+	// ValueThreshold is T: a joint bin (value-subset pair) whose global
+	// mutual-information term falls below it is pruned before any spatial
+	// work (Algorithm 2 line 5).
+	ValueThreshold float64
+	// SpatialThreshold is T': a spatial unit is reported only if its local
+	// mutual-information term reaches it (Algorithm 2 line 8).
+	SpatialThreshold float64
+}
+
+func (c Config) validate(n int) error {
+	if c.UnitSize <= 0 || c.UnitSize > n {
+		return fmt.Errorf("mining: unit size %d out of range [1,%d]", c.UnitSize, n)
+	}
+	if c.ValueThreshold < 0 || c.SpatialThreshold < 0 {
+		return fmt.Errorf("mining: negative thresholds (%g, %g)", c.ValueThreshold, c.SpatialThreshold)
+	}
+	return nil
+}
+
+// Finding is one mined (value-subset pair, spatial unit) with high local
+// correlation.
+type Finding struct {
+	BinA, BinB int     // value-subset bins of the two variables
+	Unit       int     // spatial unit index along the element layout
+	Begin, End int     // element range [Begin, End) of the unit
+	ValueMI    float64 // the joint bin's global MI term (Algorithm 2 line 4)
+	SpatialMI  float64 // the unit's local MI term (Algorithm 2 line 7)
+}
+
+// Mine runs Algorithm 2 over two single-level indices built over the same
+// element layout.
+func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
+	if xa.N() != xb.N() {
+		return nil, fmt.Errorf("mining: indices over %d and %d elements", xa.N(), xb.N())
+	}
+	if err := cfg.validate(xa.N()); err != nil {
+		return nil, err
+	}
+	n := xa.N()
+	// Per-unit marginal counts are computed lazily: only needed once a
+	// pair survives the value filter.
+	var unitsA, unitsB [][]int
+	var out []Finding
+	for i := 0; i < xa.Bins(); i++ { // Algorithm 2 lines 1-2
+		ci := xa.Count(i)
+		if ci == 0 {
+			continue
+		}
+		va := xa.Vector(i)
+		for j := 0; j < xb.Bins(); j++ {
+			cj := xb.Count(j)
+			if cj == 0 {
+				continue
+			}
+			// Cheap pre-filter: the joint count cannot exceed either
+			// marginal, so the pair's MI term is bounded before any AND.
+			if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
+				continue
+			}
+			cij := va.AndCount(xb.Vector(j))                         // line 3: LogicAND (count only)
+			valueMI := metrics.MutualInformationTerm(cij, ci, cj, n) // line 4
+			if valueMI < cfg.ValueThreshold {                        // line 5
+				continue
+			}
+			if unitsA == nil {
+				unitsA = unitCounts(xa, cfg.UnitSize)
+				unitsB = unitCounts(xb, cfg.UnitSize)
+			}
+			joint := va.And(xb.Vector(j))
+			jointUnits := joint.CountUnits(cfg.UnitSize)
+			out = append(out, scanUnits(i, j, valueMI, jointUnits, unitsA[i], unitsB[j], n, cfg)...)
+		}
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scanUnits is Algorithm 2's spatial loop (lines 6-11): the local MI term of
+// each unit, computed from unit-local joint and marginal counts.
+func scanUnits(binA, binB int, valueMI float64, joint, ca, cb []int, n int, cfg Config) []Finding {
+	var out []Finding
+	for u := range joint {
+		if joint[u] == 0 {
+			continue
+		}
+		begin := u * cfg.UnitSize
+		end := begin + cfg.UnitSize
+		if end > n {
+			end = n
+		}
+		local := metrics.MutualInformationTerm(joint[u], ca[u], cb[u], end-begin)
+		if local >= cfg.SpatialThreshold { // line 8
+			out = append(out, Finding{
+				BinA: binA, BinB: binB,
+				Unit: u, Begin: begin, End: end,
+				ValueMI: valueMI, SpatialMI: local,
+			})
+		}
+	}
+	return out
+}
+
+// unitCounts materializes per-unit 1-bit counts for every bin of an index.
+func unitCounts(x *index.Index, unitSize int) [][]int {
+	out := make([][]int, x.Bins())
+	for b := range out {
+		out[b] = x.Vector(b).CountUnits(unitSize)
+	}
+	return out
+}
+
+// MineMultiLevel is the paper's multi-level optimization (§4.2): high-level
+// (coarse) joint bins are tested first, and only the low-level children of
+// promising high-level pairs are examined. The skip test uses a provable
+// upper bound on any child's MI term derived from the high-level joint
+// count, so the result set is guaranteed identical to Mine on the low level.
+func MineMultiLevel(mla, mlb *index.MultiLevel, cfg Config) ([]Finding, error) {
+	xa, xb := mla.Low, mlb.Low
+	if xa.N() != xb.N() {
+		return nil, fmt.Errorf("mining: indices over %d and %d elements", xa.N(), xb.N())
+	}
+	if err := cfg.validate(xa.N()); err != nil {
+		return nil, err
+	}
+	n := xa.N()
+	var unitsA, unitsB [][]int // computed lazily: only if any pair survives
+	var out []Finding
+	for hi := 0; hi < mla.High.Bins(); hi++ {
+		if mla.High.Count(hi) == 0 {
+			continue
+		}
+		vhi := mla.High.Vector(hi)
+		for hj := 0; hj < mlb.High.Bins(); hj++ {
+			if mlb.High.Count(hj) == 0 {
+				continue
+			}
+			cHH := vhi.AndCount(mlb.High.Vector(hj))
+			if childTermUpperBound(cHH, n) < cfg.ValueThreshold {
+				continue // no child pair can pass T
+			}
+			loA, hiA := mla.G.Children(hi)
+			loB, hiB := mlb.G.Children(hj)
+			for i := loA; i < hiA; i++ {
+				ci := xa.Count(i)
+				if ci == 0 {
+					continue
+				}
+				va := xa.Vector(i)
+				for j := loB; j < hiB; j++ {
+					cj := xb.Count(j)
+					if cj == 0 {
+						continue
+					}
+					if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
+						continue
+					}
+					cij := va.AndCount(xb.Vector(j))
+					valueMI := metrics.MutualInformationTerm(cij, ci, cj, n)
+					if valueMI < cfg.ValueThreshold {
+						continue
+					}
+					if unitsA == nil {
+						unitsA = unitCounts(xa, cfg.UnitSize)
+						unitsB = unitCounts(xb, cfg.UnitSize)
+					}
+					joint := va.And(xb.Vector(j))
+					jointUnits := joint.CountUnits(cfg.UnitSize)
+					out = append(out, scanUnits(i, j, valueMI, jointUnits, unitsA[i], unitsB[j], n, cfg)...)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// childTermUpperBound bounds the MI term of any low-level child pair whose
+// joint count is at most cHH. With p = c/n for a child pair, its term is
+// p·log2(p/(pa·pb)) ≤ p·log2(1/p) because pa, pb ≥ p. The map p ↦ p·log2(1/p)
+// increases until p = 1/e, so capping there yields a monotone, safe bound.
+func childTermUpperBound(cHH, n int) float64 {
+	if cHH == 0 || n == 0 {
+		return 0
+	}
+	p := float64(cHH) / float64(n)
+	if p > 1/math.E {
+		p = 1 / math.E
+	}
+	return p * math.Log2(1/p)
+}
+
+// MineFullData is the exhaustive full-data baseline the paper compares
+// against (§5.4): the value filter needs one full scan to build the joint
+// histogram, and every surviving bin pair then re-scans the raw arrays to
+// assemble its per-unit counts. Results are identical to Mine with the same
+// binning; only the cost differs.
+func MineFullData(a, b []float64, ma, mb binning.Mapper, cfg Config) ([]Finding, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("mining: arrays of %d and %d elements", len(a), len(b))
+	}
+	if err := cfg.validate(len(a)); err != nil {
+		return nil, err
+	}
+	n := len(a)
+	joint := metrics.JointHistogram(a, b, ma, mb)
+	ha := metrics.Histogram(a, ma)
+	hb := metrics.Histogram(b, mb)
+	nUnits := (n + cfg.UnitSize - 1) / cfg.UnitSize
+	var out []Finding
+	for i := range joint {
+		for j := range joint[i] {
+			valueMI := metrics.MutualInformationTerm(joint[i][j], ha[i], hb[j], n)
+			if valueMI < cfg.ValueThreshold {
+				continue
+			}
+			// Exhaustive per-pair re-scan: unit-local joint and marginals.
+			ju := make([]int, nUnits)
+			cau := make([]int, nUnits)
+			cbu := make([]int, nUnits)
+			for k := range a {
+				u := k / cfg.UnitSize
+				ba, bb := ma.Bin(a[k]), mb.Bin(b[k])
+				if ba == i {
+					cau[u]++
+				}
+				if bb == j {
+					cbu[u]++
+				}
+				if ba == i && bb == j {
+					ju[u]++
+				}
+			}
+			out = append(out, scanUnits(i, j, valueMI, ju, cau, cbu, n, cfg)...)
+		}
+	}
+	return out, nil
+}
+
+// DefaultValueThreshold derives the paper's rule for T: even if every 1-bit
+// of a joint bin landed in a single spatial unit, a bin with fewer than
+// minCount elements is still considered uncorrelated. The returned T is the
+// largest MI term such a bin could achieve.
+func DefaultValueThreshold(minCount, n int) float64 {
+	return childTermUpperBound(minCount, n)
+}

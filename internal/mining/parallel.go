@@ -1,0 +1,146 @@
+package mining
+
+import (
+	"sort"
+
+	"insitubits/internal/index"
+	"insitubits/internal/metrics"
+	"insitubits/internal/sim"
+)
+
+// MineParallel runs Algorithm 2 with the bin-pair loop fanned out over
+// nWorkers goroutines — the parallel setting of the authors' correlation
+// framework [30]. Each worker owns a contiguous span of variable-A bins
+// (every A-bin's pair row is independent), results are concatenated in bin
+// order, so the output is identical to Mine.
+func MineParallel(xa, xb *index.Index, cfg Config, nWorkers int) ([]Finding, error) {
+	if nWorkers <= 1 || xa.Bins() <= 1 {
+		return Mine(xa, xb, cfg)
+	}
+	if xa.N() != xb.N() {
+		return Mine(xa, xb, cfg) // delegate for uniform error reporting
+	}
+	if err := cfg.validate(xa.N()); err != nil {
+		return nil, err
+	}
+	n := xa.N()
+	// Shared, read-only after construction: per-unit marginal counts.
+	// Built eagerly here (unlike Mine's lazy build) because with several
+	// workers the odds that someone needs them are high and sharing a
+	// lazily built table would need locking on the hot path.
+	unitsA := unitCounts(xa, cfg.UnitSize)
+	unitsB := unitCounts(xb, cfg.UnitSize)
+
+	results := make([][]Finding, nWorkers)
+	sim.ParallelFor(xa.Bins(), nWorkers, func(lo, hi int) {
+		var out []Finding
+		for i := lo; i < hi; i++ {
+			ci := xa.Count(i)
+			if ci == 0 {
+				continue
+			}
+			va := xa.Vector(i)
+			for j := 0; j < xb.Bins(); j++ {
+				cj := xb.Count(j)
+				if cj == 0 {
+					continue
+				}
+				if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
+					continue
+				}
+				cij := va.AndCount(xb.Vector(j))
+				valueMI := metrics.MutualInformationTerm(cij, ci, cj, n)
+				if valueMI < cfg.ValueThreshold {
+					continue
+				}
+				joint := va.And(xb.Vector(j))
+				out = append(out, scanUnits(i, j, valueMI, joint.CountUnits(cfg.UnitSize), unitsA[i], unitsB[j], n, cfg)...)
+			}
+		}
+		// Store under the span's slot; spans are disjoint so index by a
+		// stable key derived from lo.
+		results[workerSlot(lo, xa.Bins(), nWorkers)] = out
+	})
+	var out []Finding
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	// Parts are already bin-ordered within themselves and slots are in
+	// ascending lo order, so the concatenation matches Mine's order; sort
+	// defensively to keep the contract explicit.
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].BinA != out[b].BinA {
+			return out[a].BinA < out[b].BinA
+		}
+		if out[a].BinB != out[b].BinB {
+			return out[a].BinB < out[b].BinB
+		}
+		return out[a].Unit < out[b].Unit
+	})
+	return out, nil
+}
+
+// workerSlot maps a span start to its worker slot under sim.ParallelFor's
+// deterministic decomposition (first `extra` spans are one larger).
+func workerSlot(lo, n, workers int) int {
+	if workers > n {
+		workers = n
+	}
+	chunk := n / workers
+	extra := n % workers
+	// Spans: the first `extra` have size chunk+1.
+	boundary := extra * (chunk + 1)
+	if lo < boundary {
+		return lo / (chunk + 1)
+	}
+	if chunk == 0 {
+		return extra
+	}
+	return extra + (lo-boundary)/chunk
+}
+
+// Merge coalesces findings of the same bin pair whose spatial units are
+// adjacent along the element layout into contiguous regions — with Z-order
+// layouts, runs of adjacent units are spatially compact blocks. The merged
+// region keeps the maximum local MI of its units.
+type Region struct {
+	BinA, BinB int
+	Begin, End int
+	Units      int
+	MaxMI      float64
+}
+
+// MergeFindings groups per-unit findings into regions.
+func MergeFindings(fs []Finding) []Region {
+	if len(fs) == 0 {
+		return nil
+	}
+	sorted := append([]Finding(nil), fs...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].BinA != sorted[b].BinA {
+			return sorted[a].BinA < sorted[b].BinA
+		}
+		if sorted[a].BinB != sorted[b].BinB {
+			return sorted[a].BinB < sorted[b].BinB
+		}
+		return sorted[a].Unit < sorted[b].Unit
+	})
+	var out []Region
+	cur := Region{BinA: sorted[0].BinA, BinB: sorted[0].BinB,
+		Begin: sorted[0].Begin, End: sorted[0].End, Units: 1, MaxMI: sorted[0].SpatialMI}
+	lastUnit := sorted[0].Unit
+	for _, f := range sorted[1:] {
+		if f.BinA == cur.BinA && f.BinB == cur.BinB && f.Unit == lastUnit+1 {
+			cur.End = f.End
+			cur.Units++
+			if f.SpatialMI > cur.MaxMI {
+				cur.MaxMI = f.SpatialMI
+			}
+		} else {
+			out = append(out, cur)
+			cur = Region{BinA: f.BinA, BinB: f.BinB, Begin: f.Begin, End: f.End, Units: 1, MaxMI: f.SpatialMI}
+		}
+		lastUnit = f.Unit
+	}
+	return append(out, cur)
+}

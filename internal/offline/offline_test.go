@@ -1,0 +1,235 @@
+package offline
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"insitubits/internal/insitu"
+	"insitubits/internal/selection"
+	"insitubits/internal/sim/heat3d"
+)
+
+// runPipeline produces a persisted archive for the tests.
+func runPipeline(t *testing.T, method insitu.Method, dir string) *insitu.Result {
+	t.Helper()
+	h, err := heat3d.New(12, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := insitu.Run(insitu.Config{
+		Sim: h, Steps: 18, Select: 6,
+		Method: method, Bins: 64, SamplePct: 25, Seed: 1,
+		Metric:    selection.ConditionalEntropy,
+		Cores:     2,
+		OutputDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLoadBitmapArchive(t *testing.T) {
+	dir := t.TempDir()
+	res := runPipeline(t, insitu.Bitmaps, dir)
+	a, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsBitmaps() {
+		t.Fatal("bitmap archive not recognized")
+	}
+	if len(a.Steps()) != len(res.Selected) {
+		t.Fatalf("archive has %d steps, pipeline selected %d", len(a.Steps()), len(res.Selected))
+	}
+	for i, s := range a.Steps() {
+		if s != res.Selected[i] {
+			t.Fatalf("archive steps %v vs selected %v", a.Steps(), res.Selected)
+		}
+		x, err := a.Index(s, "temperature")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.N() != 12*12*12 {
+			t.Fatalf("step %d covers %d elements", s, x.N())
+		}
+	}
+	if _, err := a.Index(9999, "temperature"); err == nil {
+		t.Error("missing step accepted")
+	}
+	if _, err := a.Index(a.Steps()[0], "nope"); err == nil {
+		t.Error("missing variable accepted")
+	}
+	if _, err := a.Raw(a.Steps()[0], "temperature"); err == nil {
+		t.Error("Raw on a bitmap archive accepted")
+	}
+}
+
+func TestLoadRawArchive(t *testing.T) {
+	dir := t.TempDir()
+	runPipeline(t, insitu.Sampling, dir)
+	a, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IsBitmaps() {
+		t.Fatal("sampling archive misclassified")
+	}
+	data, err := a.Raw(a.Steps()[0], "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || len(data) >= 12*12*12 {
+		t.Fatalf("sample has %d elements", len(data))
+	}
+	if _, err := a.PairwiseMetrics("temperature"); err == nil {
+		t.Error("pairwise metrics on raw archive accepted")
+	}
+	if _, err := a.Reselect("temperature", 2, selection.EMDCount); err == nil {
+		t.Error("reselect on raw archive accepted")
+	}
+	if _, err := a.Evolve("temperature"); err == nil {
+		t.Error("evolve on raw archive accepted")
+	}
+}
+
+func TestPairwiseMetricsShape(t *testing.T) {
+	dir := t.TempDir()
+	runPipeline(t, insitu.Bitmaps, dir)
+	a, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.PairwiseMetrics("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(a.Steps())
+	if len(m) != n {
+		t.Fatalf("%d rows", len(m))
+	}
+	for i := range m {
+		if len(m[i]) != n {
+			t.Fatalf("row %d has %d cells", i, len(m[i]))
+		}
+		if m[i][i].MI != 0 || m[i][i].EntropyA != 0 {
+			t.Fatalf("diagonal not zero-valued: %+v", m[i][i])
+		}
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			// MI is symmetric; conditional entropies swap.
+			if math.Abs(m[i][j].MI-m[j][i].MI) > 1e-9 {
+				t.Fatalf("MI not symmetric at (%d,%d)", i, j)
+			}
+			if math.Abs(m[i][j].CondEntropyAB-m[j][i].CondEntropyBA) > 1e-9 {
+				t.Fatalf("conditional entropies inconsistent at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestReselect(t *testing.T) {
+	dir := t.TempDir()
+	runPipeline(t, insitu.Bitmaps, dir)
+	a, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picked, err := a.Reselect("temperature", 3, selection.ConditionalEntropy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 3 {
+		t.Fatalf("picked %v", picked)
+	}
+	// Picks must be archived steps, ascending.
+	archived := map[int]bool{}
+	for _, s := range a.Steps() {
+		archived[s] = true
+	}
+	for i, s := range picked {
+		if !archived[s] {
+			t.Fatalf("picked unarchived step %d", s)
+		}
+		if i > 0 && s <= picked[i-1] {
+			t.Fatalf("picks not ascending: %v", picked)
+		}
+	}
+	if _, err := a.Reselect("temperature", 99, selection.EMDCount); err == nil {
+		t.Error("k beyond archive size accepted")
+	}
+}
+
+func TestEvolve(t *testing.T) {
+	dir := t.TempDir()
+	runPipeline(t, insitu.Bitmaps, dir)
+	a, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := a.Evolve("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != len(a.Steps()) {
+		t.Fatalf("%d evolution points", len(ev))
+	}
+	if ev[0].CondEntropy != 0 || ev[0].EMD != 0 {
+		t.Fatalf("first point has previous-step metrics: %+v", ev[0])
+	}
+	for i, e := range ev {
+		if e.Entropy <= 0 {
+			t.Fatalf("point %d entropy %g", i, e.Entropy)
+		}
+		if i > 0 && e.EMD < 0 {
+			t.Fatalf("point %d negative EMD", i)
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestLoadRejectsCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	runPipeline(t, insitu.Bitmaps, dir)
+	// Corrupt the first artifact listed in the manifest.
+	m, err := insitu.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, m.Files[0].Path)
+	if err := os.WriteFile(victim, []byte("not a bitmap index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir)
+	if err == nil {
+		t.Fatal("corrupt artifact accepted")
+	}
+	if !strings.Contains(err.Error(), m.Files[0].Path) {
+		t.Fatalf("error %q does not name the corrupt file", err)
+	}
+}
+
+func TestLoadRejectsMissingArtifact(t *testing.T) {
+	dir := t.TempDir()
+	runPipeline(t, insitu.Bitmaps, dir)
+	m, err := insitu.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, m.Files[1].Path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+}

@@ -1,0 +1,472 @@
+// Package query implements the bitmap-only analyses the paper builds on
+// (§2.2, §4.1, citing the authors' companion work [2, 30, 38, 39]):
+// value/spatial subset selection, approximate aggregation with rigorous
+// bin-edge error bounds, interactive correlation queries over subsets, and
+// incomplete-data handling via validity masks. Everything here consumes
+// only indices — the raw data may already have been discarded by the
+// in-situ pipeline.
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"insitubits/internal/bitvec"
+	"insitubits/internal/index"
+	"insitubits/internal/metrics"
+)
+
+// Subset selects elements by value range and/or element (spatial) range.
+// Zero values mean "unbounded": an all-zero Subset selects everything.
+type Subset struct {
+	// ValueLo/ValueHi restrict to elements whose value lies in
+	// [ValueLo, ValueHi) at bin granularity; active when ValueHi > ValueLo.
+	ValueLo, ValueHi float64
+	// SpatialLo/SpatialHi restrict to element positions [SpatialLo,
+	// SpatialHi); active when SpatialHi > SpatialLo. With Z-order layouts
+	// this is an axis-aligned block of the domain.
+	SpatialLo, SpatialHi int
+}
+
+func (s Subset) hasValue() bool   { return s.ValueHi > s.ValueLo }
+func (s Subset) hasSpatial() bool { return s.SpatialHi > s.SpatialLo }
+
+func (s Subset) validate(n int) error {
+	if s.hasSpatial() && (s.SpatialLo < 0 || s.SpatialHi > n) {
+		return fmt.Errorf("query: spatial range [%d,%d) outside [0,%d)", s.SpatialLo, s.SpatialHi, n)
+	}
+	return nil
+}
+
+// spatialBounds returns the effective element range.
+func (s Subset) spatialBounds(n int) (lo, hi int) {
+	if s.hasSpatial() {
+		return s.SpatialLo, s.SpatialHi
+	}
+	return 0, n
+}
+
+// Bits materializes the subset as a bitvector over the index's elements.
+func Bits(x *index.Index, s Subset) (*bitvec.Vector, error) {
+	if err := s.validate(x.N()); err != nil {
+		return nil, err
+	}
+	var v *bitvec.Vector
+	if s.hasValue() {
+		v = x.Query(s.ValueLo, s.ValueHi)
+	} else {
+		v = onesVector(x.N())
+	}
+	if s.hasSpatial() {
+		v = v.And(rangeVector(x.N(), s.SpatialLo, s.SpatialHi))
+	}
+	return v, nil
+}
+
+func onesVector(n int) *bitvec.Vector {
+	var a bitvec.Appender
+	full := n / bitvec.SegmentBits
+	a.AppendFill(1, full)
+	if rem := n - full*bitvec.SegmentBits; rem > 0 {
+		a.AppendPartial(uint32(1)<<uint(rem)-1, rem)
+	}
+	return a.Vector()
+}
+
+// rangeVector builds the indicator of [lo, hi): solid segments become fill
+// runs (merged by the appender), only the two boundary segments are built
+// bitwise.
+func rangeVector(n, lo, hi int) *bitvec.Vector {
+	var a bitvec.Appender
+	for base := 0; base < n; base += bitvec.SegmentBits {
+		width := bitvec.SegmentBits
+		if base+width > n {
+			width = n - base
+		}
+		end := base + width
+		switch {
+		case end <= lo || base >= hi: // fully outside
+			if width == bitvec.SegmentBits {
+				a.AppendFill(0, 1)
+			} else {
+				a.AppendPartial(0, width)
+			}
+		case base >= lo && end <= hi: // fully inside
+			if width == bitvec.SegmentBits {
+				a.AppendFill(1, 1)
+			} else {
+				a.AppendPartial(uint32(1)<<uint(width)-1, width)
+			}
+		default: // boundary segment
+			var seg uint32
+			for j := 0; j < width; j++ {
+				if p := base + j; p >= lo && p < hi {
+					seg |= 1 << uint(j)
+				}
+			}
+			a.AppendPartial(seg, width)
+		}
+	}
+	return a.Vector()
+}
+
+// Aggregate is the result of an approximate aggregation: the estimate uses
+// bin midpoints, and [Lo, Hi] are *rigorous* bounds derived from bin edges
+// — the true (full-data) value is guaranteed to lie inside them, which is
+// the form of approximation the paper's companion aggregation work trades
+// for never touching the raw data.
+type Aggregate struct {
+	Count    int
+	Estimate float64
+	Lo, Hi   float64
+}
+
+// Count returns the exact number of subset elements (counting is exact on
+// bitmaps; only value reconstruction is approximate).
+func Count(x *index.Index, s Subset) (int, error) {
+	if err := s.validate(x.N()); err != nil {
+		return 0, err
+	}
+	lo, hi := s.spatialBounds(x.N())
+	total := 0
+	for b := 0; b < x.Bins(); b++ {
+		if !s.binSelected(x, b) {
+			continue
+		}
+		if !s.hasSpatial() {
+			total += x.Count(b)
+		} else {
+			total += x.Vector(b).CountRange(lo, hi)
+		}
+	}
+	return total, nil
+}
+
+// binSelected reports whether bin b overlaps the value range.
+func (s Subset) binSelected(x *index.Index, b int) bool {
+	if !s.hasValue() {
+		return true
+	}
+	return x.Mapper().High(b) > s.ValueLo && x.Mapper().Low(b) < s.ValueHi
+}
+
+// Sum estimates the subset's value sum.
+func Sum(x *index.Index, s Subset) (Aggregate, error) {
+	if err := s.validate(x.N()); err != nil {
+		return Aggregate{}, err
+	}
+	lo, hi := s.spatialBounds(x.N())
+	var agg Aggregate
+	for b := 0; b < x.Bins(); b++ {
+		if !s.binSelected(x, b) {
+			continue
+		}
+		c := 0
+		if !s.hasSpatial() {
+			c = x.Count(b)
+		} else {
+			c = x.Vector(b).CountRange(lo, hi)
+		}
+		if c == 0 {
+			continue
+		}
+		bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
+		agg.Count += c
+		agg.Estimate += float64(c) * (bl + bh) / 2
+		agg.Lo += float64(c) * bl
+		agg.Hi += float64(c) * bh
+	}
+	return agg, nil
+}
+
+// SumMasked aggregates the values of the elements selected by an arbitrary
+// bitvector mask — the building block for analyses whose selections are
+// produced by bitwise combinations (subgroup discovery, incomplete data).
+func SumMasked(x *index.Index, mask *bitvec.Vector) (Aggregate, error) {
+	if mask.Len() != x.N() {
+		return Aggregate{}, fmt.Errorf("query: mask covers %d bits for %d elements", mask.Len(), x.N())
+	}
+	var agg Aggregate
+	for b := 0; b < x.Bins(); b++ {
+		if x.Count(b) == 0 {
+			continue
+		}
+		c := x.Vector(b).AndCount(mask)
+		if c == 0 {
+			continue
+		}
+		bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
+		agg.Count += c
+		agg.Estimate += float64(c) * (bl + bh) / 2
+		agg.Lo += float64(c) * bl
+		agg.Hi += float64(c) * bh
+	}
+	return agg, nil
+}
+
+// MeanMasked is SumMasked divided by the selected count.
+func MeanMasked(x *index.Index, mask *bitvec.Vector) (Aggregate, error) {
+	sum, err := SumMasked(x, mask)
+	if err != nil || sum.Count == 0 {
+		return Aggregate{}, err
+	}
+	n := float64(sum.Count)
+	return Aggregate{Count: sum.Count, Estimate: sum.Estimate / n, Lo: sum.Lo / n, Hi: sum.Hi / n}, nil
+}
+
+// Mean estimates the subset's average value.
+func Mean(x *index.Index, s Subset) (Aggregate, error) {
+	sum, err := Sum(x, s)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	if sum.Count == 0 {
+		return Aggregate{}, nil
+	}
+	n := float64(sum.Count)
+	return Aggregate{
+		Count:    sum.Count,
+		Estimate: sum.Estimate / n,
+		Lo:       sum.Lo / n,
+		Hi:       sum.Hi / n,
+	}, nil
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the subset's values,
+// bounded by the edges of the bin the quantile falls into: the true
+// quantile of the discarded data is guaranteed inside [Lo, Hi].
+func Quantile(x *index.Index, s Subset, q float64) (Aggregate, error) {
+	if q < 0 || q > 1 {
+		return Aggregate{}, fmt.Errorf("query: quantile %g out of [0,1]", q)
+	}
+	if err := s.validate(x.N()); err != nil {
+		return Aggregate{}, err
+	}
+	lo, hi := s.spatialBounds(x.N())
+	counts := make([]int, x.Bins())
+	total := 0
+	for b := 0; b < x.Bins(); b++ {
+		if !s.binSelected(x, b) {
+			continue
+		}
+		if !s.hasSpatial() {
+			counts[b] = x.Count(b)
+		} else {
+			counts[b] = x.Vector(b).CountRange(lo, hi)
+		}
+		total += counts[b]
+	}
+	if total == 0 {
+		return Aggregate{}, nil
+	}
+	// Rank of the quantile element (1-based), clamped into [1, total].
+	rank := int(q*float64(total-1)) + 1
+	cum := 0
+	for b := 0; b < x.Bins(); b++ {
+		cum += counts[b]
+		if cum >= rank {
+			bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
+			return Aggregate{Count: total, Estimate: (bl + bh) / 2, Lo: bl, Hi: bh}, nil
+		}
+	}
+	return Aggregate{}, fmt.Errorf("query: internal: rank %d beyond %d elements", rank, total)
+}
+
+// MinMax returns bin-edge bounds on the subset's extreme values: the true
+// minimum lies in [Aggregate.Lo, Aggregate.Estimate] of min (and similarly
+// for max), where Estimate is the midpoint of the extreme occupied bin.
+func MinMax(x *index.Index, s Subset) (min, max Aggregate, err error) {
+	if err := s.validate(x.N()); err != nil {
+		return Aggregate{}, Aggregate{}, err
+	}
+	lo, hi := s.spatialBounds(x.N())
+	first, last := -1, -1
+	total := 0
+	for b := 0; b < x.Bins(); b++ {
+		if !s.binSelected(x, b) {
+			continue
+		}
+		c := 0
+		if !s.hasSpatial() {
+			c = x.Count(b)
+		} else {
+			c = x.Vector(b).CountRange(lo, hi)
+		}
+		if c == 0 {
+			continue
+		}
+		if first < 0 {
+			first = b
+		}
+		last = b
+		total += c
+	}
+	if first < 0 {
+		return Aggregate{}, Aggregate{}, nil
+	}
+	m := x.Mapper()
+	min = Aggregate{Count: total, Estimate: (m.Low(first) + m.High(first)) / 2, Lo: m.Low(first), Hi: m.High(first)}
+	max = Aggregate{Count: total, Estimate: (m.Low(last) + m.High(last)) / 2, Lo: m.Low(last), Hi: m.High(last)}
+	return min, max, nil
+}
+
+// Correlation answers the paper's §4.1 interactive correlation query: the
+// mutual information (and related metrics) between two variables restricted
+// to a subset — value ranges apply per variable, the spatial range applies
+// to both. It touches only bitmaps.
+func Correlation(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, error) {
+	if xa.N() != xb.N() {
+		return metrics.Pair{}, fmt.Errorf("query: indices over %d and %d elements", xa.N(), xb.N())
+	}
+	if err := sa.validate(xa.N()); err != nil {
+		return metrics.Pair{}, err
+	}
+	if err := sb.validate(xb.N()); err != nil {
+		return metrics.Pair{}, err
+	}
+	if sa.hasSpatial() != sb.hasSpatial() || (sa.hasSpatial() && (sa.SpatialLo != sb.SpatialLo || sa.SpatialHi != sb.SpatialHi)) {
+		return metrics.Pair{}, fmt.Errorf("query: correlation needs one common spatial range, got [%d,%d) vs [%d,%d)",
+			sa.SpatialLo, sa.SpatialHi, sb.SpatialLo, sb.SpatialHi)
+	}
+	maskA, err := Bits(xa, sa)
+	if err != nil {
+		return metrics.Pair{}, err
+	}
+	maskB, err := Bits(xb, sb)
+	if err != nil {
+		return metrics.Pair{}, err
+	}
+	mask := maskA.And(maskB) // elements satisfying both variables' predicates
+	n := mask.Count()
+	if n == 0 {
+		return metrics.Pair{}, nil
+	}
+	ha := make([]int, xa.Bins())
+	hb := make([]int, xb.Bins())
+	joint := make([][]int, xa.Bins())
+	for i := range joint {
+		joint[i] = make([]int, xb.Bins())
+	}
+	// Restricted marginals and joint distribution via AND with the mask.
+	restrictedA := make([]*bitvec.Vector, xa.Bins())
+	for i := 0; i < xa.Bins(); i++ {
+		if xa.Count(i) == 0 {
+			continue
+		}
+		restrictedA[i] = xa.Vector(i).And(mask)
+		ha[i] = restrictedA[i].Count()
+	}
+	for j := 0; j < xb.Bins(); j++ {
+		if xb.Count(j) == 0 {
+			continue
+		}
+		vj := xb.Vector(j).And(mask)
+		hb[j] = vj.Count()
+		if hb[j] == 0 {
+			continue
+		}
+		for i := 0; i < xa.Bins(); i++ {
+			if ha[i] == 0 {
+				continue
+			}
+			joint[i][j] = restrictedA[i].AndCount(vj)
+		}
+	}
+	ea := metrics.Entropy(ha, n)
+	eb := metrics.Entropy(hb, n)
+	mi := metrics.MutualInformation(joint, ha, hb, n)
+	return metrics.Pair{
+		EntropyA: ea, EntropyB: eb, MI: mi,
+		CondEntropyAB: ea - mi, CondEntropyBA: eb - mi,
+	}, nil
+}
+
+// Masked wraps an index together with a validity bitvector for
+// incomplete-data analysis (companion work [2]): positions whose bit is 0
+// are missing and excluded from every aggregate.
+type Masked struct {
+	X     *index.Index
+	Valid *bitvec.Vector
+}
+
+// NewMasked pairs an index with its validity mask.
+func NewMasked(x *index.Index, valid *bitvec.Vector) (*Masked, error) {
+	if valid.Len() != x.N() {
+		return nil, fmt.Errorf("query: mask covers %d bits for %d elements", valid.Len(), x.N())
+	}
+	return &Masked{X: x, Valid: valid}, nil
+}
+
+// Missing returns how many elements are invalid.
+func (m *Masked) Missing() int { return m.X.N() - m.Valid.Count() }
+
+// Sum aggregates over valid elements only.
+func (m *Masked) Sum(s Subset) (Aggregate, error) {
+	if err := s.validate(m.X.N()); err != nil {
+		return Aggregate{}, err
+	}
+	lo, hi := s.spatialBounds(m.X.N())
+	var agg Aggregate
+	for b := 0; b < m.X.Bins(); b++ {
+		if !s.binSelected(m.X, b) || m.X.Count(b) == 0 {
+			continue
+		}
+		vb := m.X.Vector(b).And(m.Valid)
+		c := vb.CountRange(lo, hi)
+		if c == 0 {
+			continue
+		}
+		bl, bh := m.X.Mapper().Low(b), m.X.Mapper().High(b)
+		agg.Count += c
+		agg.Estimate += float64(c) * (bl + bh) / 2
+		agg.Lo += float64(c) * bl
+		agg.Hi += float64(c) * bh
+	}
+	return agg, nil
+}
+
+// Impute estimates missing values from the valid value distribution inside
+// a window around each gap (a simplified form of the bitmap-based
+// imputation of [2]): the estimate for a missing position is the mean
+// estimate of the valid elements in the surrounding window.
+func (m *Masked) Impute(window int) ([]float64, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("query: imputation window %d must be positive", window)
+	}
+	n := m.X.N()
+	out := make([]float64, n)
+	// Valid elements reconstruct to their bin midpoint.
+	ids := m.X.BinIDs(nil)
+	mid := make([]float64, m.X.Bins())
+	for b := 0; b < m.X.Bins(); b++ {
+		mid[b] = (m.X.Mapper().Low(b) + m.X.Mapper().High(b)) / 2
+	}
+	valid := m.Valid
+	for i := 0; i < n; i++ {
+		if valid.Get(i) {
+			out[i] = mid[ids[i]]
+			continue
+		}
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > n {
+			hi = n
+		}
+		sum, cnt := 0.0, 0
+		for j := lo; j < hi; j++ {
+			if valid.Get(j) {
+				sum += mid[ids[j]]
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			out[i] = sum / float64(cnt)
+		} else {
+			out[i] = math.NaN() // no information in the window
+		}
+	}
+	return out, nil
+}

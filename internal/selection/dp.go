@@ -1,0 +1,91 @@
+package selection
+
+import "fmt"
+
+// SelectDP is the dynamic-programming alternative to the greedy algorithm
+// that the paper attributes to Tong et al. [31]: choose k steps — step 0 is
+// always kept, matching the greedy convention — maximizing the total
+// dissimilarity between consecutive selected steps. The greedy pass commits
+// to one winner per interval and can miss globally better chains; the DP
+// considers every ascending chain at O(n²) metric evaluations plus O(n²k)
+// table work, so it is an offline tool (the paper chooses greedy in situ
+// "because efficiency is the most important consideration").
+func SelectDP(steps []Summary, k int, m Metric) (*Result, error) {
+	n := len(steps)
+	if n == 0 {
+		return nil, fmt.Errorf("selection: no steps")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("selection: k=%d out of range [1,%d]", k, n)
+	}
+	if k == 1 {
+		return &Result{Selected: []int{0}}, nil
+	}
+	// Pairwise dissimilarities d[i][j] = D(step j | step i) for i < j.
+	d := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = make([]float64, n)
+		for j := i + 1; j < n; j++ {
+			d[i][j] = steps[j].Dissimilarity(steps[i], m)
+		}
+	}
+	const neg = -1e300
+	// best[c][j]: max total over chains of c selections ending at j, with
+	// the chain starting at step 0.
+	best := make([][]float64, k+1)
+	prev := make([][]int, k+1)
+	for c := range best {
+		best[c] = make([]float64, n)
+		prev[c] = make([]int, n)
+		for j := range best[c] {
+			best[c][j] = neg
+			prev[c][j] = -1
+		}
+	}
+	best[1][0] = 0
+	for c := 2; c <= k; c++ {
+		for j := c - 1; j < n; j++ {
+			for i := c - 2; i < j; i++ {
+				if best[c-1][i] == neg {
+					continue
+				}
+				if s := best[c-1][i] + d[i][j]; s > best[c][j] {
+					best[c][j] = s
+					prev[c][j] = i
+				}
+			}
+		}
+	}
+	// Best chain of exactly k selections, any end step.
+	end, bestScore := -1, neg
+	for j := 0; j < n; j++ {
+		if best[k][j] > bestScore {
+			end, bestScore = j, best[k][j]
+		}
+	}
+	if end < 0 {
+		return nil, fmt.Errorf("selection: no feasible chain of %d steps over %d", k, n)
+	}
+	res := &Result{Selected: make([]int, k)}
+	j := end
+	for c := k; c >= 1; c-- {
+		res.Selected[c-1] = j
+		j = prev[c][j]
+	}
+	// Scores of the consecutive links, matching Result's convention.
+	res.Scores = make([]float64, k-1)
+	for c := 1; c < k; c++ {
+		res.Scores[c-1] = d[res.Selected[c-1]][res.Selected[c]]
+	}
+	return res, nil
+}
+
+// ChainScore sums the consecutive-pair dissimilarities of a selection —
+// the objective SelectDP maximizes; useful for comparing strategies.
+func ChainScore(steps []Summary, selected []int, m Metric) float64 {
+	total := 0.0
+	for i := 1; i < len(selected); i++ {
+		total += steps[selected[i]].Dissimilarity(steps[selected[i-1]], m)
+	}
+	return total
+}

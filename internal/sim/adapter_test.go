@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewFeedValidation(t *testing.T) {
+	if _, _, err := NewFeed("x", nil, 10, nil, 0); err == nil {
+		t.Error("no variables accepted")
+	}
+	if _, _, err := NewFeed("x", []string{"a"}, 10, nil, 0); err == nil {
+		t.Error("missing ranges accepted")
+	}
+	if _, _, err := NewFeed("x", []string{"a"}, 0, [][2]float64{{0, 1}}, 0); err == nil {
+		t.Error("zero elements accepted")
+	}
+}
+
+func TestFeedDeliversInOrder(t *testing.T) {
+	f, ch, err := NewFeed("ext", []string{"v"}, 4, [][2]float64{{0, 100}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for step := 0; step < 5; step++ {
+			data := make([]float64, 4)
+			for i := range data {
+				data[i] = float64(step)
+			}
+			ch <- []Field{{Name: "v", Data: data}}
+		}
+	}()
+	for step := 0; step < 5; step++ {
+		fields := f.Step(1)
+		if fields[0].Data[0] != float64(step) {
+			t.Fatalf("step %d delivered value %g", step, fields[0].Data[0])
+		}
+	}
+	if f.StepsSeen() != 5 {
+		t.Fatalf("StepsSeen=%d", f.StepsSeen())
+	}
+	if f.Name() != "ext" || f.Elements() != 4 || len(f.Vars()) != 1 || len(f.Ranges()) != 1 {
+		t.Fatal("metadata accessors wrong")
+	}
+}
+
+func TestFeedPanicsOnContractViolations(t *testing.T) {
+	expectPanic := func(name string, fields []Field, closeCh bool) {
+		t.Helper()
+		f, ch, err := NewFeed("ext", []string{"a", "b"}, 3, [][2]float64{{0, 1}, {0, 1}}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closeCh {
+			close(ch)
+		} else {
+			ch <- fields
+		}
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f.Step(1)
+	}
+	expectPanic("wrong field count", []Field{{Name: "a", Data: make([]float64, 3)}}, false)
+	expectPanic("wrong length", []Field{
+		{Name: "a", Data: make([]float64, 3)},
+		{Name: "b", Data: make([]float64, 2)},
+	}, false)
+	expectPanic("closed channel", nil, true)
+}
+
+// TestFeedDrivesRealAnalysis plugs an external producer into the metric
+// machinery end to end: a sine field whose phase advances per step.
+func TestFeedDrivesRealAnalysis(t *testing.T) {
+	const n = 310
+	f, ch, err := NewFeed("wave", []string{"w"}, n, [][2]float64{{-1, 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for step := 0; step < 3; step++ {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = math.Sin(float64(i)/20 + float64(step))
+			}
+			ch <- []Field{{Name: "w", Data: data}}
+		}
+		close(ch)
+	}()
+	prev := f.Step(1)[0].Data
+	for step := 1; step < 3; step++ {
+		cur := f.Step(1)[0].Data
+		same := true
+		for i := range cur {
+			if cur[i] != prev[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("step %d identical to previous", step)
+		}
+		prev = cur
+	}
+}

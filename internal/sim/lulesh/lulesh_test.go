@@ -1,0 +1,143 @@
+package lulesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 5, 5); err == nil {
+		t.Error("too-small mesh accepted")
+	}
+	if _, err := New(5, 5, 5); err != nil {
+		t.Errorf("valid mesh rejected: %v", err)
+	}
+}
+
+func TestTwelveArrays(t *testing.T) {
+	s, err := New(6, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := s.Step(2)
+	if len(fields) != 12 {
+		t.Fatalf("%d arrays, want the paper's 12", len(fields))
+	}
+	vars := s.Vars()
+	if len(vars) != 12 {
+		t.Fatalf("Vars lists %d names", len(vars))
+	}
+	for i, f := range fields {
+		if f.Name != vars[i] {
+			t.Fatalf("field %d named %q, Vars says %q", i, f.Name, vars[i])
+		}
+		if len(f.Data) != s.Elements() {
+			t.Fatalf("field %q has %d elements, want %d", f.Name, len(f.Data), s.Elements())
+		}
+	}
+	if len(s.Ranges()) != 12 {
+		t.Fatalf("Ranges lists %d bounds", len(s.Ranges()))
+	}
+}
+
+func TestValuesWithinDeclaredRanges(t *testing.T) {
+	s, _ := New(10, 10, 10)
+	ranges := s.Ranges()
+	for step := 0; step < 40; step++ {
+		fields := s.Step(4)
+		for k, f := range fields {
+			lo, hi := ranges[k][0], ranges[k][1]
+			for i, v := range f.Data {
+				if v < lo || v > hi || math.IsNaN(v) {
+					t.Fatalf("step %d %s[%d] = %g outside [%g,%g]", step, f.Name, i, v, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	s1, _ := New(8, 8, 8)
+	s8, _ := New(8, 8, 8)
+	for step := 0; step < 8; step++ {
+		f1 := s1.Step(1)
+		f8 := s8.Step(8)
+		for k := range f1 {
+			for i := range f1[k].Data {
+				if f1[k].Data[i] != f8[k].Data[i] {
+					t.Fatalf("step %d %s[%d]: worker-count dependent", step, f1[k].Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBlastWavePropagatesOutward(t *testing.T) {
+	s, _ := New(12, 12, 12)
+	node := func(x, y, z int) int { return (z*12+y)*12 + x }
+	for i := 0; i < 60; i++ {
+		s.Advance(4)
+	}
+	// A node three cells from the central deposit must have been pushed
+	// outward along +x by the arriving pressure wave.
+	outer := node(9, 6, 6)
+	if s.posX[outer] <= 9.0001 {
+		t.Fatalf("outer node did not move outward: posX=%g", s.posX[outer])
+	}
+	// The far corner should have moved much less than the shocked region.
+	cornerDisp := math.Abs(s.posX[node(1, 1, 1)] - 1)
+	shockDisp := math.Abs(s.posX[outer] - 9)
+	if cornerDisp > shockDisp {
+		t.Fatalf("corner moved more (%g) than shock front (%g)", cornerDisp, shockDisp)
+	}
+}
+
+func TestEnergySpreadsOutward(t *testing.T) {
+	// The transport term must carry energy from the deposit to neighboring
+	// elements — the mechanism that makes the shock front move.
+	s, _ := New(9, 9, 9) // 8x8x8 elements, deposit at element (3,3,3)... wait, (nx-1)/2 = 4
+	center := s.elem(4, 4, 4)
+	away := s.elem(6, 4, 4)
+	if s.energy[away] > 1e-3 {
+		t.Fatalf("element away from deposit already hot: %g", s.energy[away])
+	}
+	for i := 0; i < 40; i++ {
+		s.Advance(2)
+	}
+	if s.energy[away] < 0.01 {
+		t.Fatalf("energy did not spread: away=%g center=%g", s.energy[away], s.energy[center])
+	}
+	if s.energy[center] >= 30 {
+		t.Fatalf("deposit did not relax: %g", s.energy[center])
+	}
+}
+
+func TestEnergyStaysPositiveAndBounded(t *testing.T) {
+	s, _ := New(8, 8, 8)
+	for i := 0; i < 80; i++ {
+		s.Advance(2)
+		for j, e := range s.energy {
+			if e <= 0 || e > energyCap+1e-9 || math.IsNaN(e) {
+				t.Fatalf("step %d: energy[%d] = %g outside (0, %g]", i, j, e, energyCap)
+			}
+		}
+	}
+}
+
+func TestStepCount(t *testing.T) {
+	s, _ := New(5, 5, 5)
+	s.Step(1)
+	s.Advance(1)
+	if s.StepCount() != 2 {
+		t.Fatalf("StepCount=%d want 2", s.StepCount())
+	}
+}
+
+func BenchmarkAdvance(b *testing.B) {
+	s, _ := New(24, 24, 24)
+	b.SetBytes(int64(8 * 12 * s.Elements()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Advance(4)
+	}
+}

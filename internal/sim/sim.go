@@ -1,0 +1,69 @@
+// Package sim defines the simulator abstraction the in-situ pipeline drives
+// and small shared helpers. Concrete simulators live in the heat3d, lulesh
+// and ocean subpackages, standing in for the paper's Heat3D, LULESH and POP
+// workloads (see DESIGN.md for the substitution rationale).
+package sim
+
+import "sync"
+
+// Field is one named output array of a time-step.
+type Field struct {
+	Name string
+	Data []float64
+}
+
+// Simulator produces time-steps on demand. Implementations must be
+// deterministic for a given construction so experiments are reproducible.
+type Simulator interface {
+	// Name identifies the workload ("heat3d", "lulesh", ...).
+	Name() string
+	// Vars lists the per-step output arrays in order.
+	Vars() []string
+	// Elements is the length of each output array.
+	Elements() int
+	// Step advances one time-step using up to nWorkers goroutines and
+	// returns the output fields. The returned slices are owned by the
+	// caller (the in-situ pipeline discards or summarizes them).
+	Step(nWorkers int) []Field
+	// Ranges returns conservative [min, max] value bounds per variable.
+	// The pipeline derives one binning per variable from these so every
+	// time-step is binned identically — the precondition for the paper's
+	// cross-step metric computations ("the binning range of different
+	// time-steps should be the same", §3.1).
+	Ranges() [][2]float64
+}
+
+// ParallelFor splits [0, n) into one contiguous span per worker and runs fn
+// on each span concurrently; it is the slab decomposition used by all
+// simulators and the bitmap generators.
+func ParallelFor(n, workers int, fn func(lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := n / workers
+	extra := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < extra {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		for _, w := range []int{1, 2, 3, 8, 200} {
+			var mu sync.Mutex
+			hits := make([]int, n)
+			ParallelFor(n, w, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForNonPositiveWorkers(t *testing.T) {
+	sum := 0
+	ParallelFor(10, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if sum != 45 {
+		t.Fatalf("sum=%d", sum)
+	}
+	ParallelFor(10, -3, func(lo, hi int) {})
+}
+
+func TestParallelForActuallyParallel(t *testing.T) {
+	// With 4 workers over 4 items, each span is a single element; verify
+	// the spans are disjoint singletons (structure, not timing).
+	var mu sync.Mutex
+	var spans [][2]int
+	ParallelFor(4, 4, func(lo, hi int) {
+		mu.Lock()
+		spans = append(spans, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	if len(spans) != 4 {
+		t.Fatalf("%d spans, want 4", len(spans))
+	}
+	for _, s := range spans {
+		if s[1]-s[0] != 1 {
+			t.Fatalf("span %v not singleton", s)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestDatasetRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := NewDataset(8, 4, 2)
+	for _, name := range []string{"temperature", "salinity", "uvel"} {
+		data := make([]float64, 64)
+		for i := range data {
+			data[i] = r.NormFloat64()
+		}
+		if err := d.Add(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	written, err := WriteDataset(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", written, buf.Len())
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NX != 8 || got.NY != 4 || got.NZ != 2 {
+		t.Fatalf("dims %d %d %d", got.NX, got.NY, got.NZ)
+	}
+	if len(got.Names) != 3 {
+		t.Fatalf("names %v", got.Names)
+	}
+	for i, name := range d.Names {
+		if got.Names[i] != name {
+			t.Fatalf("name order changed: %v", got.Names)
+		}
+		a, _ := d.Var(name)
+		b, err := got.Var(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("%s[%d] differs", name, j)
+			}
+		}
+	}
+	if _, err := got.Var("nope"); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestDatasetAddValidation(t *testing.T) {
+	d := NewDataset(2, 2, 1)
+	if err := d.Add("", []float64{1}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := d.Add("a", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("a", []float64{3, 4}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := d.Add("b", []float64{1}); err == nil {
+		t.Error("mismatched length accepted")
+	}
+}
+
+func TestDatasetRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(bytes.NewReader([]byte("ISBMxxxx"))); err == nil {
+		t.Error("index magic accepted as dataset")
+	}
+	if _, err := ReadDataset(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated payload.
+	d := NewDataset(1, 1, 1)
+	if err := d.Add("x", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(bytes.NewReader(buf.Bytes()[:buf.Len()-4])); err == nil {
+		t.Error("truncated dataset accepted")
+	}
+}
+
+func TestDatasetEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteDataset(&buf, NewDataset(0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Names) != 0 {
+		t.Fatalf("names %v", got.Names)
+	}
+}

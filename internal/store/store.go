@@ -1,0 +1,194 @@
+// Package store defines the on-disk formats: a compact binary container for
+// compressed bitmap indices (what the in-situ pipeline writes instead of raw
+// data) and a raw float64 array format for the full-data baseline. Both are
+// little-endian, versioned, and validated on read.
+//
+// Index file layout (all integers little-endian):
+//
+//	magic   "ISBM" (4 bytes)
+//	version u32 (currently 1)
+//	n       u64  elements indexed
+//	bins    u32
+//	edges   (bins+1) × f64   bin boundaries (reconstructs the binning)
+//	per bin:
+//	    words u32
+//	    words × u32          WAH-encoded words
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/bitvec"
+	"insitubits/internal/index"
+)
+
+const (
+	indexMagic = "ISBM"
+	rawMagic   = "ISRW"
+	version    = 1
+	// maxBins bounds allocation from untrusted headers.
+	maxBins = 1 << 20
+	// maxWords bounds a single bitvector's word count on read.
+	maxWords = 1 << 28
+)
+
+// WriteIndex serializes an index. It returns the number of payload bytes
+// written so callers can account I/O.
+func WriteIndex(w io.Writer, x *index.Index) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return n, err
+	}
+	n += 4
+	if err := put(uint32(version)); err != nil {
+		return n, err
+	}
+	if err := put(uint64(x.N())); err != nil {
+		return n, err
+	}
+	if err := put(uint32(x.Bins())); err != nil {
+		return n, err
+	}
+	if err := put(binning.Edges(x.Mapper())); err != nil {
+		return n, err
+	}
+	for b := 0; b < x.Bins(); b++ {
+		words := x.Vector(b).RawWords()
+		if err := put(uint32(len(words))); err != nil {
+			return n, err
+		}
+		if err := put(words); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// IndexSize returns the exact byte size WriteIndex will produce, letting
+// the pipeline account modelled I/O without serializing.
+func IndexSize(x *index.Index) int64 {
+	n := int64(4 + 4 + 8 + 4) // magic, version, n, bins
+	n += int64(8 * (x.Bins() + 1))
+	for b := 0; b < x.Bins(); b++ {
+		n += 4 + int64(x.Vector(b).SizeBytes())
+	}
+	return n
+}
+
+// ReadIndex parses an index written by WriteIndex.
+func ReadIndex(r io.Reader) (*index.Index, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(magic[:]) != indexMagic {
+		return nil, fmt.Errorf("store: bad magic %q, not a bitmap index file", magic)
+	}
+	var ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("store: unsupported index version %d", ver)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	var bins uint32
+	if err := binary.Read(br, binary.LittleEndian, &bins); err != nil {
+		return nil, err
+	}
+	if bins == 0 || bins > maxBins {
+		return nil, fmt.Errorf("store: implausible bin count %d", bins)
+	}
+	edges := make([]float64, bins+1)
+	if err := binary.Read(br, binary.LittleEndian, edges); err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if math.IsNaN(e) {
+			return nil, fmt.Errorf("store: NaN bin edge")
+		}
+	}
+	mapper, err := binning.NewExplicit(edges)
+	if err != nil {
+		return nil, fmt.Errorf("store: invalid edges: %w", err)
+	}
+	vecs := make([]*bitvec.Vector, bins)
+	for b := range vecs {
+		var words uint32
+		if err := binary.Read(br, binary.LittleEndian, &words); err != nil {
+			return nil, fmt.Errorf("store: bin %d header: %w", b, err)
+		}
+		if words > maxWords {
+			return nil, fmt.Errorf("store: bin %d declares %d words", b, words)
+		}
+		raw := make([]uint32, words)
+		if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+			return nil, fmt.Errorf("store: bin %d payload: %w", b, err)
+		}
+		v, err := bitvec.FromRawWords(raw, int(n))
+		if err != nil {
+			return nil, fmt.Errorf("store: bin %d: %w", b, err)
+		}
+		vecs[b] = v
+	}
+	return index.FromParts(mapper, vecs, int(n))
+}
+
+// WriteRaw serializes a raw float64 array (the full-data baseline's output).
+func WriteRaw(w io.Writer, data []float64) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(rawMagic); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(data))); err != nil {
+		return 4, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+		return 12, err
+	}
+	return RawSize(len(data)), bw.Flush()
+}
+
+// RawSize returns the byte size WriteRaw produces for n elements.
+func RawSize(n int) int64 { return 4 + 8 + int64(8*n) }
+
+// ReadRaw parses an array written by WriteRaw.
+func ReadRaw(r io.Reader) ([]float64, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(magic[:]) != rawMagic {
+		return nil, fmt.Errorf("store: bad magic %q, not a raw array file", magic)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<34 {
+		return nil, fmt.Errorf("store: implausible element count %d", n)
+	}
+	data := make([]float64, n)
+	if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

@@ -1,0 +1,244 @@
+// Package subgroup implements bitmap-based subgroup discovery in the spirit
+// of the authors' SciSD companion work [39], which the paper lists among
+// the analyses bitmaps support without the original data (§2.2): find
+// conjunctions of value-range conditions over explanatory variables under
+// which a target variable's mean deviates most from its global mean.
+//
+// Everything runs on indices: a condition's extent is the OR of its bin
+// vectors, a conjunction is the AND of its conditions' extents, and the
+// target mean over an extent comes from masked approximate aggregation —
+// counts exact, means within one bin width.
+package subgroup
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"insitubits/internal/bitvec"
+	"insitubits/internal/index"
+	"insitubits/internal/query"
+)
+
+// Condition restricts one variable to the bin range [BinLo, BinHi).
+type Condition struct {
+	Var          int
+	BinLo, BinHi int
+}
+
+// Subgroup is one discovered conjunction with its statistics.
+type Subgroup struct {
+	Conditions []Condition
+	// Count is the exact number of covered elements.
+	Count int
+	// Mean is the estimated target mean over the subgroup; MeanLo/MeanHi
+	// bound the true mean.
+	Mean, MeanLo, MeanHi float64
+	// Quality = coverage^Alpha × |Mean − global mean| (classic mean-based
+	// interestingness).
+	Quality float64
+
+	extent *bitvec.Vector
+}
+
+// Config tunes the beam search.
+type Config struct {
+	// BeamWidth is how many subgroups survive each refinement level
+	// (default 8).
+	BeamWidth int
+	// MaxConditions bounds the conjunction depth (default 2).
+	MaxConditions int
+	// TopK is how many subgroups to return (default 5).
+	TopK int
+	// Alpha is the coverage exponent of the quality measure (default 0.5).
+	Alpha float64
+	// MinCount prunes subgroups covering fewer elements (default 1% of n).
+	MinCount int
+	// WindowSizes are the bin-range widths used to generate candidate
+	// conditions (default {1, 2, 4, 8}).
+	WindowSizes []int
+}
+
+func (c *Config) fill(n int) {
+	if c.BeamWidth <= 0 {
+		c.BeamWidth = 8
+	}
+	if c.MaxConditions <= 0 {
+		c.MaxConditions = 2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 5
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.5
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = n/100 + 1
+	}
+	if len(c.WindowSizes) == 0 {
+		c.WindowSizes = []int{1, 2, 4, 8}
+	}
+}
+
+// Discover runs beam search over conjunctions of bin-range conditions.
+// vars are the explanatory variables' indices, target the variable whose
+// mean deviation defines interestingness; all must cover the same elements.
+func Discover(vars []*index.Index, target *index.Index, cfg Config) ([]Subgroup, error) {
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("subgroup: no explanatory variables")
+	}
+	n := target.N()
+	for i, v := range vars {
+		if v.N() != n {
+			return nil, fmt.Errorf("subgroup: variable %d covers %d elements, target %d", i, v.N(), n)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("subgroup: empty dataset")
+	}
+	cfg.fill(n)
+
+	globalMean := estimateMean(target)
+
+	// Level 1: all single conditions.
+	var beam []Subgroup
+	for vi, x := range vars {
+		for _, w := range cfg.WindowSizes {
+			if w > x.Bins() {
+				continue
+			}
+			for lo := 0; lo+w <= x.Bins(); lo++ {
+				cond := Condition{Var: vi, BinLo: lo, BinHi: lo + w}
+				extent := conditionExtent(x, cond)
+				sg, ok := evaluate([]Condition{cond}, extent, target, globalMean, cfg)
+				if ok {
+					beam = append(beam, sg)
+				}
+			}
+		}
+	}
+	best := append([]Subgroup(nil), beam...)
+	beam = topQuality(beam, cfg.BeamWidth)
+
+	// Refinement levels: extend each beam member with a condition on a
+	// variable it does not constrain yet.
+	for depth := 2; depth <= cfg.MaxConditions; depth++ {
+		var next []Subgroup
+		for _, sg := range beam {
+			used := map[int]bool{}
+			for _, c := range sg.Conditions {
+				used[c.Var] = true
+			}
+			for vi, x := range vars {
+				if used[vi] {
+					continue
+				}
+				for _, w := range cfg.WindowSizes {
+					if w > x.Bins() {
+						continue
+					}
+					for lo := 0; lo+w <= x.Bins(); lo++ {
+						cond := Condition{Var: vi, BinLo: lo, BinHi: lo + w}
+						extent := sg.extent.And(conditionExtent(x, cond))
+						conds := append(append([]Condition(nil), sg.Conditions...), cond)
+						child, ok := evaluate(conds, extent, target, globalMean, cfg)
+						if ok {
+							next = append(next, child)
+						}
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		best = append(best, next...)
+		beam = topQuality(next, cfg.BeamWidth)
+	}
+
+	best = topQuality(best, cfg.TopK)
+	for i := range best {
+		best[i].extent = nil // do not leak working state
+	}
+	return best, nil
+}
+
+// conditionExtent ORs the condition's bin vectors.
+func conditionExtent(x *index.Index, c Condition) *bitvec.Vector {
+	acc := x.Vector(c.BinLo).Clone()
+	for b := c.BinLo + 1; b < c.BinHi; b++ {
+		acc = acc.Or(x.Vector(b))
+	}
+	return acc
+}
+
+// evaluate scores one candidate; ok is false when pruned by MinCount.
+// Conditions are stored in canonical (Var, BinLo) order so the same
+// conjunction reached via different refinement orders deduplicates.
+func evaluate(conds []Condition, extent *bitvec.Vector, target *index.Index, globalMean float64, cfg Config) (Subgroup, bool) {
+	sort.Slice(conds, func(i, j int) bool {
+		if conds[i].Var != conds[j].Var {
+			return conds[i].Var < conds[j].Var
+		}
+		return conds[i].BinLo < conds[j].BinLo
+	})
+	agg, err := query.MeanMasked(target, extent)
+	if err != nil || agg.Count < cfg.MinCount {
+		return Subgroup{}, false
+	}
+	coverage := float64(agg.Count) / float64(target.N())
+	quality := math.Pow(coverage, cfg.Alpha) * math.Abs(agg.Estimate-globalMean)
+	return Subgroup{
+		Conditions: conds,
+		Count:      agg.Count,
+		Mean:       agg.Estimate,
+		MeanLo:     agg.Lo,
+		MeanHi:     agg.Hi,
+		Quality:    quality,
+		extent:     extent,
+	}, true
+}
+
+func estimateMean(x *index.Index) float64 {
+	sum := 0.0
+	for b := 0; b < x.Bins(); b++ {
+		sum += float64(x.Count(b)) * (x.Mapper().Low(b) + x.Mapper().High(b)) / 2
+	}
+	return sum / float64(x.N())
+}
+
+// topQuality keeps the k best subgroups, deduplicated by condition set.
+func topQuality(sgs []Subgroup, k int) []Subgroup {
+	sort.Slice(sgs, func(i, j int) bool { return sgs[i].Quality > sgs[j].Quality })
+	seen := map[string]bool{}
+	out := make([]Subgroup, 0, k)
+	for _, sg := range sgs {
+		key := fmt.Sprint(sg.Conditions)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, sg)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Describe renders a subgroup's conditions using the variables' bin edges.
+func Describe(sg Subgroup, vars []*index.Index, names []string) string {
+	s := ""
+	for i, c := range sg.Conditions {
+		if i > 0 {
+			s += " AND "
+		}
+		name := fmt.Sprintf("var%d", c.Var)
+		if c.Var < len(names) {
+			name = names[c.Var]
+		}
+		m := vars[c.Var].Mapper()
+		s += fmt.Sprintf("%s in [%.3g, %.3g)", name, m.Low(c.BinLo), m.High(c.BinHi-1))
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncode2RoundTrip(t *testing.T) {
+	f := func(x, y uint16) bool {
+		gx, gy := Decode2(Encode2(uint32(x), uint32(y)))
+		return gx == uint32(x) && gy == uint32(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncode3RoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= 0x1FFFFF
+		y &= 0x1FFFFF
+		z &= 0x1FFFFF
+		gx, gy, gz := Decode3(Encode3(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncode2KnownValues(t *testing.T) {
+	// The canonical Z pattern on a 2x2 grid: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3.
+	cases := []struct {
+		x, y uint32
+		want uint64
+	}{{0, 0, 0}, {1, 0, 1}, {0, 1, 2}, {1, 1, 3}, {2, 0, 4}, {3, 3, 15}}
+	for _, c := range cases {
+		if got := Encode2(c.x, c.y); got != c.want {
+			t.Errorf("Encode2(%d,%d)=%d want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestEncode3KnownValues(t *testing.T) {
+	cases := []struct {
+		x, y, z uint32
+		want    uint64
+	}{{0, 0, 0, 0}, {1, 0, 0, 1}, {0, 1, 0, 2}, {0, 0, 1, 4}, {1, 1, 1, 7}}
+	for _, c := range cases {
+		if got := Encode3(c.x, c.y, c.z); got != c.want {
+			t.Errorf("Encode3(%d,%d,%d)=%d want %d", c.x, c.y, c.z, got, c.want)
+		}
+	}
+}
+
+func TestLayout3Bijection(t *testing.T) {
+	for _, dims := range [][3]int{{4, 4, 4}, {3, 5, 7}, {1, 1, 1}, {8, 1, 2}, {16, 16, 1}} {
+		l, err := NewLayout3(dims[0], dims[1], dims[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := l.Len()
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			p := l.CurvePos(i)
+			if p < 0 || p >= n {
+				t.Fatalf("dims %v: CurvePos(%d)=%d out of range", dims, i, p)
+			}
+			if seen[p] {
+				t.Fatalf("dims %v: curve position %d assigned twice", dims, p)
+			}
+			seen[p] = true
+			if l.RowMajor(p) != i {
+				t.Fatalf("dims %v: RowMajor(CurvePos(%d)) = %d", dims, i, l.RowMajor(p))
+			}
+		}
+	}
+}
+
+func TestLayout3PowerOfTwoMatchesMorton(t *testing.T) {
+	// On power-of-two grids, ranking by Morton code IS the Morton order.
+	l, err := NewLayout3(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				row := z*16 + y*4 + x
+				if got, want := l.CurvePos(row), int(Encode3(uint32(x), uint32(y), uint32(z))); got != want {
+					t.Fatalf("(%d,%d,%d): CurvePos=%d want Morton %d", x, y, z, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	l, err := NewLayout3(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	src := make([]float64, l.Len())
+	for i := range src {
+		src[i] = r.Float64()
+	}
+	curve := make([]float64, l.Len())
+	back := make([]float64, l.Len())
+	l.Permute(curve, src)
+	l.Unpermute(back, curve)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPermuteLengthMismatchPanics(t *testing.T) {
+	l, _ := NewLayout3(2, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Permute(make([]float64, 7), make([]float64, 8))
+}
+
+func TestNewLayout3Validation(t *testing.T) {
+	if _, err := NewLayout3(0, 2, 2); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, err := NewLayout3(-1, 2, 2); err == nil {
+		t.Error("negative dimension accepted")
+	}
+}
+
+func TestZOrderLocality(t *testing.T) {
+	// The defining property the mining optimization relies on: every aligned
+	// 2x2x2 block of a power-of-two grid occupies 8 consecutive curve
+	// positions.
+	l, err := NewLayout3(8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bz := 0; bz < 8; bz += 2 {
+		for by := 0; by < 8; by += 2 {
+			for bx := 0; bx < 8; bx += 2 {
+				min, max := 1<<30, -1
+				for dz := 0; dz < 2; dz++ {
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							row := (bz+dz)*64 + (by+dy)*8 + (bx + dx)
+							p := l.CurvePos(row)
+							if p < min {
+								min = p
+							}
+							if p > max {
+								max = p
+							}
+						}
+					}
+				}
+				if max-min != 7 {
+					t.Fatalf("block (%d,%d,%d) spans curve [%d,%d], not contiguous", bx, by, bz, min, max)
+				}
+			}
+		}
+	}
+}
