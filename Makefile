@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race bench overhead ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Telemetry micro-benchmarks plus the instrumented-vs-disabled append pair.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkNoop|BenchmarkAppendTelemetry' -benchmem ./internal/telemetry/ ./internal/bitvec/
+
+# Timing guard for the < 2% telemetry overhead budget (docs/OBSERVABILITY.md).
+# Gated behind the env var because wall-clock assertions flap on loaded CI
+# hosts; run it on a quiet machine.
+overhead:
+	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run TestInstrumentationOverhead -v ./internal/bitvec/
+
+ci: vet build race overhead

@@ -11,6 +11,12 @@
 //
 // Raw input files use the .israw format (WriteRawFile); `bitmapctl genraw`
 // produces a demo file from the Heat3D workload.
+//
+// The global -debug-addr flag (before the subcommand) starts the telemetry
+// debug server for the duration of the command, exposing live counters,
+// histograms and pprof (see docs/OBSERVABILITY.md):
+//
+//	bitmapctl -debug-addr :6060 mine -units 64 a.isbm b.isbm
 package main
 
 import (
@@ -22,11 +28,24 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("bitmapctl", flag.ExitOnError)
+	global.Usage = func() { usage() }
+	debugAddr := global.String("debug-addr", "", "serve live telemetry, expvar and pprof on this address (e.g. :6060)")
+	global.Parse(os.Args[1:]) // stops at the subcommand (first non-flag)
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := global.Arg(0), global.Args()[1:]
+	if *debugAddr != "" {
+		dbg, err := insitubits.Telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bitmapctl: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s\n", dbg.Addr)
+	}
 	var err error
 	switch cmd {
 	case "build":
@@ -70,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl <build|info|query|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|query|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {

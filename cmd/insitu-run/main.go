@@ -7,12 +7,20 @@
 //	insitu-run -sim heat3d -method sampling -sample 10
 //	insitu-run -sim heat3d -strategy separate -simcores 2 -redcores 2
 //	insitu-run -sim heat3d -strategy auto      # Eq. 1/2 calibration
+//
+// Observability (see docs/OBSERVABILITY.md): -debug-addr starts a debug
+// HTTP server with live expvar counters, the pipeline span tree and pprof;
+// -telemetry dumps the full telemetry snapshot as JSON after the run; -hold
+// keeps the process (and debug server) alive after the report.
+//
+//	insitu-run -sim heat3d -debug-addr :6060 -steps 200 -select 50 -hold
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 
 	"insitubits"
@@ -33,7 +41,19 @@ func main() {
 	disk := flag.Float64("disk", insitubits.Xeon.DiskMBps, "modelled disk bandwidth MB/s")
 	dim := flag.Int("dim", 32, "grid/mesh edge length")
 	outDir := flag.String("out", "", "persist selected summaries (+manifest.json) to this directory")
+	debugAddr := flag.String("debug-addr", "", "serve live telemetry, expvar and pprof on this address (e.g. :6060)")
+	telemetryDump := flag.Bool("telemetry", false, "print the telemetry snapshot as JSON after the run")
+	hold := flag.Bool("hold", false, "keep the process (and debug server) alive after the report")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := insitubits.Telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server:   http://%s  (/telemetry /debug/vars /debug/pprof/)\n", dbg.Addr)
+	}
 
 	mkSim := func() (insitubits.Simulator, error) {
 		switch *simName {
@@ -127,4 +147,21 @@ func main() {
 	fmt.Printf("summary size:   %.2f MB/step (%.1fx smaller than raw)\n",
 		float64(res.SummaryBytes)/1e6, float64(res.StepBytes)/float64(res.SummaryBytes))
 	fmt.Printf("modelled peak:  %.2f MB\n", float64(res.PeakMemory)/1e6)
+	if _, ok := cfg.Strategy.(insitubits.SeparateCores); ok {
+		fmt.Printf("queue peak:     %d steps (memory backpressure watermark)\n", res.QueuePeak)
+	}
+	if *outDir != "" {
+		fmt.Printf("write time:     %.3fs (measured file output)\n", res.WriteTime.Seconds())
+	}
+	if *telemetryDump {
+		data, err := insitubits.Telemetry.MarshalJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	}
+	if *hold {
+		fmt.Println("holding (-hold): press ctrl-C to exit")
+		select {}
+	}
 }

@@ -50,8 +50,38 @@ import (
 	"insitubits/internal/sim/ocean"
 	"insitubits/internal/store"
 	"insitubits/internal/subgroup"
+	"insitubits/internal/telemetry"
 	"insitubits/internal/zorder"
 )
+
+// --- Telemetry (internal/telemetry) ---
+
+// TelemetryRegistry names and owns a set of instruments (counters, gauges,
+// histograms, span tracers) and exports them as JSON, expvar, or over the
+// debug HTTP server. See docs/OBSERVABILITY.md for the metric catalog.
+type (
+	TelemetryRegistry    = telemetry.Registry
+	TelemetryCounter     = telemetry.Counter
+	TelemetryGauge       = telemetry.Gauge
+	TelemetryHistogram   = telemetry.Histogram
+	TelemetryTracer      = telemetry.Tracer
+	TelemetrySpan        = telemetry.Span
+	TelemetrySnapshot    = telemetry.Snapshot
+	TelemetryDebugServer = telemetry.DebugServer
+)
+
+// Telemetry is the process-wide registry every instrumented package reports
+// into by default; `Telemetry.ServeDebug(addr)` is what the CLIs run behind
+// -debug-addr.
+var (
+	Telemetry            = telemetry.Default
+	NewTelemetryRegistry = telemetry.NewRegistry
+	NewTelemetryTracer   = telemetry.NewTracer
+)
+
+// PipelineTracerName is the registry key the in-situ pipeline attaches its
+// per-run span tracer under.
+const PipelineTracerName = insitu.TracerName
 
 // --- Compressed bitvectors (internal/bitvec) ---
 

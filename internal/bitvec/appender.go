@@ -13,6 +13,10 @@ type Appender struct {
 	words   []uint32
 	nbits   int
 	partial bool // a short final segment has been appended
+	// lits/fills tally appended words for telemetry; plain fields so the
+	// hot loop never touches shared state (flushed once in Vector).
+	lits  int
+	fills int
 }
 
 // Reset discards all appended content, retaining capacity.
@@ -20,6 +24,7 @@ func (a *Appender) Reset() {
 	a.words = a.words[:0]
 	a.nbits = 0
 	a.partial = false
+	a.lits, a.fills = 0, 0
 }
 
 // Len returns the number of logical bits appended so far.
@@ -38,6 +43,7 @@ func (a *Appender) AppendSegment(seg uint32) {
 		a.appendFill(0, 1)
 	default:
 		a.words = append(a.words, seg)
+		a.lits++
 	}
 	a.nbits += SegmentBits
 }
@@ -63,6 +69,7 @@ func (a *Appender) AppendPartial(seg uint32, width int) {
 		a.appendFill(0, 1)
 	} else {
 		a.words = append(a.words, seg)
+		a.lits++
 	}
 	a.nbits += width
 	a.partial = true
@@ -108,16 +115,19 @@ func (a *Appender) appendFill(bit uint32, n int) {
 	}
 	for n > maxRun {
 		a.words = append(a.words, fillFlag|fv|uint32(maxRun))
+		a.fills++
 		n -= maxRun
 	}
 	if n > 0 {
 		a.words = append(a.words, fillFlag|fv|uint32(n))
+		a.fills++
 	}
 }
 
 // Vector finalizes the appender and returns the built vector. The appender
 // is reset and may be reused.
 func (a *Appender) Vector() *Vector {
+	a.flushTelemetry()
 	v := &Vector{words: a.words, nbits: a.nbits}
 	a.words = nil
 	a.nbits = 0

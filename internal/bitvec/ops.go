@@ -22,6 +22,7 @@ func (v *Vector) AndNot(o *Vector) *Vector { return v.binary(o, opAndNot) }
 
 // Not returns the complement of v (within its logical length).
 func (v *Vector) Not() *Vector {
+	tel.opNot.Inc()
 	var a Appender
 	var it runIter
 	it.reset(v.words)
@@ -98,6 +99,7 @@ func (v *Vector) binary(o *Vector, k opKind) *Vector {
 	if v.nbits != o.nbits {
 		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.nbits, o.nbits))
 	}
+	countOp(k)
 	var a runIter
 	var b runIter
 	a.reset(v.words)
@@ -124,6 +126,7 @@ func (v *Vector) binary(o *Vector, k opKind) *Vector {
 			out.appendFill(0, 1)
 		default:
 			out.words = append(out.words, w)
+			out.lits++
 		}
 		out.nbits += SegmentBits
 		a.consume(1)

@@ -1,0 +1,93 @@
+package bitvec
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"insitubits/internal/telemetry"
+)
+
+// appendWorkload is the Algorithm-1-shaped hot loop the < 2% telemetry
+// budget is measured on: sparse literal segments separated by zero runs,
+// like a bitmap bin over smooth simulation data.
+func appendWorkload(vectors, segs int) int {
+	total := 0
+	var a Appender
+	for v := 0; v < vectors; v++ {
+		a.Reset()
+		for s := 0; s < segs; s++ {
+			if s%7 == 3 {
+				a.AppendSegment(uint32(s) | 1)
+			} else {
+				a.AppendSegment(0)
+			}
+		}
+		total += a.Vector().Count()
+	}
+	return total
+}
+
+func BenchmarkAppendTelemetryOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		appendWorkload(8, 4096)
+	}
+}
+
+func BenchmarkAppendTelemetryOff(b *testing.B) {
+	SetTelemetry(nil)
+	defer SetTelemetry(telemetry.Default)
+	for i := 0; i < b.N; i++ {
+		appendWorkload(8, 4096)
+	}
+}
+
+// TestInstrumentationOverhead guards the observability budget: the
+// telemetry-enabled append path must stay within 2% of the disabled path.
+// Timing comparisons are too noisy for every `go test` run, so the guard
+// only engages when TELEMETRY_OVERHEAD_GUARD=1 (the Makefile `overhead`
+// target sets it); it compares best-of-N times, the stablest point
+// estimate under scheduler noise.
+func TestInstrumentationOverhead(t *testing.T) {
+	if os.Getenv("TELEMETRY_OVERHEAD_GUARD") == "" {
+		t.Skip("set TELEMETRY_OVERHEAD_GUARD=1 to run the timing guard (make overhead)")
+	}
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	measure := func(enabled bool) time.Duration {
+		if enabled {
+			SetTelemetry(telemetry.Default)
+		} else {
+			SetTelemetry(nil)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				appendWorkload(8, 4096)
+			}
+		})
+		return time.Duration(r.NsPerOp())
+	}
+	// Interleave off/on rounds so CPU frequency drift hits both sides
+	// equally, and take each side's minimum — a block design would charge
+	// whichever side runs during a slow spell.
+	measure(false)
+	measure(true) // warmup both paths
+	min := time.Duration(1<<63 - 1)
+	off, on := min, min
+	for round := 0; round < 5; round++ {
+		if d := measure(false); d < off {
+			off = d
+		}
+		if d := measure(true); d < on {
+			on = d
+		}
+	}
+	SetTelemetry(telemetry.Default)
+	overhead := float64(on-off) / float64(off)
+	t.Logf("append hot loop: off=%v on=%v overhead=%.2f%%", off, on, 100*overhead)
+	if overhead > 0.02 {
+		t.Errorf("telemetry overhead %.2f%% exceeds the 2%% budget (off=%v on=%v)",
+			100*overhead, off, on)
+	}
+}

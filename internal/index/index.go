@@ -7,6 +7,7 @@ package index
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"insitubits/internal/binning"
 	"insitubits/internal/bitvec"
@@ -28,9 +29,17 @@ type Index struct {
 // paper's Algorithm 1 (see BuildAlgorithm1) but costs O(values + touched)
 // instead of O(values + segments×bins).
 func Build(data []float64, m binning.Mapper) *Index {
+	var start time.Time
+	if tel.buildNs != nil {
+		start = time.Now()
+	}
 	b := NewStreamBuilder(m)
 	b.Append(data)
-	return b.Finish()
+	x := b.Finish()
+	if tel.buildNs != nil {
+		tel.buildNs.Record(time.Since(start).Nanoseconds())
+	}
+	return x
 }
 
 // BuildAlgorithm1 is a faithful transcription of the paper's Algorithm 1
@@ -67,6 +76,7 @@ func BuildAlgorithm1(data []float64, m binning.Mapper) *Index {
 		idx.vecs[j] = result[j].Vector()
 		idx.counts[j] = idx.vecs[j].Count()
 	}
+	recordBuild(idx, 0)
 	return idx
 }
 
@@ -128,6 +138,7 @@ func BuildTwoPhase(data []float64, m binning.Mapper) *Index {
 		x.vecs[b] = a.Vector()
 		x.counts[b] = x.vecs[b].Count()
 	}
+	recordBuild(x, 0)
 	return x
 }
 
@@ -144,7 +155,10 @@ func (x *Index) Mapper() binning.Mapper { return x.mapper }
 func (x *Index) Vector(b int) *bitvec.Vector { return x.vecs[b] }
 
 // Count returns the cached number of elements in bin b.
-func (x *Index) Count(b int) int { return x.counts[b] }
+func (x *Index) Count(b int) int {
+	tel.cacheHits.Inc()
+	return x.counts[b]
+}
 
 // Histogram returns the per-bin element counts (shared slice; copy to mutate).
 func (x *Index) Histogram() []int { return x.counts }
@@ -182,6 +196,11 @@ func (x *Index) SizeBytes() int {
 // OR-ing together every bin overlapping the range. Bins straddling the
 // endpoints are included whole (bin-granular semantics, as in the paper).
 func (x *Index) Query(lo, hi float64) *bitvec.Vector {
+	tel.queries.Inc()
+	if tel.orMergeNs != nil {
+		start := time.Now()
+		defer func() { tel.orMergeNs.Record(time.Since(start).Nanoseconds()) }()
+	}
 	var acc *bitvec.Vector
 	for b := 0; b < x.Bins(); b++ {
 		if x.mapper.High(b) <= lo || x.mapper.Low(b) >= hi {
@@ -282,6 +301,7 @@ func (sb *StreamBuilder) Finish() *Index {
 		x.vecs[b] = sb.apps[b].Vector()
 		x.counts[b] = x.vecs[b].Count()
 	}
+	recordBuild(x, 0)
 	return x
 }
 

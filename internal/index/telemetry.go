@@ -1,0 +1,50 @@
+package index
+
+import (
+	"time"
+
+	"insitubits/internal/telemetry"
+)
+
+// tel holds the package's telemetry handles: build volume/cost, the
+// compressed-vs-raw ratio inputs, query OR-merge cost, and the histogram
+// cache traffic. Nil-safe; bound to telemetry.Default at init.
+var tel struct {
+	builds     *telemetry.Counter   // indexes completed (any build path)
+	bins       *telemetry.Counter   // bitvectors those indexes hold
+	values     *telemetry.Counter   // float64 values indexed
+	compressed *telemetry.Counter   // compressed bytes produced
+	buildNs    *telemetry.Histogram // wall time of single-threaded builds
+	queries    *telemetry.Counter   // range queries answered
+	orMergeNs  *telemetry.Histogram // OR-merge time per range query
+	cacheHits  *telemetry.Counter   // cached per-bin count lookups
+}
+
+// SetTelemetry (re)binds the package's instruments to a registry; nil
+// disables them.
+func SetTelemetry(r *telemetry.Registry) {
+	tel.builds = r.Counter("index.builds")
+	tel.bins = r.Counter("index.bins_built")
+	tel.values = r.Counter("index.values_indexed")
+	tel.compressed = r.Counter("index.compressed_bytes")
+	tel.buildNs = r.Histogram("index.build_ns")
+	tel.queries = r.Counter("index.queries")
+	tel.orMergeNs = r.Histogram("index.or_merge_ns")
+	tel.cacheHits = r.Counter("index.count_cache_hits")
+}
+
+func init() { SetTelemetry(telemetry.Default) }
+
+// recordBuild accounts one completed index.
+func recordBuild(x *Index, elapsed time.Duration) {
+	if tel.builds == nil {
+		return
+	}
+	tel.builds.Inc()
+	tel.bins.Add(int64(x.Bins()))
+	tel.values.Add(int64(x.n))
+	tel.compressed.Add(int64(x.SizeBytes()))
+	if elapsed > 0 {
+		tel.buildNs.Record(elapsed.Nanoseconds())
+	}
+}

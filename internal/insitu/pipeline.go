@@ -19,6 +19,7 @@ import (
 	"insitubits/internal/selection"
 	"insitubits/internal/sim"
 	"insitubits/internal/store"
+	"insitubits/internal/telemetry"
 )
 
 // Method is the data-reduction approach applied to each time-step.
@@ -87,6 +88,12 @@ type Config struct {
 	// Window is how many current time-steps the memory model assumes held
 	// in memory for selection (paper Figure 11 uses 10).
 	Window int
+
+	// Telemetry selects the registry the run reports into (phase span tree
+	// under "pipeline", queue-depth gauge, step counter). Nil means
+	// telemetry.Default; the phase breakdown is always measured either way
+	// because each run traces into its own tracer.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) validate() error {
@@ -170,6 +177,15 @@ type Result struct {
 	SummaryBytes int64
 	// PeakMemory is the modelled in-situ working set (Figure 11).
 	PeakMemory int64
+	// QueuePeak is the high-watermark of the separate-cores step queue
+	// (counting a produced step blocked on a full queue); 0 under
+	// SharedCores. The paper's memory-capacity bound on the queue makes
+	// this the run's backpressure signal.
+	QueuePeak int
+	// WriteTime is the measured time spent persisting selected summaries
+	// (the "write" spans); distinct from Breakdown.Output, which stays the
+	// bandwidth-modelled transfer time (see DESIGN.md).
+	WriteTime time.Duration
 }
 
 // Run executes the configured pipeline and reports the phase breakdown.
@@ -191,6 +207,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sel := newSelector(cfg)
 	sel.w = w
+	sel.rt = newRunTelemetry(cfg)
 	res, err := strategy.run(cfg, red, sel)
 	if err != nil {
 		return nil, err
@@ -380,6 +397,7 @@ type selector struct {
 	sumBytes  int64
 	nSeen     int
 	w         *writer
+	rt        *runTelemetry
 	err       error
 }
 
@@ -392,21 +410,23 @@ func newSelector(cfg Config) *selector {
 	return &selector{cfg: cfg, intervals: part.Partition(imp, cfg.Select)}
 }
 
-// offer consumes step t's summary in order; it returns the time spent in
-// metric evaluation so strategies can attribute it to the Select phase.
-func (s *selector) offer(t int, sum *stepSummary) time.Duration {
+// offer consumes step t's summary in order; metric evaluation is recorded
+// as a "select" span and committed writes as "write" spans, which is where
+// the run report's Select phase and WriteTime come from.
+func (s *selector) offer(t int, sum *stepSummary) {
 	sum.step = t
 	s.sumBytes += sum.memBytes
 	s.nSeen++
+	s.rt.stepsDone.Inc()
 	if t == 0 { // step 0 is always selected (paper Figure 3)
 		s.prev = sum
 		s.selected = append(s.selected, 0)
 		s.write(sum)
-		return 0
+		return
 	}
-	start := time.Now()
+	sp := s.rt.root.Child(SpanSelect)
 	score := sum.Dissimilarity(s.prev, s.cfg.Metric)
-	elapsed := time.Since(start)
+	sp.End()
 	if s.ivPos < len(s.intervals) {
 		iv := s.intervals[s.ivPos]
 		if t >= iv[0] && t < iv[1] {
@@ -422,10 +442,11 @@ func (s *selector) offer(t int, sum *stepSummary) time.Duration {
 			}
 		}
 	}
-	return elapsed
 }
 
 func (s *selector) write(sum *stepSummary) {
+	sp := s.rt.root.Child(SpanWrite)
+	defer sp.End()
 	s.written += sum.outBytes
 	if s.cfg.Store != nil {
 		s.cfg.Store.Account(sum.outBytes)

@@ -24,19 +24,19 @@ func (SharedCores) Describe() string { return "c_all" }
 
 func (SharedCores) run(cfg Config, red *reducer, sel *selector) (*Result, error) {
 	res := &Result{}
+	rt := sel.rt
 	wallStart := time.Now()
 	for t := 0; t < cfg.Steps; t++ {
-		t0 := time.Now()
+		sp := rt.root.Child(SpanSimulate)
 		fields := cfg.Sim.Step(cfg.Cores)
-		t1 := time.Now()
+		sp.End()
+		sp = rt.root.Child(SpanReduce)
 		summary, err := red.reduce(fields, cfg.Cores)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		t2 := time.Now()
-		res.Breakdown.Simulate += t1.Sub(t0)
-		res.Breakdown.Reduce += t2.Sub(t1)
-		res.Breakdown.Select += sel.offer(t, summary)
+		sel.offer(t, summary)
 	}
 	res.Wall = time.Since(wallStart)
 	finishResult(cfg, sel, res)
@@ -78,20 +78,25 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 		step   int
 		fields []sim.Field
 	}
+	rt := sel.rt
 	queue := make(chan queued, qcap)
-	simDone := make(chan time.Duration, 1)
+	simDone := make(chan struct{})
 
-	// Producer: the simulation owns its core set.
+	// Producer: the simulation owns its core set. Simulate spans end on
+	// this goroutine; the tracer aggregates them with the consumer's spans.
+	// The queue gauge counts a step as queued from the moment it is
+	// produced, so a producer blocked on a full queue reads as
+	// depth == cap+1 — the backpressure signal.
 	go func() {
-		var busy time.Duration
+		defer close(simDone)
 		for t := 0; t < cfg.Steps; t++ {
-			t0 := time.Now()
+			sp := rt.root.Child(SpanSimulate)
 			fields := cfg.Sim.Step(s.SimCores)
-			busy += time.Since(t0)
+			sp.End()
+			rt.enqueued()
 			queue <- queued{step: t, fields: fields}
 		}
 		close(queue)
-		simDone <- busy
 	}()
 
 	// Consumer: reduction + streaming selection own the other set. A single
@@ -100,24 +105,28 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 	res := &Result{}
 	wallStart := time.Now()
 	for q := range queue {
-		t0 := time.Now()
+		rt.dequeued()
+		sp := rt.root.Child(SpanReduce)
 		summary, err := red.reduce(q.fields, s.ReduceCores)
+		sp.End()
 		if err != nil {
 			// Drain so the producer can finish; first error wins.
 			for range queue {
+				rt.dequeued()
 			}
 			<-simDone
 			return nil, err
 		}
-		res.Breakdown.Reduce += time.Since(t0)
-		res.Breakdown.Select += sel.offer(q.step, summary)
+		sel.offer(q.step, summary)
 	}
-	res.Breakdown.Simulate = <-simDone
+	<-simDone
 	res.Wall = time.Since(wallStart)
 	finishResult(cfg, sel, res)
 	return res, nil
 }
 
+// finishResult assembles the run report: selection outcome, I/O volume,
+// and the phase breakdown regenerated from the run's telemetry spans.
 func finishResult(cfg Config, sel *selector, res *Result) {
 	res.Selected = sel.selected
 	res.BytesWritten = sel.written
@@ -127,6 +136,7 @@ func finishResult(cfg Config, sel *selector, res *Result) {
 	if cfg.Store != nil {
 		res.Breakdown.Output = cfg.Store.ModeledTime()
 	}
+	sel.rt.finish(res)
 }
 
 // QueueCapForMemory derives the separate-cores queue capacity from a

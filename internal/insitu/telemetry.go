@@ -1,0 +1,81 @@
+package insitu
+
+import (
+	"sync/atomic"
+
+	"insitubits/internal/telemetry"
+)
+
+// TracerName is the registry key the pipeline attaches its per-run tracer
+// under; the debug server shows the live span tree of the current run.
+const TracerName = "pipeline"
+
+// Span names of the per-step phases under the "run" root. The Figure 7-10
+// phase breakdowns are regenerated from these spans (Result.Breakdown is
+// filled from the tracer, not from ad-hoc timers).
+const (
+	SpanRun      = "run"
+	SpanSimulate = "simulate"
+	SpanReduce   = "reduce"
+	SpanSelect   = "select"
+	SpanWrite    = "write"
+)
+
+// runTelemetry carries one run's tracing state through the strategies and
+// the selector. Everything is nil-safe, so a run with a nil registry works
+// (it just measures into a private tracer).
+type runTelemetry struct {
+	tr   *telemetry.Tracer
+	root *telemetry.Span
+	// queueDepth mirrors the separate-cores step queue into the registry
+	// for live introspection; depth/peak are the run-local truth.
+	queueDepth *telemetry.Gauge
+	stepsDone  *telemetry.Counter
+	depth      atomic.Int64
+	peak       atomic.Int64
+}
+
+// newRunTelemetry attaches a fresh tracer to the registry (cfg.Telemetry,
+// defaulting to telemetry.Default) and opens the run root span.
+func newRunTelemetry(cfg Config) *runTelemetry {
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	rt := &runTelemetry{tr: telemetry.NewTracer()}
+	reg.AttachTracer(TracerName, rt.tr)
+	rt.root = rt.tr.Start(SpanRun)
+	rt.queueDepth = reg.Gauge("insitu.queue_depth")
+	rt.stepsDone = reg.Counter("insitu.steps_processed")
+	return rt
+}
+
+// enqueued records one step entering the separate-cores queue (called
+// before the blocking send, so a blocked producer shows as backpressure).
+func (rt *runTelemetry) enqueued() {
+	d := rt.depth.Add(1)
+	for {
+		p := rt.peak.Load()
+		if d <= p || rt.peak.CompareAndSwap(p, d) {
+			break
+		}
+	}
+	rt.queueDepth.Set(d)
+}
+
+// dequeued records one step leaving the queue.
+func (rt *runTelemetry) dequeued() {
+	rt.queueDepth.Set(rt.depth.Add(-1))
+}
+
+// finish closes the root span and copies the span totals into the result's
+// phase breakdown — the run report is produced from telemetry, the tracer
+// is the single source of phase truth.
+func (rt *runTelemetry) finish(res *Result) {
+	rt.root.End()
+	res.Breakdown.Simulate = rt.tr.Phase(SpanRun, SpanSimulate).Total
+	res.Breakdown.Reduce = rt.tr.Phase(SpanRun, SpanReduce).Total
+	res.Breakdown.Select = rt.tr.Phase(SpanRun, SpanSelect).Total
+	res.WriteTime = rt.tr.Phase(SpanRun, SpanWrite).Total
+	res.QueuePeak = int(rt.peak.Load())
+}

@@ -1,0 +1,137 @@
+package insitu
+
+import (
+	"testing"
+
+	"insitubits/internal/telemetry"
+)
+
+// findSpan returns the named child of a span forest, or nil.
+func findSpan(nodes []telemetry.SpanSnapshot, name string) *telemetry.SpanSnapshot {
+	for i := range nodes {
+		if nodes[i].Name == name {
+			return &nodes[i]
+		}
+	}
+	return nil
+}
+
+// TestRunEmitsSpanTree asserts that one pipeline run produces the full
+// simulate → reduce → select → write phase tree under the "pipeline"
+// tracer, and that the run report's breakdown is derived from those spans.
+func TestRunEmitsSpanTree(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		strategy Strategy
+	}{
+		{"shared", SharedCores{}},
+		{"separate", SeparateCores{SimCores: 2, ReduceCores: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := heatConfig(t, Bitmaps)
+			cfg.Strategy = tc.strategy
+			cfg.OutputDir = t.TempDir()
+			reg := telemetry.NewRegistry()
+			cfg.Telemetry = reg
+
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tr := reg.Tracer(TracerName)
+			if tr == nil {
+				t.Fatalf("no %q tracer attached to the run registry", TracerName)
+			}
+			root := findSpan(tr.Snapshot(), SpanRun)
+			if root == nil {
+				t.Fatalf("no %q root span; forest: %+v", SpanRun, tr.Snapshot())
+			}
+			if root.Count != 1 {
+				t.Errorf("root span count %d, want 1", root.Count)
+			}
+			for _, phase := range []string{SpanSimulate, SpanReduce, SpanSelect, SpanWrite} {
+				child := findSpan(root.Children, phase)
+				if child == nil {
+					t.Fatalf("span tree missing %s → %s; children: %+v", SpanRun, phase, root.Children)
+				}
+				if child.Count == 0 || child.TotalNs <= 0 {
+					t.Errorf("phase %s: count=%d total=%dns, want both positive",
+						phase, child.Count, child.TotalNs)
+				}
+			}
+			if got := tr.Phase(SpanRun, SpanSimulate).Count; got != int64(cfg.Steps) {
+				t.Errorf("simulate span count %d, want one per step (%d)", got, cfg.Steps)
+			}
+			// Breakdown must be the span totals, not an independent clock.
+			if res.Breakdown.Simulate != tr.Phase(SpanRun, SpanSimulate).Total {
+				t.Errorf("Breakdown.Simulate %v != span total %v",
+					res.Breakdown.Simulate, tr.Phase(SpanRun, SpanSimulate).Total)
+			}
+			if res.Breakdown.Reduce != tr.Phase(SpanRun, SpanReduce).Total {
+				t.Errorf("Breakdown.Reduce %v != span total %v",
+					res.Breakdown.Reduce, tr.Phase(SpanRun, SpanReduce).Total)
+			}
+			if res.WriteTime != tr.Phase(SpanRun, SpanWrite).Total {
+				t.Errorf("WriteTime %v != span total %v",
+					res.WriteTime, tr.Phase(SpanRun, SpanWrite).Total)
+			}
+			if g := reg.Gauge("insitu.queue_depth"); tc.name == "separate" && g.Max() < 1 {
+				t.Errorf("separate-cores run never raised the queue depth watermark")
+			}
+			if c := reg.Counter("insitu.steps_processed"); c.Value() != int64(cfg.Steps) {
+				t.Errorf("steps_processed = %d, want %d", c.Value(), cfg.Steps)
+			}
+		})
+	}
+}
+
+// TestRunCountsBitvecActivity asserts a pipeline run moves the global
+// bitvec counters: every step builds bitmap bins, so vectors_built and
+// bits_appended must grow. (bitvec flushes into telemetry.Default, so this
+// reads before/after deltas; package tests never run pipelines in
+// parallel with this one.)
+func TestRunCountsBitvecActivity(t *testing.T) {
+	vectors := telemetry.Default.Counter("bitvec.vectors_built")
+	bits := telemetry.Default.Counter("bitvec.bits_appended")
+	v0, b0 := vectors.Value(), bits.Value()
+
+	cfg := heatConfig(t, Bitmaps)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	dv, db := vectors.Value()-v0, bits.Value()-b0
+	if dv <= 0 {
+		t.Errorf("bitvec.vectors_built did not grow during a bitmap run (delta %d)", dv)
+	}
+	elems := int64(cfg.Sim.Elements())
+	minBits := int64(cfg.Steps) * elems // at least one index' worth of bits per step
+	if db < minBits {
+		t.Errorf("bitvec.bits_appended grew by %d, want ≥ steps × elements = %d", db, minBits)
+	}
+}
+
+// TestQueueBackpressure runs separate cores with a tiny queue and checks
+// the watermark saturates: with a slow consumer the producer must hit the
+// memory-capacity bound (depth cap+1 counts the blocked producer).
+func TestQueueBackpressure(t *testing.T) {
+	cfg := heatConfig(t, Bitmaps)
+	const qcap = 1
+	cfg.Strategy = SeparateCores{SimCores: 2, ReduceCores: 2, QueueCap: qcap}
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueuePeak < 1 || res.QueuePeak > qcap+1 {
+		t.Errorf("queue peak %d outside [1, cap+1=%d]", res.QueuePeak, qcap+1)
+	}
+	if g := reg.Gauge("insitu.queue_depth"); g.Max() != int64(res.QueuePeak) {
+		t.Errorf("gauge watermark %d != reported peak %d", g.Max(), res.QueuePeak)
+	}
+	if g := reg.Gauge("insitu.queue_depth"); g.Value() != 0 {
+		t.Errorf("queue depth %d after the run, want 0 (drained)", g.Value())
+	}
+}

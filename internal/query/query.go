@@ -48,6 +48,7 @@ func (s Subset) spatialBounds(n int) (lo, hi int) {
 
 // Bits materializes the subset as a bitvector over the index's elements.
 func Bits(x *index.Index, s Subset) (*bitvec.Vector, error) {
+	defer observe(tel.bits)()
 	if err := s.validate(x.N()); err != nil {
 		return nil, err
 	}
@@ -124,6 +125,7 @@ type Aggregate struct {
 // Count returns the exact number of subset elements (counting is exact on
 // bitmaps; only value reconstruction is approximate).
 func Count(x *index.Index, s Subset) (int, error) {
+	defer observe(tel.count)()
 	if err := s.validate(x.N()); err != nil {
 		return 0, err
 	}
@@ -152,6 +154,7 @@ func (s Subset) binSelected(x *index.Index, b int) bool {
 
 // Sum estimates the subset's value sum.
 func Sum(x *index.Index, s Subset) (Aggregate, error) {
+	defer observe(tel.sum)()
 	if err := s.validate(x.N()); err != nil {
 		return Aggregate{}, err
 	}
@@ -183,6 +186,7 @@ func Sum(x *index.Index, s Subset) (Aggregate, error) {
 // bitvector mask — the building block for analyses whose selections are
 // produced by bitwise combinations (subgroup discovery, incomplete data).
 func SumMasked(x *index.Index, mask *bitvec.Vector) (Aggregate, error) {
+	defer observe(tel.masked)()
 	if mask.Len() != x.N() {
 		return Aggregate{}, fmt.Errorf("query: mask covers %d bits for %d elements", mask.Len(), x.N())
 	}
@@ -236,6 +240,7 @@ func Mean(x *index.Index, s Subset) (Aggregate, error) {
 // bounded by the edges of the bin the quantile falls into: the true
 // quantile of the discarded data is guaranteed inside [Lo, Hi].
 func Quantile(x *index.Index, s Subset, q float64) (Aggregate, error) {
+	defer observe(tel.quantile)()
 	if q < 0 || q > 1 {
 		return Aggregate{}, fmt.Errorf("query: quantile %g out of [0,1]", q)
 	}
@@ -276,6 +281,7 @@ func Quantile(x *index.Index, s Subset, q float64) (Aggregate, error) {
 // minimum lies in [Aggregate.Lo, Aggregate.Estimate] of min (and similarly
 // for max), where Estimate is the midpoint of the extreme occupied bin.
 func MinMax(x *index.Index, s Subset) (min, max Aggregate, err error) {
+	defer observe(tel.minmax)()
 	if err := s.validate(x.N()); err != nil {
 		return Aggregate{}, Aggregate{}, err
 	}
@@ -315,6 +321,7 @@ func MinMax(x *index.Index, s Subset) (min, max Aggregate, err error) {
 // to a subset — value ranges apply per variable, the spatial range applies
 // to both. It touches only bitmaps.
 func Correlation(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, error) {
+	defer observe(tel.correlation)()
 	if xa.N() != xb.N() {
 		return metrics.Pair{}, fmt.Errorf("query: indices over %d and %d elements", xa.N(), xb.N())
 	}

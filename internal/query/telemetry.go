@@ -1,0 +1,51 @@
+package query
+
+import (
+	"time"
+
+	"insitubits/internal/telemetry"
+)
+
+// tel holds the package's telemetry: one latency histogram shared by every
+// bitmap-only analysis plus a per-operation counter. Derived helpers
+// (Mean, MeanMasked) time themselves and also hit the primitive they call,
+// so counters are operation counts, not unique user requests. Nil-safe.
+var tel struct {
+	latency     *telemetry.Histogram // ns per query operation
+	bits        *telemetry.Counter
+	count       *telemetry.Counter
+	sum         *telemetry.Counter
+	quantile    *telemetry.Counter
+	minmax      *telemetry.Counter
+	correlation *telemetry.Counter
+	masked      *telemetry.Counter
+}
+
+// SetTelemetry (re)binds the package's instruments to a registry; nil
+// disables them.
+func SetTelemetry(r *telemetry.Registry) {
+	tel.latency = r.Histogram("query.latency_ns")
+	tel.bits = r.Counter("query.bits")
+	tel.count = r.Counter("query.count")
+	tel.sum = r.Counter("query.sum")
+	tel.quantile = r.Counter("query.quantile")
+	tel.minmax = r.Counter("query.minmax")
+	tel.correlation = r.Counter("query.correlation")
+	tel.masked = r.Counter("query.masked")
+}
+
+func init() { SetTelemetry(telemetry.Default) }
+
+var noopObserve = func() {}
+
+// observe counts one operation and, when enabled, times it:
+//
+//	defer observe(tel.count)()
+func observe(op *telemetry.Counter) func() {
+	op.Inc()
+	if tel.latency == nil {
+		return noopObserve
+	}
+	start := time.Now()
+	return func() { tel.latency.Record(time.Since(start).Nanoseconds()) }
+}

@@ -104,7 +104,11 @@ func WriteDataset(w io.Writer, d *Dataset) (int64, error) {
 			return total, err
 		}
 	}
-	return total, bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return total, err
+	}
+	tel.bytesWritten.Add(total)
+	return total, nil
 }
 
 // ReadDataset parses a dataset written by WriteDataset.
@@ -159,6 +163,7 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 		if err := d.Add(string(nameBytes), data); err != nil {
 			return nil, err
 		}
+		tel.bytesRead.Add(int64(8 * len(data)))
 	}
 	return d, nil
 }

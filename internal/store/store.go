@@ -74,7 +74,12 @@ func WriteIndex(w io.Writer, x *index.Index) (int64, error) {
 			return n, err
 		}
 	}
-	return n, bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	tel.indexesWritten.Inc()
+	tel.bytesWritten.Add(n)
+	return n, nil
 }
 
 // IndexSize returns the exact byte size WriteIndex will produce, letting
@@ -148,7 +153,12 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 		}
 		vecs[b] = v
 	}
-	return index.FromParts(mapper, vecs, int(n))
+	x, err := index.FromParts(mapper, vecs, int(n))
+	if err == nil {
+		tel.indexesRead.Inc()
+		tel.bytesRead.Add(IndexSize(x))
+	}
+	return x, err
 }
 
 // WriteRaw serializes a raw float64 array (the full-data baseline's output).
@@ -163,7 +173,12 @@ func WriteRaw(w io.Writer, data []float64) (int64, error) {
 	if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
 		return 12, err
 	}
-	return RawSize(len(data)), bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return 12, err
+	}
+	tel.rawWritten.Inc()
+	tel.bytesWritten.Add(RawSize(len(data)))
+	return RawSize(len(data)), nil
 }
 
 // RawSize returns the byte size WriteRaw produces for n elements.
@@ -190,5 +205,7 @@ func ReadRaw(r io.Reader) ([]float64, error) {
 	if err := binary.Read(br, binary.LittleEndian, data); err != nil {
 		return nil, err
 	}
+	tel.rawRead.Inc()
+	tel.bytesRead.Add(RawSize(len(data)))
 	return data, nil
 }

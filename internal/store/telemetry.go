@@ -1,0 +1,28 @@
+package store
+
+import "insitubits/internal/telemetry"
+
+// tel counts serialization traffic: artifact counts and payload bytes in
+// each direction, across the index, raw-array and dataset formats.
+// Nil-safe; bound to telemetry.Default at init.
+var tel struct {
+	bytesWritten   *telemetry.Counter
+	bytesRead      *telemetry.Counter
+	indexesWritten *telemetry.Counter
+	indexesRead    *telemetry.Counter
+	rawWritten     *telemetry.Counter
+	rawRead        *telemetry.Counter
+}
+
+// SetTelemetry (re)binds the package's instruments to a registry; nil
+// disables them.
+func SetTelemetry(r *telemetry.Registry) {
+	tel.bytesWritten = r.Counter("store.bytes_written")
+	tel.bytesRead = r.Counter("store.bytes_read")
+	tel.indexesWritten = r.Counter("store.indexes_written")
+	tel.indexesRead = r.Counter("store.indexes_read")
+	tel.rawWritten = r.Counter("store.raw_written")
+	tel.rawRead = r.Counter("store.raw_read")
+}
+
+func init() { SetTelemetry(telemetry.Default) }

@@ -1,0 +1,103 @@
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-safe no-ops on a nil receiver, so a disabled handle costs one
+// predictable branch.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative; negative deltas belong on a Gauge).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value with a high-watermark: Set and Add
+// track the maximum value ever observed, which is how the separate-cores
+// queue reports its peak depth. Nil-safe like Counter.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+	max  atomic.Int64
+}
+
+// Name returns the gauge's registry name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Set stores v and raises the watermark if needed.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.raise(v)
+}
+
+// Add adjusts the value by delta (may be negative) and returns the new
+// value, raising the watermark if needed.
+func (g *Gauge) Add(delta int64) int64 {
+	if g == nil {
+		return 0
+	}
+	v := g.v.Add(delta)
+	g.raise(v)
+	return v
+}
+
+func (g *Gauge) raise(v int64) {
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-watermark (0 on a nil handle).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}

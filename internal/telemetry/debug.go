@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the live-introspection HTTP endpoint the CLIs start
+// behind -debug-addr. It serves:
+//
+//	/telemetry     the registry snapshot as JSON
+//	/debug/vars    expvar (includes the "telemetry" var)
+//	/debug/pprof/  the standard pprof profiles
+type DebugServer struct {
+	// Addr is the bound address (useful when the caller passed ":0").
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug binds addr and serves the debug endpoints for this registry in
+// a background goroutine until Close is called.
+func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
+	if r == nil {
+		return nil, fmt.Errorf("telemetry: ServeDebug on nil registry")
+	}
+	r.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := r.MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/debug/vars\n/debug/pprof/\n")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	d := &DebugServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer aggregates hierarchical phase spans. Concurrent spans from
+// different goroutines (the separate-cores pipeline ends simulate spans on
+// the producer while reduce spans end on the consumer) aggregate into one
+// tree keyed by name path, so the tree stays bounded no matter how many
+// steps run: each node carries a count and a total duration, not one entry
+// per span. The zero value is not usable; call NewTracer. Nil-safe.
+type Tracer struct {
+	mu    sync.Mutex
+	roots map[string]*spanNode
+}
+
+// spanNode is one aggregated position in the span tree.
+type spanNode struct {
+	name     string
+	count    int64
+	total    time.Duration
+	children map[string]*spanNode
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{roots: make(map[string]*spanNode)} }
+
+// Span is one in-flight timed region. End it exactly once. A nil span
+// (from a nil tracer) is a valid no-op.
+type Span struct {
+	tracer *Tracer
+	node   *spanNode
+	start  time.Time
+}
+
+// Start opens a root span. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := t.roots[name]
+	if n == nil {
+		n = &spanNode{name: name}
+		t.roots[name] = n
+	}
+	t.mu.Unlock()
+	return &Span{tracer: t, node: n, start: time.Now()}
+}
+
+// Child opens a span nested under s. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	if s.node.children == nil {
+		s.node.children = make(map[string]*spanNode)
+	}
+	n := s.node.children[name]
+	if n == nil {
+		n = &spanNode{name: name}
+		s.node.children[name] = n
+	}
+	t.mu.Unlock()
+	return &Span{tracer: t, node: n, start: time.Now()}
+}
+
+// End closes the span, folds its duration into the aggregated tree, and
+// returns the duration (0 on a nil span).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.tracer.mu.Lock()
+	s.node.count++
+	s.node.total += d
+	s.tracer.mu.Unlock()
+	return d
+}
+
+// PhaseStats summarizes one aggregated span tree node.
+type PhaseStats struct {
+	Count int64
+	Total time.Duration
+}
+
+// Phase returns the aggregate for the node at the given name path from a
+// root (e.g. Phase("run", "simulate")). Zero stats if absent or nil.
+func (t *Tracer) Phase(path ...string) PhaseStats {
+	if t == nil || len(path) == 0 {
+		return PhaseStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.roots[path[0]]
+	for _, name := range path[1:] {
+		if n == nil {
+			return PhaseStats{}
+		}
+		n = n.children[name]
+	}
+	if n == nil {
+		return PhaseStats{}
+	}
+	return PhaseStats{Count: n.count, Total: n.total}
+}
+
+// SpanSnapshot is an immutable copy of one aggregated span tree node.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	Count    int64          `json:"count"`
+	TotalNs  int64          `json:"total_ns"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the whole span forest, children sorted by name.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(t.roots))
+	for _, name := range names(t.roots) {
+		out = append(out, t.roots[name].snapshot())
+	}
+	return out
+}
+
+func (n *spanNode) snapshot() SpanSnapshot {
+	s := SpanSnapshot{Name: n.name, Count: n.count, TotalNs: int64(n.total)}
+	for _, name := range names(n.children) {
+		s.Children = append(s.Children, n.children[name].snapshot())
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+// Package telemetry is the repository's zero-dependency observability
+// layer: atomic counters and gauges, lock-striped latency/size histograms
+// with quantile export, and a span-based phase tracer with hierarchical
+// timers. A Registry names and owns a set of instruments and exports them
+// as JSON, expvar, or over an optional debug HTTP server (expvar + pprof),
+// so a running in-situ pipeline or query workload can be inspected live.
+//
+// Design rules, in order:
+//
+//  1. Disabled instrumentation must cost (almost) nothing. Every handle
+//     type (*Counter, *Gauge, *Histogram, *Span, *Tracer) is nil-safe: all
+//     methods on a nil receiver are no-ops, so packages keep plain handle
+//     variables and never branch on an "enabled" flag. The budget —
+//     enforced by BenchmarkOverheadGuard — is < 2% on the bitvec/index hot
+//     loops.
+//  2. Enabled instrumentation must stay off the hot path. Hot loops count
+//     into plain struct fields (e.g. bitvec.Appender) and flush once per
+//     built artifact; only coarse-grained events (a query, a span, a build)
+//     touch shared atomics.
+//  3. No dependencies beyond the standard library.
+//
+// The package-level Default registry is what the instrumented internal
+// packages bind to at init; cheap programs never notice it, and the CLIs
+// expose it behind -debug-addr.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry names and owns a coherent set of instruments. The zero value is
+// not usable; call NewRegistry. A nil *Registry is a valid "disabled"
+// registry: every lookup returns a nil (no-op) handle.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracers  map[string]*Tracer
+}
+
+// Default is the process-wide registry the instrumented packages (bitvec,
+// index, insitu, query, store) bind to at init. Rebind a package with its
+// SetTelemetry function to isolate or disable it.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		tracers:  make(map[string]*Tracer),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe: a nil
+// registry returns a nil, no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AttachTracer registers (or replaces) a named tracer so its live span tree
+// shows up in snapshots — the in-situ pipeline attaches a fresh tracer per
+// run under "pipeline". Nil-safe: attaching to a nil registry is a no-op.
+func (r *Registry) AttachTracer(name string, t *Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tracers[name] = t
+	r.mu.Unlock()
+}
+
+// Tracer returns the named attached tracer, or nil.
+func (r *Registry) Tracer(name string) *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tracers[name]
+}
+
+// names returns the sorted keys of a map, for deterministic export.
+func names[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
