@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench overhead ci
+.PHONY: all build test vet race bench overhead fuzz-smoke ci
 
 all: build
 
@@ -26,4 +26,9 @@ bench:
 overhead:
 	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run TestInstrumentationOverhead -v ./internal/bitvec/
 
-ci: vet build race overhead
+# Short fuzz pass over the untrusted index-file parser (docs/FORMATS.md);
+# the full corpus exploration is `go test -fuzz FuzzReadIndex ./internal/store/`.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz 'FuzzReadIndex$$' -fuzztime 10s ./internal/store/
+
+ci: vet build race overhead fuzz-smoke

@@ -8,6 +8,8 @@
 package insitubits_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"insitubits"
@@ -263,7 +265,7 @@ func BenchmarkFig17SubsetMI(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for bin := 0; bin < xt.Bins(); bin++ {
-			xt.Vector(bin).CountUnits(unit)
+			xt.Bitmap(bin).CountUnits(unit)
 		}
 		_ = xs
 	}
@@ -400,15 +402,69 @@ func BenchmarkAblationBBCAnd(b *testing.B) {
 	data, m := ablationData(b)
 	x := insitubits.BuildIndex(data, m)
 	va, vb := busiestVectors(x)
-	ca := insitubits.BBCFromVector(va)
-	cb := insitubits.BBCFromVector(vb)
+	ca := insitubits.BBCFromBitmap(va)
+	cb := insitubits.BBCFromBitmap(vb)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ca.And(cb)
 	}
 }
 
-func busiestVectors(x *insitubits.Index) (*insitubits.BitVector, *insitubits.BitVector) {
+// Three-way codec ablation: the same random bits encoded under each codec,
+// measured for logical-op latency and encoded size across bin densities.
+// Results are recorded in EXPERIMENTS.md ("Codec ablation").
+var codecBenchDensities = []float64{0.001, 0.01, 0.1, 0.5}
+
+var codecBenchIDs = []insitubits.Codec{
+	insitubits.CodecWAH, insitubits.CodecBBC, insitubits.CodecDense,
+}
+
+func codecBenchPair(b *testing.B, density float64, id insitubits.Codec) (insitubits.Bitmap, insitubits.Bitmap) {
+	b.Helper()
+	r := rand.New(rand.NewSource(42))
+	const n = 1 << 20
+	mk := func() insitubits.Bitmap {
+		bs := make([]bool, n)
+		for i := range bs {
+			bs[i] = r.Float64() < density
+		}
+		return insitubits.EncodeBitmap(insitubits.FromBools(bs), id)
+	}
+	return mk(), mk()
+}
+
+func benchCodecOp(b *testing.B, op func(x, y insitubits.Bitmap)) {
+	for _, d := range codecBenchDensities {
+		for _, id := range codecBenchIDs {
+			b.Run(fmt.Sprintf("%s/d=%g", id, d), func(b *testing.B) {
+				x, y := codecBenchPair(b, d, id)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					op(x, y)
+				}
+				b.ReportMetric(float64(x.SizeBytes()), "enc-bytes")
+			})
+		}
+	}
+}
+
+func BenchmarkCodecAnd(b *testing.B) {
+	benchCodecOp(b, func(x, y insitubits.Bitmap) { x.And(y) })
+}
+
+func BenchmarkCodecAndCount(b *testing.B) {
+	benchCodecOp(b, func(x, y insitubits.Bitmap) { x.AndCount(y) })
+}
+
+func BenchmarkCodecOr(b *testing.B) {
+	benchCodecOp(b, func(x, y insitubits.Bitmap) { x.Or(y) })
+}
+
+func BenchmarkCodecCountRange(b *testing.B) {
+	benchCodecOp(b, func(x, y insitubits.Bitmap) { x.CountRange(x.Len()/4, 3*x.Len()/4) })
+}
+
+func busiestVectors(x *insitubits.Index) (insitubits.Bitmap, insitubits.Bitmap) {
 	best, second := 0, 1
 	for bin := 0; bin < x.Bins(); bin++ {
 		if x.Count(bin) > x.Count(best) {
@@ -416,7 +472,7 @@ func busiestVectors(x *insitubits.Index) (*insitubits.BitVector, *insitubits.Bit
 			best = bin
 		}
 	}
-	return x.Vector(best), x.Vector(second)
+	return x.Bitmap(best), x.Bitmap(second)
 }
 
 // Decode-based vs AND-based joint histograms (see metrics package docs).

@@ -1,8 +1,10 @@
 // Command bitmapctl builds, inspects and queries bitmap index files (the
 // .isbm format written by the in-situ pipeline).
 //
-//	bitmapctl build -in data.israw -out index.isbm [-bins N]
+//	bitmapctl build -in data.israw -out index.isbm [-bins N] [-codec auto|wah|bbc|dense]
 //	bitmapctl info  index.isbm
+//	bitmapctl stat  index.isbm
+//	bitmapctl convert -codec wah [-v1] -in index.isbm -out recoded.isbm
 //	bitmapctl query -lo V -hi V index.isbm
 //	bitmapctl histogram index.isbm
 //	bitmapctl entropy index.isbm
@@ -52,6 +54,10 @@ func main() {
 		err = cmdBuild(args)
 	case "info":
 		err = cmdInfo(args)
+	case "stat":
+		err = cmdStat(args)
+	case "convert":
+		err = cmdConvert(args)
 	case "query":
 		err = cmdQuery(args)
 	case "histogram":
@@ -89,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|query|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|stat|convert|query|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {
@@ -106,11 +112,16 @@ func cmdBuild(args []string) error {
 	in := fs.String("in", "", "input raw array file (.israw)")
 	out := fs.String("out", "", "output index file (.isbm)")
 	bins := fs.Int("bins", 128, "number of value bins")
+	codecName := fs.String("codec", "auto", "per-bin bitmap codec: auto | wah | bbc | dense")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("both -in and -out are required")
+	}
+	codecID, err := insitubits.ParseCodec(*codecName)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -126,7 +137,7 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	x := insitubits.BuildIndex(data, m)
+	x := insitubits.BuildIndexCodec(data, m, codecID)
 	g, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -159,7 +170,7 @@ func cmdInfo(args []string) error {
 		if x.Count(b) > 0 {
 			nonEmpty++
 		}
-		st := x.Vector(b).Stats()
+		st := x.Bitmap(b).Stats()
 		literals += st.LiteralWords
 		fills += st.FillWords
 		filledSegs += st.FilledSegments
@@ -168,6 +179,98 @@ func cmdInfo(args []string) error {
 	fmt.Printf("encoding:   %d literal words, %d fill words covering %d segments\n",
 		literals, fills, filledSegs)
 	fmt.Printf("entropy:    %.4f bits\n", insitubits.Entropy(x.Histogram(), x.N()))
+	return nil
+}
+
+// cmdStat reports the physical encoding of every bin: codec, compressed
+// bytes, and the compression ratio against the uncompressed (dense) form.
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	all := fs.Bool("all", false, "also list empty bins")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bitmapctl stat [-all] FILE")
+	}
+	x, err := loadIndex(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	// Dense reference: one 31-bit segment word per bin row.
+	denseBytes := 4 * ((x.N() + insitubits.SegmentBits - 1) / insitubits.SegmentBits)
+	fmt.Printf("%4s  %-6s %9s %10s %8s %9s\n", "bin", "codec", "count", "bytes", "vs dense", "density")
+	perCodec := map[insitubits.Codec]int{}
+	total := 0
+	for b := 0; b < x.Bins(); b++ {
+		id := x.Codec(b)
+		perCodec[id]++
+		sz := x.Bitmap(b).SizeBytes()
+		total += sz
+		if x.Count(b) == 0 && !*all {
+			continue
+		}
+		ratio := 0.0
+		if denseBytes > 0 {
+			ratio = float64(sz) / float64(denseBytes)
+		}
+		density := 0.0
+		if x.N() > 0 {
+			density = float64(x.Count(b)) / float64(x.N())
+		}
+		fmt.Printf("%4d  %-6s %9d %10d %7.1f%% %8.4f\n", b, id, x.Count(b), sz, 100*ratio, density)
+	}
+	fmt.Printf("codecs: ")
+	for _, id := range []insitubits.Codec{insitubits.CodecWAH, insitubits.CodecBBC, insitubits.CodecDense} {
+		if n := perCodec[id]; n > 0 {
+			fmt.Printf("%s=%d ", id, n)
+		}
+	}
+	fmt.Printf("\ntotal:  %d bytes across %d bins (%.1f%% of %d dense bytes)\n",
+		total, x.Bins(), 100*float64(total)/float64(denseBytes*x.Bins()+1), denseBytes*x.Bins())
+	return nil
+}
+
+// cmdConvert re-encodes an index file under a different codec (or down to
+// the legacy v1 layout with -v1, which is always all-WAH on disk).
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input index file (.isbm)")
+	out := fs.String("out", "", "output index file (.isbm)")
+	codecName := fs.String("codec", "auto", "target codec: auto | wah | bbc | dense")
+	v1 := fs.Bool("v1", false, "write the legacy all-WAH v1 layout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+	codecID, err := insitubits.ParseCodec(*codecName)
+	if err != nil {
+		return err
+	}
+	x, err := loadIndex(*in)
+	if err != nil {
+		return err
+	}
+	before := x.SizeBytes()
+	x.Recode(codecID)
+	g, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	var written int64
+	if *v1 {
+		written, err = insitubits.WriteIndexFileV1(g, x)
+	} else {
+		written, err = insitubits.WriteIndexFile(g, x)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recoded %d bins to %s: %d -> %d in-memory bytes, %d on disk\n",
+		x.Bins(), codecID, before, x.SizeBytes(), written)
 	return nil
 }
 

@@ -44,6 +44,80 @@ func TestBuildInfoQueryFlow(t *testing.T) {
 	}
 }
 
+func TestCodecFlagConvertAndStat(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "data.israw")
+	if err := cmdGenRaw([]string{"-out", raw, "-steps", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Build once per codec; every variant must load and answer queries.
+	paths := map[string]string{}
+	for _, c := range []string{"auto", "wah", "bbc", "dense"} {
+		idx := filepath.Join(dir, c+".isbm")
+		if err := cmdBuild([]string{"-in", raw, "-out", idx, "-bins", "64", "-codec", c}); err != nil {
+			t.Fatalf("build -codec %s: %v", c, err)
+		}
+		if err := cmdStat([]string{idx}); err != nil {
+			t.Fatalf("stat on %s index: %v", c, err)
+		}
+		paths[c] = idx
+	}
+	// Pinned builds really carry the pinned codec on disk.
+	for c, want := range map[string]insitubits.Codec{
+		"wah": insitubits.CodecWAH, "bbc": insitubits.CodecBBC, "dense": insitubits.CodecDense,
+	} {
+		x, err := loadIndex(paths[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < x.Bins(); b++ {
+			if got := x.Codec(b); got != want {
+				t.Fatalf("%s index bin %d holds %v", c, b, got)
+			}
+		}
+	}
+	// convert re-encodes, and -v1 emits the legacy layout that still loads.
+	conv := filepath.Join(dir, "conv.isbm")
+	if err := cmdConvert([]string{"-in", paths["dense"], "-out", conv, "-codec", "wah"}); err != nil {
+		t.Fatal(err)
+	}
+	legacy := filepath.Join(dir, "legacy.isbm")
+	if err := cmdConvert([]string{"-in", paths["auto"], "-out", legacy, "-codec", "wah", "-v1"}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := loadIndex(paths["wah"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{conv, legacy} {
+		x, err := loadIndex(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if x.N() != want.N() || x.Bins() != want.Bins() {
+			t.Fatalf("%s: shape changed", p)
+		}
+		for b := 0; b < x.Bins(); b++ {
+			if x.Codec(b) != insitubits.CodecWAH || !x.Bitmap(b).Equal(want.Bitmap(b)) {
+				t.Fatalf("%s: bin %d diverged after conversion", p, b)
+			}
+		}
+	}
+	// Bad codec names error cleanly everywhere.
+	if err := cmdBuild([]string{"-in", raw, "-out", conv, "-codec", "zstd"}); err == nil {
+		t.Error("build accepted unknown codec")
+	}
+	if err := cmdConvert([]string{"-in", paths["wah"], "-out", conv, "-codec", "zstd"}); err == nil {
+		t.Error("convert accepted unknown codec")
+	}
+	if err := cmdConvert([]string{"-in", "", "-out", ""}); err == nil {
+		t.Error("convert accepted missing paths")
+	}
+	if err := cmdStat([]string{"/nonexistent"}); err == nil {
+		t.Error("stat accepted missing file")
+	}
+}
+
 func TestBuildValidation(t *testing.T) {
 	if err := cmdBuild([]string{"-in", "", "-out", ""}); err == nil {
 		t.Error("missing flags accepted")

@@ -77,9 +77,9 @@ func figAblations() error {
 			best = b
 		}
 	}
-	va, vb := xa.Vector(best), xa.Vector(second)
-	ba := insitubits.BBCFromVector(va)
-	bb := insitubits.BBCFromVector(vb)
+	va, vb := xa.Bitmap(best), xa.Bitmap(second)
+	ba := insitubits.BBCFromBitmap(va)
+	bb := insitubits.BBCFromBitmap(vb)
 	tWAH := timeIt(func() { va.AndCount(vb) })
 	tBBC := timeIt(func() { ba.And(bb) })
 	pr("WAH AND (compressed) vs BBC AND", tWAH, tBBC)

@@ -216,11 +216,11 @@ func unitMIBitmaps(s *miningSetup, unit int) []float64 {
 	nbA, nbB := s.xt.Bins(), s.xs.Bins()
 	ha := make([][]int, nbA)
 	for i := range ha {
-		ha[i] = s.xt.Vector(i).CountUnits(unit)
+		ha[i] = s.xt.Bitmap(i).CountUnits(unit)
 	}
 	hb := make([][]int, nbB)
 	for j := range hb {
-		hb[j] = s.xs.Vector(j).CountUnits(unit)
+		hb[j] = s.xs.Bitmap(j).CountUnits(unit)
 	}
 	jointU := make([][][]int, nUnits) // [unit][binA][binB]
 	for u := range jointU {
@@ -237,7 +237,7 @@ func unitMIBitmaps(s *miningSetup, unit int) []float64 {
 			if s.xs.Count(j) == 0 {
 				continue
 			}
-			cu := s.xt.Vector(i).And(s.xs.Vector(j)).CountUnits(unit)
+			cu := s.xt.Bitmap(i).And(s.xs.Bitmap(j)).CountUnits(unit)
 			for u, c := range cu {
 				jointU[u][i][j] = c
 			}

@@ -25,7 +25,7 @@ func figSizes() error {
 		wah := int64(x.SizeBytes())
 		bbc := int64(0)
 		for b := 0; b < x.Bins(); b++ {
-			bbc += int64(insitubits.BBCFromVector(x.Vector(b)).SizeBytes())
+			bbc += int64(insitubits.BBCFromBitmap(x.Bitmap(b)).SizeBytes())
 		}
 		row("%-24s %10.2f %10.2f %7.1f%% %10.2f %7.1f%% %6d",
 			name, mb(raw), mb(wah), 100*float64(wah)/float64(raw), mb(bbc), 100*float64(bbc)/float64(raw), bins)

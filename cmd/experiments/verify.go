@@ -137,7 +137,7 @@ func figVerify() error {
 	dense := insitubits.BuildIndexAlgorithm1(raw[3], m)
 	two := insitubits.BuildIndexTwoPhase(raw[3], m)
 	for b := 0; b < lazy.Bins(); b++ {
-		if !lazy.Vector(b).Equal(dense.Vector(b)) || !lazy.Vector(b).Equal(two.Vector(b)) {
+		if !lazy.Bitmap(b).Equal(dense.Bitmap(b)) || !lazy.Bitmap(b).Equal(two.Bitmap(b)) {
 			same = false
 		}
 	}

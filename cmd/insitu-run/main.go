@@ -33,6 +33,7 @@ func main() {
 	steps := flag.Int("steps", 50, "time-steps to simulate")
 	selectK := flag.Int("select", 10, "time-steps to keep")
 	bins := flag.Int("bins", 160, "value bins per variable")
+	codecName := flag.String("codec", "auto", "bitmap codec per bin: auto | wah | bbc | dense")
 	sample := flag.Float64("sample", 10, "sampling percentage (method=sampling)")
 	cores := flag.Int("cores", runtime.NumCPU(), "worker goroutines")
 	strategy := flag.String("strategy", "shared", "core allocation: shared | separate | auto")
@@ -69,11 +70,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	codecID, err := insitubits.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := insitubits.PipelineConfig{
 		Sim:       s,
 		Steps:     *steps,
 		Select:    *selectK,
 		Bins:      *bins,
+		Codec:     codecID,
 		SamplePct: *sample,
 		Seed:      1,
 		Cores:     *cores,
@@ -135,7 +141,7 @@ func main() {
 	}
 	fmt.Printf("workload:       %s (%d vars x %d elements, %.2f MB/step)\n",
 		*simName, len(s.Vars()), s.Elements(), float64(res.StepBytes)/1e6)
-	fmt.Printf("method:         %v, metric %v, %d bins\n", cfg.Method, cfg.Metric, *bins)
+	fmt.Printf("method:         %v, metric %v, %d bins, codec %v\n", cfg.Method, cfg.Metric, *bins, codecID)
 	fmt.Printf("selected:       %v\n", res.Selected)
 	fmt.Printf("simulate:       %.3fs\n", res.Breakdown.Simulate.Seconds())
 	fmt.Printf("reduce:         %.3fs\n", res.Breakdown.Reduce.Seconds())

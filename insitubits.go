@@ -34,6 +34,7 @@ import (
 	"insitubits/internal/binning"
 	"insitubits/internal/bitvec"
 	"insitubits/internal/cluster"
+	"insitubits/internal/codec"
 	"insitubits/internal/index"
 	"insitubits/internal/insitu"
 	"insitubits/internal/iosim"
@@ -83,7 +84,13 @@ var (
 // per-run span tracer under.
 const PipelineTracerName = insitu.TracerName
 
-// --- Compressed bitvectors (internal/bitvec) ---
+// --- Compressed bitvectors (internal/bitvec, internal/codec) ---
+
+// Bitmap is the codec-independent compressed bitmap interface every
+// analysis layer operates on: AND/OR/XOR/NOT, population counts and range
+// counts on the compressed form, plus decode-free run iteration. Three
+// codecs implement it: BitVector (WAH), BBC, and DenseBitmap.
+type Bitmap = bitvec.Bitmap
 
 // BitVector is a WAH-compressed bitvector supporting AND/OR/XOR/NOT,
 // population counts and range counts directly on the compressed form.
@@ -93,18 +100,41 @@ type BitVector = bitvec.Vector
 // time, merging fills in place (the paper's Algorithm 1 primitive).
 type BitAppender = bitvec.Appender
 
-// BBC is a byte-aligned compressed bitmap, the WAH-vs-BBC ablation baseline.
+// BBC is a byte-aligned compressed bitmap whose logical ops merge byte
+// runs on the compressed stream.
 type BBC = bitvec.BBC
+
+// DenseBitmap is the uncompressed codec, the fast path for high-density
+// bins where fill runs never pay off.
+type DenseBitmap = bitvec.Dense
+
+// Codec names a bitmap encoding; CodecAuto is the adaptive per-bin policy.
+type Codec = codec.ID
+
+// Available codecs. CodecAuto picks per bin by density at build time
+// (dense at ≥50%, the smaller run-length codec below).
+const (
+	CodecAuto  = codec.Auto
+	CodecWAH   = codec.WAH
+	CodecBBC   = codec.BBC
+	CodecDense = codec.Dense
+)
 
 // SegmentBits is the number of logical bits per WAH word (31).
 const SegmentBits = bitvec.SegmentBits
 
-// Re-exported bitvec constructors.
+// Re-exported bitvec/codec constructors.
 var (
-	FromBools     = bitvec.FromBools
-	FromIndices   = bitvec.FromIndices
-	ConcatVectors = bitvec.Concat
-	BBCFromVector = bitvec.BBCFromVector
+	FromBools       = bitvec.FromBools
+	FromIndices     = bitvec.FromIndices
+	ConcatVectors   = bitvec.Concat
+	ToBitVector     = bitvec.ToVector
+	BBCFromVector   = bitvec.BBCFromVector
+	BBCFromBitmap   = bitvec.BBCFromBitmap
+	DenseFromBitmap = bitvec.DenseFromBitmap
+	ParseCodec      = codec.Parse
+	EncodeBitmap    = codec.Encode
+	CodecOf         = codec.Of
 )
 
 // --- Binning (internal/binning) ---
@@ -149,6 +179,7 @@ type StreamIndexBuilder = index.StreamBuilder
 // Re-exported index constructors.
 var (
 	BuildIndex           = index.Build
+	BuildIndexCodec      = index.BuildCodec
 	BuildIndexAlgorithm1 = index.BuildAlgorithm1
 	BuildIndexTwoPhase   = index.BuildTwoPhase
 	BuildIndexParallel   = index.BuildParallel
@@ -415,6 +446,7 @@ var (
 	NewIOStore       = iosim.NewStore
 	NewIOStoreWriter = iosim.NewStoreWriter
 	WriteIndexFile   = store.WriteIndex
+	WriteIndexFileV1 = store.WriteIndexV1
 	ReadIndexFile    = store.ReadIndex
 	IndexFileSize    = store.IndexSize
 	WriteRawFile     = store.WriteRaw

@@ -1,16 +1,18 @@
 package bitvec
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math/bits"
 )
 
-// A byte-aligned bitmap code in the spirit of BBC (Antoshenkov, DCC'95),
+// A byte-aligned bitmap codec in the spirit of BBC (Antoshenkov, DCC'95),
 // which the paper cites alongside WAH as the other classic run-length bitmap
-// compressor. It is implemented here as the comparison baseline for the
-// WAH-vs-BBC ablation bench: byte-granular runs compress sparse vectors
-// tighter than 31-bit-granular WAH fills, but operations require decoding.
+// compressor. Byte-granular runs compress sparse vectors tighter than
+// 31-bit-granular WAH fills; logical operations run directly on the
+// compressed stream by merging byte runs (see bbcBinary), so BBC bins never
+// need a full decode on the query path.
 //
 // Stream format (not the historical BBC wire format, but byte-aligned and
 // run-length like it):
@@ -18,6 +20,10 @@ import (
 //	token 0x00..0x7F : literal chunk; (token+1) verbatim bytes follow
 //	token 0x80       : zero run; uvarint byte count follows
 //	token 0x81       : one  run; uvarint byte count follows
+//
+// Invariants: the runs cover exactly ceil(nbits/8) bytes, and the padding
+// bits of the final byte beyond nbits are zero (so byte-wise AND/OR/XOR/
+// ANDNOT preserve the padding without masking).
 
 const (
 	bbcZeroRun = 0x80
@@ -32,9 +38,13 @@ type BBC struct {
 }
 
 // BBCFromBytes compresses a raw little-endian bit buffer of nbits bits.
+// Padding bits of the final byte must be zero.
 func BBCFromBytes(raw []byte, nbits int) *BBC {
 	if need := (nbits + 7) / 8; need != len(raw) {
 		panic(fmt.Sprintf("bitvec: BBCFromBytes: %d bytes cannot hold exactly %d bits", len(raw), nbits))
+	}
+	if rem := nbits % 8; rem != 0 && len(raw) > 0 && raw[len(raw)-1]&^(byte(1)<<uint(rem)-1) != 0 {
+		panic(fmt.Sprintf("bitvec: BBCFromBytes: set bits beyond length %d", nbits))
 	}
 	var out []byte
 	i := 0
@@ -66,33 +76,105 @@ func BBCFromBytes(raw []byte, nbits int) *BBC {
 }
 
 // BBCFromVector converts a WAH vector to byte-aligned form.
-func BBCFromVector(v *Vector) *BBC {
-	return BBCFromBytes(vectorToBytes(v), v.Len())
+func BBCFromVector(v *Vector) *BBC { return BBCFromBitmap(v) }
+
+// BBCFromBitmap re-encodes any bitmap as BBC. A *BBC passes through
+// unchanged (bitmaps are immutable, so sharing is safe).
+func BBCFromBitmap(b Bitmap) *BBC {
+	if c, ok := b.(*BBC); ok {
+		return c
+	}
+	return BBCFromBytes(bitmapToBytes(b), b.Len())
+}
+
+// RawBytes exposes the encoded stream (read-only; used by store).
+func (b *BBC) RawBytes() []byte { return b.data }
+
+// BBCFromRaw reconstructs a BBC bitmap from a stored stream, validating the
+// token structure, byte coverage, and final-byte padding; used by the store
+// reader on untrusted input.
+func BBCFromRaw(data []byte, nbits int) (*BBC, error) {
+	if nbits < 0 {
+		return nil, fmt.Errorf("bitvec: negative bit length %d", nbits)
+	}
+	need := (nbits + 7) / 8
+	covered := 0
+	i := 0
+	for i < len(data) {
+		tok := data[i]
+		i++
+		switch tok {
+		case bbcZeroRun, bbcOneRun:
+			n, k := binary.Uvarint(data[i:])
+			if k <= 0 {
+				return nil, fmt.Errorf("bitvec: BBC run at byte %d has malformed count", i-1)
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("bitvec: BBC zero-length run at byte %d", i-1)
+			}
+			if n > uint64(need-covered) {
+				return nil, fmt.Errorf("bitvec: BBC run of %d bytes overflows %d-bit bitmap", n, nbits)
+			}
+			i += k
+			covered += int(n)
+		default:
+			n := int(tok) + 1
+			if i+n > len(data) {
+				return nil, fmt.Errorf("bitvec: BBC literal chunk at byte %d truncated", i-1)
+			}
+			if n > need-covered {
+				return nil, fmt.Errorf("bitvec: BBC literal of %d bytes overflows %d-bit bitmap", n, nbits)
+			}
+			i += n
+			covered += n
+		}
+	}
+	if covered != need {
+		return nil, fmt.Errorf("bitvec: BBC stream covers %d bytes, want %d for %d bits", covered, need, nbits)
+	}
+	b := &BBC{data: append([]byte(nil), data...), nbits: nbits}
+	if rem := nbits % 8; rem != 0 && need > 0 {
+		// The padding-zero invariant: check the final byte without decoding
+		// the rest of the stream.
+		if last := b.byteAt(need - 1); last&^(byte(1)<<uint(rem)-1) != 0 {
+			return nil, fmt.Errorf("bitvec: BBC encoding has set bits beyond length %d", nbits)
+		}
+	}
+	return b, nil
+}
+
+// byteAt decodes the logical byte at index idx (validated streams only).
+func (b *BBC) byteAt(idx int) byte {
+	var t bbcTokIter
+	t.reset(b.data)
+	pos := 0
+	for t.valid() {
+		if idx < pos+t.n {
+			if t.fill {
+				return t.fb
+			}
+			return t.lit[t.lp+idx-pos]
+		}
+		pos += t.n
+		t.consume(t.n)
+	}
+	return 0
 }
 
 // Bytes decompresses into a raw little-endian bit buffer.
 func (b *BBC) Bytes() []byte {
 	out := make([]byte, 0, (b.nbits+7)/8)
-	i := 0
-	for i < len(b.data) {
-		tok := b.data[i]
-		i++
-		switch tok {
-		case bbcZeroRun, bbcOneRun:
-			n, k := binary.Uvarint(b.data[i:])
-			i += k
-			fill := byte(0x00)
-			if tok == bbcOneRun {
-				fill = 0xFF
+	var t bbcTokIter
+	t.reset(b.data)
+	for t.valid() {
+		if t.fill {
+			for j := 0; j < t.n; j++ {
+				out = append(out, t.fb)
 			}
-			for j := uint64(0); j < n; j++ {
-				out = append(out, fill)
-			}
-		default:
-			n := int(tok) + 1
-			out = append(out, b.data[i:i+n]...)
-			i += n
+		} else {
+			out = append(out, t.lit[t.lp:t.lp+t.n]...)
 		}
+		t.consume(t.n)
 	}
 	return out
 }
@@ -100,69 +182,499 @@ func (b *BBC) Bytes() []byte {
 // Len returns the logical bit length.
 func (b *BBC) Len() int { return b.nbits }
 
+// Words returns the physical size in 32-bit words, rounded up.
+func (b *BBC) Words() int { return (len(b.data) + 3) / 4 }
+
 // SizeBytes returns the compressed size.
 func (b *BBC) SizeBytes() int { return len(b.data) }
 
-// Count returns the number of set bits, decoding runs in O(1) each.
+// Count returns the number of set bits, counting fill runs in O(1); the
+// padding-zero invariant makes masking unnecessary.
 func (b *BBC) Count() int {
 	total := 0
-	bytePos := 0
-	lastBits := b.nbits % 8
-	fullBytes := b.nbits / 8
-	countByte := func(v byte) {
-		if bytePos < fullBytes {
-			total += bits.OnesCount8(v)
-		} else if lastBits > 0 {
-			total += bits.OnesCount8(v & (1<<uint(lastBits) - 1))
+	var t bbcTokIter
+	t.reset(b.data)
+	for t.valid() {
+		if t.fill {
+			if t.fb == 0xFF {
+				total += 8 * t.n
+			}
+		} else {
+			for _, v := range t.lit[t.lp : t.lp+t.n] {
+				total += bits.OnesCount8(v)
+			}
 		}
-		bytePos++
+		t.consume(t.n)
 	}
-	i := 0
-	for i < len(b.data) {
-		tok := b.data[i]
-		i++
-		switch tok {
-		case bbcZeroRun:
-			n, k := binary.Uvarint(b.data[i:])
-			i += k
-			bytePos += int(n)
-		case bbcOneRun:
-			n, k := binary.Uvarint(b.data[i:])
-			i += k
-			for j := uint64(0); j < n; j++ {
-				countByte(0xFF)
-			}
-		default:
-			n := int(tok) + 1
-			for _, v := range b.data[i : i+n] {
-				countByte(v)
-			}
-			i += n
-		}
+	if rem := b.nbits % 8; rem != 0 {
+		// A one-fill may cover the padded final byte; subtract its padding.
+		need := (b.nbits + 7) / 8
+		total -= bits.OnesCount8(b.byteAt(need-1) &^ (byte(1)<<uint(rem) - 1))
 	}
 	return total
 }
 
-// And returns b AND o by decoding both operands (BBC's structural cost,
-// which the ablation bench quantifies against WAH's compressed-form ops).
-func (b *BBC) And(o *BBC) *BBC {
-	if b.nbits != o.nbits {
-		panic(fmt.Sprintf("bitvec: BBC length mismatch %d vs %d", b.nbits, o.nbits))
+// CountRange returns the number of set bits in [from, to).
+func (b *BBC) CountRange(from, to int) int { return genericCountRange(b, from, to) }
+
+// CountUnits reports the set-bit count of each unitSize-bit unit.
+func (b *BBC) CountUnits(unitSize int) []int { return genericCountUnits(b, unitSize) }
+
+// Get reports the value of logical bit i.
+func (b *BBC) Get(i int) bool {
+	if i < 0 || i >= b.nbits {
+		panic(fmt.Sprintf("bitvec: Get(%d) out of range [0,%d)", i, b.nbits))
 	}
-	x := b.Bytes()
-	y := o.Bytes()
-	for i := range x {
-		x[i] &= y[i]
+	return b.byteAt(i/8)&(1<<uint(i%8)) != 0
+}
+
+// Iterate calls fn for each set bit in ascending order.
+func (b *BBC) Iterate(fn func(pos int) bool) { genericIterate(b, fn) }
+
+// WriteIDs stores id into dst at every set-bit position.
+func (b *BBC) WriteIDs(dst []int32, id int32) { genericWriteIDs(b, dst, id) }
+
+// And returns b AND o; a BBC pair merges byte runs on the compressed form.
+func (b *BBC) And(o Bitmap) Bitmap { return b.binaryOp(o, opAnd) }
+
+// Or returns b OR o.
+func (b *BBC) Or(o Bitmap) Bitmap { return b.binaryOp(o, opOr) }
+
+// Xor returns b XOR o.
+func (b *BBC) Xor(o Bitmap) Bitmap { return b.binaryOp(o, opXor) }
+
+// AndNot returns b AND NOT o.
+func (b *BBC) AndNot(o Bitmap) Bitmap { return b.binaryOp(o, opAndNot) }
+
+func (b *BBC) binaryOp(o Bitmap, k opKind) Bitmap {
+	ob, ok := o.(*BBC)
+	if !ok {
+		return genericBinary(b, o, k)
 	}
-	return BBCFromBytes(x, b.nbits)
+	return bbcBinary(b, ob, k)
+}
+
+// bbcBinary merges two BBC streams byte-run by byte-run: aligned fill runs
+// combine in O(1), literal regions byte-wise, with the output re-coalesced
+// by bbcWriter. Both operands keep zero padding, so the result does too
+// (x OP y over zero bits yields zero for all four ops).
+func bbcBinary(a, b *BBC, k opKind) *BBC {
+	if a.nbits != b.nbits {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", a.nbits, b.nbits))
+	}
+	countOp(k)
+	var x, y bbcTokIter
+	x.reset(a.data)
+	y.reset(b.data)
+	var w bbcWriter
+	for x.valid() && y.valid() {
+		if x.fill && y.fill {
+			m := x.n
+			if y.n < m {
+				m = y.n
+			}
+			w.putRun(byte(k.apply(uint32(x.fb), uint32(y.fb))), m)
+			x.consume(m)
+			y.consume(m)
+			continue
+		}
+		w.putByte(byte(k.apply(uint32(x.cur()), uint32(y.cur()))))
+		x.consume(1)
+		y.consume(1)
+	}
+	return &BBC{data: w.bytes(), nbits: a.nbits}
+}
+
+// Not returns the complement of b within its logical length.
+func (b *BBC) Not() Bitmap {
+	tel.opNot.Inc()
+	total := (b.nbits + 7) / 8
+	rem := b.nbits % 8
+	var t bbcTokIter
+	t.reset(b.data)
+	var w bbcWriter
+	pos := 0
+	for t.valid() {
+		if t.fill {
+			m := t.n
+			if rem != 0 && pos+m == total {
+				m-- // hold back the final byte for padding masking
+			}
+			if m > 0 {
+				w.putRun(^t.fb, m)
+				pos += m
+				t.consume(m)
+				continue
+			}
+		}
+		v := ^t.cur()
+		if rem != 0 && pos == total-1 {
+			v &= byte(1)<<uint(rem) - 1
+		}
+		w.putByte(v)
+		pos++
+		t.consume(1)
+	}
+	return &BBC{data: w.bytes(), nbits: b.nbits}
+}
+
+// AndCount returns Count(b AND o) without materializing the result.
+func (b *BBC) AndCount(o Bitmap) int { return b.binaryCount(o, opAnd) }
+
+// OrCount returns Count(b OR o) without materializing the result.
+func (b *BBC) OrCount(o Bitmap) int { return b.binaryCount(o, opOr) }
+
+// XorCount returns Count(b XOR o) without materializing the result.
+func (b *BBC) XorCount(o Bitmap) int { return b.binaryCount(o, opXor) }
+
+// AndNotCount returns Count(b AND NOT o) without materializing the result.
+func (b *BBC) AndNotCount(o Bitmap) int { return b.binaryCount(o, opAndNot) }
+
+func (b *BBC) binaryCount(o Bitmap, k opKind) int {
+	ob, ok := o.(*BBC)
+	if !ok {
+		return genericBinaryCount(b, o, k)
+	}
+	if b.nbits != ob.nbits {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", b.nbits, ob.nbits))
+	}
+	var x, y bbcTokIter
+	x.reset(b.data)
+	y.reset(ob.data)
+	total := 0
+	for x.valid() && y.valid() {
+		if x.fill && y.fill {
+			m := x.n
+			if y.n < m {
+				m = y.n
+			}
+			if byte(k.apply(uint32(x.fb), uint32(y.fb))) == 0xFF {
+				total += 8 * m
+			}
+			x.consume(m)
+			y.consume(m)
+			continue
+		}
+		total += bits.OnesCount8(byte(k.apply(uint32(x.cur()), uint32(y.cur()))))
+		x.consume(1)
+		y.consume(1)
+	}
+	if rem := b.nbits % 8; rem != 0 {
+		// Aligned one-fills may have counted the padded final byte in full;
+		// recount it masked.
+		need := (b.nbits + 7) / 8
+		last := byte(k.apply(uint32(b.byteAt(need-1)), uint32(ob.byteAt(need-1))))
+		total -= bits.OnesCount8(last &^ (byte(1)<<uint(rem) - 1))
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (b *BBC) Clone() Bitmap {
+	return &BBC{data: append([]byte(nil), b.data...), nbits: b.nbits}
+}
+
+// Equal reports whether two bitmaps have identical logical contents.
+func (b *BBC) Equal(o Bitmap) bool {
+	if ob, ok := o.(*BBC); ok {
+		if b.nbits != ob.nbits {
+			return false
+		}
+		if bytes.Equal(b.data, ob.data) {
+			return true
+		}
+		// Encodings may differ physically (split runs); fall through.
+	}
+	return genericEqual(b, o)
+}
+
+// Stats describes the physical composition. For the byte-aligned stream the
+// WAH word tallies don't apply; PhysicalBytes carries the true footprint.
+func (b *BBC) Stats() Stats {
+	return Stats{
+		Bits:          b.nbits,
+		SetBits:       b.Count(),
+		PhysicalBytes: b.SizeBytes(),
+	}
+}
+
+// Runs streams the contents at 31-bit segment granularity directly from the
+// byte stream: fill runs covering ≥31 homogeneous bits become fill runs
+// without decoding, and segment boundaries are assembled through a bit
+// accumulator.
+func (b *BBC) Runs() RunReader {
+	r := &bbcRunReader{segsLeft: (b.nbits + SegmentBits - 1) / SegmentBits}
+	r.t.reset(b.data)
+	return r
+}
+
+type bbcRunReader struct {
+	t        bbcTokIter
+	acc      uint64 // pending bits, LSB first
+	nacc     uint   // number of pending bits
+	segsLeft int
+}
+
+func (r *bbcRunReader) NextRun() (Run, bool) {
+	if r.segsLeft == 0 {
+		return Run{}, false
+	}
+	// Fill fast path: the pending bits (if any) agree with the current byte
+	// run's fill value, and together they cover at least one full segment.
+	if r.t.valid() && r.t.fill {
+		bit := uint32(0)
+		if r.t.fb == 0xFF {
+			bit = 1
+		}
+		homogeneous := r.nacc == 0 ||
+			(bit == 0 && r.acc == 0) ||
+			(bit == 1 && r.acc == uint64(1)<<r.nacc-1)
+		if homogeneous {
+			avail := int(r.nacc) + 8*r.t.n
+			segs := avail / SegmentBits
+			if segs > r.segsLeft {
+				segs = r.segsLeft
+			}
+			if bit == 1 && r.segsLeft*SegmentBits > avail+8*r.remStreamBytes() {
+				// Guard (unreachable for valid streams): never let a one-fill
+				// cover segments the stream doesn't back.
+				segs = 0
+			}
+			if segs > 0 {
+				used := segs*SegmentBits - int(r.nacc) // bits taken from the byte run
+				fullBytes := used / 8
+				remBits := used % 8
+				r.t.consume(fullBytes)
+				r.acc, r.nacc = 0, 0
+				if remBits > 0 {
+					r.acc = uint64(r.t.cur() >> uint(remBits))
+					r.nacc = 8 - uint(remBits)
+					r.t.consume(1)
+				}
+				r.segsLeft -= segs
+				return Run{Fill: true, Bit: bit, N: segs}, true
+			}
+		}
+	}
+	w := r.readBits(SegmentBits)
+	r.segsLeft--
+	if w == 0 {
+		return Run{Fill: true, N: 1}, true
+	}
+	return Run{N: 1, Word: w}, true
+}
+
+// remStreamBytes reports the bytes remaining in the token stream beyond the
+// current run (conservative; only used by the one-fill guard).
+func (r *bbcRunReader) remStreamBytes() int {
+	return len(r.t.data) - r.t.i
+}
+
+// readBits pulls n (≤ 31) bits LSB-first, zero-padding past the stream end.
+func (r *bbcRunReader) readBits(n uint) uint32 {
+	for r.nacc < n {
+		var b byte
+		if r.t.valid() {
+			b = r.t.cur()
+			r.t.consume(1)
+		}
+		r.acc |= uint64(b) << r.nacc
+		r.nacc += 8
+	}
+	v := uint32(r.acc & (uint64(1)<<n - 1))
+	r.acc >>= n
+	r.nacc -= n
+	return v
+}
+
+// bbcTokIter walks the token stream as byte-granular runs: a fill run of n
+// identical bytes, or a literal chunk viewed byte by byte.
+type bbcTokIter struct {
+	data []byte
+	i    int
+	fill bool
+	fb   byte   // fill byte (0x00 or 0xFF) when fill
+	n    int    // remaining bytes in the current run
+	lit  []byte // current literal chunk when !fill
+	lp   int    // cursor within lit
+}
+
+func (t *bbcTokIter) reset(data []byte) {
+	t.data = data
+	t.i = 0
+	t.n = 0
+	t.load()
+}
+
+func (t *bbcTokIter) load() {
+	t.n = 0
+	for t.i < len(t.data) && t.n == 0 {
+		tok := t.data[t.i]
+		t.i++
+		switch tok {
+		case bbcZeroRun, bbcOneRun:
+			v, k := binary.Uvarint(t.data[t.i:])
+			if k <= 0 {
+				// Validated streams never hit this; stop rather than spin.
+				t.i = len(t.data)
+				return
+			}
+			t.i += k
+			t.fill = true
+			t.fb = 0x00
+			if tok == bbcOneRun {
+				t.fb = 0xFF
+			}
+			t.n = int(v)
+		default:
+			cnt := int(tok) + 1
+			if t.i+cnt > len(t.data) {
+				t.i = len(t.data)
+				return
+			}
+			t.fill = false
+			t.lit = t.data[t.i : t.i+cnt]
+			t.lp = 0
+			t.n = cnt
+			t.i += cnt
+		}
+	}
+}
+
+func (t *bbcTokIter) valid() bool { return t.n > 0 }
+
+func (t *bbcTokIter) cur() byte {
+	if t.fill {
+		return t.fb
+	}
+	return t.lit[t.lp]
+}
+
+func (t *bbcTokIter) consume(k int) {
+	t.n -= k
+	if !t.fill {
+		t.lp += k
+	}
+	if t.n <= 0 {
+		t.load()
+	}
+}
+
+// bbcWriter re-encodes a byte stream with run coalescing.
+type bbcWriter struct {
+	out  []byte
+	lit  []byte
+	fill byte
+	run  int
+}
+
+func (w *bbcWriter) putByte(b byte) {
+	if b == 0x00 || b == 0xFF {
+		w.putRun(b, 1)
+		return
+	}
+	w.flushRun()
+	w.lit = append(w.lit, b)
+	if len(w.lit) == bbcMaxLit {
+		w.flushLit()
+	}
+}
+
+func (w *bbcWriter) putRun(fb byte, n int) {
+	if n <= 0 {
+		return
+	}
+	w.flushLit()
+	if w.run > 0 && w.fill == fb {
+		w.run += n
+		return
+	}
+	w.flushRun()
+	w.fill = fb
+	w.run = n
+}
+
+func (w *bbcWriter) flushLit() {
+	if len(w.lit) == 0 {
+		return
+	}
+	w.out = append(w.out, byte(len(w.lit)-1))
+	w.out = append(w.out, w.lit...)
+	w.lit = w.lit[:0]
+}
+
+func (w *bbcWriter) flushRun() {
+	if w.run == 0 {
+		return
+	}
+	tok := byte(bbcZeroRun)
+	if w.fill == 0xFF {
+		tok = bbcOneRun
+	}
+	w.out = append(w.out, tok)
+	w.out = binary.AppendUvarint(w.out, uint64(w.run))
+	w.run = 0
+}
+
+func (w *bbcWriter) bytes() []byte {
+	w.flushLit()
+	w.flushRun()
+	return w.out
 }
 
 // vectorToBytes expands a WAH vector into a little-endian bit buffer.
-func vectorToBytes(v *Vector) []byte {
-	out := make([]byte, (v.Len()+7)/8)
-	v.Iterate(func(pos int) bool {
-		out[pos/8] |= 1 << uint(pos%8)
-		return true
-	})
+func vectorToBytes(v *Vector) []byte { return bitmapToBytes(v) }
+
+// bitmapToBytes expands any bitmap into a little-endian bit buffer, walking
+// runs so solid regions become byte-range writes.
+func bitmapToBytes(b Bitmap) []byte {
+	n := b.Len()
+	out := make([]byte, (n+7)/8)
+	pos := 0
+	var it bmIter
+	it.reset(b.Runs())
+	for it.ok && pos < n {
+		if it.run.Fill {
+			span := it.run.N * SegmentBits
+			if it.run.Bit != 0 {
+				end := pos + span
+				if end > n {
+					end = n
+				}
+				setBitRange(out, pos, end)
+			}
+			pos += span
+			it.consume(it.run.N)
+			continue
+		}
+		w := it.run.Word & literalMask
+		for w != 0 {
+			j := bits.TrailingZeros32(w)
+			if p := pos + j; p < n {
+				out[p/8] |= 1 << uint(p%8)
+			}
+			w &= w - 1
+		}
+		pos += SegmentBits
+		it.consume(1)
+	}
 	return out
 }
+
+// setBitRange sets bits [from, to) of a little-endian bit buffer.
+func setBitRange(out []byte, from, to int) {
+	for from < to && from%8 != 0 {
+		out[from/8] |= 1 << uint(from%8)
+		from++
+	}
+	for from+8 <= to {
+		out[from/8] = 0xFF
+		from += 8
+	}
+	for from < to {
+		out[from/8] |= 1 << uint(from%8)
+		from++
+	}
+}
+
+var _ Bitmap = (*BBC)(nil)

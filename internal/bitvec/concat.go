@@ -8,12 +8,13 @@ import "fmt"
 // SegmentBits — so the compressed words can be joined without re-encoding.
 // This is how per-core "distributed bitmaps" (paper §2.3, Figure 2) are
 // assembled into a single logical vector for global analysis.
-func Concat(parts ...*Vector) (*Vector, error) {
+func Concat(parts ...Bitmap) (*Vector, error) {
 	if len(parts) == 0 {
 		return &Vector{}, nil
 	}
 	var a Appender
-	for i, p := range parts {
+	for i, part := range parts {
+		p := ToVector(part)
 		if i < len(parts)-1 && p.nbits%SegmentBits != 0 {
 			return nil, fmt.Errorf("bitvec: Concat part %d ends mid-segment (%d bits)", i, p.nbits)
 		}
@@ -31,7 +32,7 @@ func Concat(parts ...*Vector) (*Vector, error) {
 
 // MustConcat is Concat that panics on misaligned input; for callers that
 // construct the parts themselves and have already enforced alignment.
-func MustConcat(parts ...*Vector) *Vector {
+func MustConcat(parts ...Bitmap) *Vector {
 	v, err := Concat(parts...)
 	if err != nil {
 		panic(err)

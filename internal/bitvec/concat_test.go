@@ -11,7 +11,7 @@ func TestConcatProperty(t *testing.T) {
 		// Build 1..5 parts; all but the last aligned to SegmentBits.
 		nParts := 1 + r.Intn(5)
 		var all []bool
-		parts := make([]*Vector, nParts)
+		parts := make([]Bitmap, nParts)
 		for i := 0; i < nParts; i++ {
 			n := r.Intn(10) * SegmentBits
 			if i == nParts-1 {

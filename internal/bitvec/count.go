@@ -192,7 +192,11 @@ func (v *Vector) WriteIDs(dst []int32, id int32) {
 // AndCount returns Count(v AND o) without materializing the result vector.
 // The mining inner loop calls this for every bin pair, so avoiding the
 // intermediate allocation matters.
-func (v *Vector) AndCount(o *Vector) int {
+func (v *Vector) AndCount(bm Bitmap) int {
+	o, ok := bm.(*Vector)
+	if !ok {
+		return genericBinaryCount(v, bm, opAnd)
+	}
 	if v.nbits != o.nbits {
 		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.nbits, o.nbits))
 	}
@@ -234,7 +238,11 @@ func (v *Vector) AndCount(o *Vector) int {
 // XorCount returns Count(v XOR o) without materializing the result. This is
 // the paper's spatial EMD primitive: the number of positions where exactly
 // one of the two bin vectors has an element.
-func (v *Vector) XorCount(o *Vector) int {
+func (v *Vector) XorCount(bm Bitmap) int {
+	o, ok := bm.(*Vector)
+	if !ok {
+		return genericBinaryCount(v, bm, opXor)
+	}
 	if v.nbits != o.nbits {
 		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.nbits, o.nbits))
 	}

@@ -1,0 +1,359 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Generic, codec-independent implementations over the Run iterator. These
+// are the cross-codec fallbacks: a WAH×Dense AND, a BBC CountRange, etc.
+// They never decompress an operand — fill runs are consumed in O(1) — and
+// binary ops emit a WAH vector, the universal intermediate form.
+
+// genericBinary merges two bitmaps of any codecs into a WAH result.
+func genericBinary(a, b Bitmap, k opKind) *Vector {
+	n := checkLen(a, b)
+	countOp(k)
+	var x, y bmIter
+	x.reset(a.Runs())
+	y.reset(b.Runs())
+	var out Appender
+	left := n
+	for left > 0 && x.ok && y.ok {
+		if x.run.Fill && y.run.Fill {
+			m := x.run.N
+			if y.run.N < m {
+				m = y.run.N
+			}
+			if span := m * SegmentBits; span <= left {
+				out.AppendFill(k.fillBits(x.run.Bit&1, y.run.Bit&1), m)
+				left -= span
+				x.consume(m)
+				y.consume(m)
+				continue
+			}
+		}
+		w := k.apply(x.payload(), y.payload()) & literalMask
+		if left >= SegmentBits {
+			out.AppendSegment(w)
+			left -= SegmentBits
+		} else {
+			out.AppendPartial(w, left)
+			left = 0
+		}
+		x.consume(1)
+		y.consume(1)
+	}
+	for left >= SegmentBits {
+		full := left / SegmentBits
+		out.AppendFill(0, full)
+		left -= full * SegmentBits
+	}
+	if left > 0 {
+		out.AppendPartial(0, left)
+	}
+	return out.Vector()
+}
+
+// genericBinaryCount returns Count(a OP b) without materializing the result.
+func genericBinaryCount(a, b Bitmap, k opKind) int {
+	n := checkLen(a, b)
+	var x, y bmIter
+	x.reset(a.Runs())
+	y.reset(b.Runs())
+	total := 0
+	left := n
+	for left > 0 && x.ok && y.ok {
+		if x.run.Fill && y.run.Fill {
+			m := x.run.N
+			if y.run.N < m {
+				m = y.run.N
+			}
+			if k.fillBits(x.run.Bit&1, y.run.Bit&1) != 0 {
+				span := m * SegmentBits
+				if span > left {
+					span = left
+				}
+				total += span
+			}
+			left -= m * SegmentBits
+			x.consume(m)
+			y.consume(m)
+			continue
+		}
+		w := k.apply(x.payload(), y.payload()) & literalMask
+		if left < SegmentBits {
+			w &= uint32(1)<<uint(left) - 1
+		}
+		total += bits.OnesCount32(w)
+		left -= SegmentBits
+		x.consume(1)
+		y.consume(1)
+	}
+	return total
+}
+
+// genericCount sums the set bits of any bitmap through its runs.
+func genericCount(b Bitmap) int {
+	total := 0
+	left := b.Len()
+	var it bmIter
+	it.reset(b.Runs())
+	for it.ok && left > 0 {
+		if it.run.Fill {
+			span := it.run.N * SegmentBits
+			if span > left {
+				span = left
+			}
+			if it.run.Bit != 0 {
+				total += span
+			}
+			left -= it.run.N * SegmentBits
+			it.consume(it.run.N)
+			continue
+		}
+		w := it.run.Word & literalMask
+		if left < SegmentBits {
+			w &= uint32(1)<<uint(left) - 1
+		}
+		total += bits.OnesCount32(w)
+		left -= SegmentBits
+		it.consume(1)
+	}
+	return total
+}
+
+// genericCountRange counts set bits in [from, to) through the runs.
+func genericCountRange(b Bitmap, from, to int) int {
+	if from < 0 || to > b.Len() || from > to {
+		panic(fmt.Sprintf("bitvec: CountRange[%d,%d) out of range [0,%d]", from, to, b.Len()))
+	}
+	if from == to {
+		return 0
+	}
+	total := 0
+	base := 0
+	var it bmIter
+	it.reset(b.Runs())
+	for it.ok && base < to {
+		if it.run.Fill {
+			span := it.run.N * SegmentBits
+			end := base + span
+			if it.run.Bit != 0 {
+				lo, hi := base, end
+				if lo < from {
+					lo = from
+				}
+				if hi > to {
+					hi = to
+				}
+				if hi > lo {
+					total += hi - lo
+				}
+			}
+			base = end
+			it.consume(it.run.N)
+			continue
+		}
+		end := base + SegmentBits
+		if end > from {
+			w := it.run.Word & literalMask
+			lo := 0
+			if from > base {
+				lo = from - base
+			}
+			hi := SegmentBits
+			if to < end {
+				hi = to - base
+			}
+			w >>= uint(lo)
+			w &= uint32(1)<<uint(hi-lo) - 1
+			total += bits.OnesCount32(w)
+		}
+		base = end
+		it.consume(1)
+	}
+	return total
+}
+
+// genericCountUnits is CountUnits for any codec (see Vector.CountUnits).
+func genericCountUnits(b Bitmap, unitSize int) []int {
+	if unitSize <= 0 {
+		panic("bitvec: CountUnits requires unitSize > 0")
+	}
+	nbits := b.Len()
+	out := make([]int, (nbits+unitSize-1)/unitSize)
+	if nbits == 0 {
+		return out
+	}
+	base := 0
+	var it bmIter
+	it.reset(b.Runs())
+	for it.ok && base < nbits {
+		if it.run.Fill {
+			span := it.run.N * SegmentBits
+			end := base + span
+			if end > nbits {
+				end = nbits
+			}
+			if it.run.Bit != 0 {
+				p := base
+				for p < end {
+					u := p / unitSize
+					next := (u + 1) * unitSize
+					if next > end {
+						next = end
+					}
+					out[u] += next - p
+					p = next
+				}
+			}
+			base += span
+			it.consume(it.run.N)
+			continue
+		}
+		w := it.run.Word & literalMask
+		if base+SegmentBits > nbits {
+			w &= uint32(1)<<uint(nbits-base) - 1
+		}
+		for w != 0 {
+			j := bits.TrailingZeros32(w)
+			out[(base+j)/unitSize]++
+			w &= w - 1
+		}
+		base += SegmentBits
+		it.consume(1)
+	}
+	return out
+}
+
+// genericGet reads one logical bit through the runs.
+func genericGet(b Bitmap, i int) bool {
+	if i < 0 || i >= b.Len() {
+		panic(fmt.Sprintf("bitvec: Get(%d) out of range [0,%d)", i, b.Len()))
+	}
+	seg := i / SegmentBits
+	off := uint(i % SegmentBits)
+	pos := 0
+	var it bmIter
+	it.reset(b.Runs())
+	for it.ok {
+		if seg < pos+it.run.N {
+			if it.run.Fill {
+				return it.run.Bit != 0
+			}
+			return it.run.Word&(1<<off) != 0
+		}
+		pos += it.run.N
+		it.consume(it.run.N)
+	}
+	return false
+}
+
+// genericIterate visits every set bit in ascending order.
+func genericIterate(b Bitmap, fn func(pos int) bool) {
+	nbits := b.Len()
+	base := 0
+	var it bmIter
+	it.reset(b.Runs())
+	for it.ok && base < nbits {
+		if it.run.Fill {
+			span := it.run.N * SegmentBits
+			if it.run.Bit != 0 {
+				end := base + span
+				if end > nbits {
+					end = nbits
+				}
+				for p := base; p < end; p++ {
+					if !fn(p) {
+						return
+					}
+				}
+			}
+			base += span
+			it.consume(it.run.N)
+			continue
+		}
+		w := it.run.Word & literalMask
+		for w != 0 {
+			j := bits.TrailingZeros32(w)
+			p := base + j
+			if p >= nbits {
+				break
+			}
+			if !fn(p) {
+				return
+			}
+			w &= w - 1
+		}
+		base += SegmentBits
+		it.consume(1)
+	}
+}
+
+// genericWriteIDs stores id at every set-bit position (see Vector.WriteIDs).
+func genericWriteIDs(b Bitmap, dst []int32, id int32) {
+	nbits := b.Len()
+	if len(dst) < nbits {
+		panic(fmt.Sprintf("bitvec: WriteIDs dst of %d for %d bits", len(dst), nbits))
+	}
+	base := 0
+	var it bmIter
+	it.reset(b.Runs())
+	for it.ok && base < nbits {
+		if it.run.Fill {
+			end := base + it.run.N*SegmentBits
+			if it.run.Bit != 0 {
+				hi := end
+				if hi > nbits {
+					hi = nbits
+				}
+				for p := base; p < hi; p++ {
+					dst[p] = id
+				}
+			}
+			base = end
+			it.consume(it.run.N)
+			continue
+		}
+		w := it.run.Word & literalMask
+		for w != 0 {
+			j := bits.TrailingZeros32(w)
+			if p := base + j; p < nbits {
+				dst[p] = id
+			}
+			w &= w - 1
+		}
+		base += SegmentBits
+		it.consume(1)
+	}
+}
+
+// genericEqual compares logical contents across codecs.
+func genericEqual(a, b Bitmap) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	return genericBinaryCount(a, b, opXor) == 0
+}
+
+// Jaccard returns |A∩B| / |A∪B|, the similarity measure used to compare
+// bin occupancy patterns; two empty bitmaps have similarity 1.
+func Jaccard(a, b Bitmap) float64 {
+	inter := a.AndCount(b)
+	union := a.Count() + b.Count() - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Bools decompresses any bitmap into a boolean slice (tests/debugging).
+func Bools(b Bitmap) []bool {
+	out := make([]bool, b.Len())
+	b.Iterate(func(pos int) bool {
+		out[pos] = true
+		return true
+	})
+	return out
+}

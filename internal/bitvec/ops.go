@@ -8,20 +8,28 @@ import "fmt"
 // which is what makes the paper's metric computations (XOR for EMD, AND for
 // joint distributions) fast.
 
-// And returns v AND o.
-func (v *Vector) And(o *Vector) *Vector { return v.binary(o, opAnd) }
+// And returns v AND o. A WAH pair dispatches to the native run merge;
+// mixed-codec pairs go through the generic run-iterator merge.
+func (v *Vector) And(o Bitmap) Bitmap { return v.binaryOp(o, opAnd) }
 
 // Or returns v OR o.
-func (v *Vector) Or(o *Vector) *Vector { return v.binary(o, opOr) }
+func (v *Vector) Or(o Bitmap) Bitmap { return v.binaryOp(o, opOr) }
 
 // Xor returns v XOR o.
-func (v *Vector) Xor(o *Vector) *Vector { return v.binary(o, opXor) }
+func (v *Vector) Xor(o Bitmap) Bitmap { return v.binaryOp(o, opXor) }
 
 // AndNot returns v AND NOT o.
-func (v *Vector) AndNot(o *Vector) *Vector { return v.binary(o, opAndNot) }
+func (v *Vector) AndNot(o Bitmap) Bitmap { return v.binaryOp(o, opAndNot) }
+
+func (v *Vector) binaryOp(o Bitmap, k opKind) Bitmap {
+	if ov, ok := o.(*Vector); ok {
+		return v.binary(ov, k)
+	}
+	return genericBinary(v, o, k)
+}
 
 // Not returns the complement of v (within its logical length).
-func (v *Vector) Not() *Vector {
+func (v *Vector) Not() Bitmap {
 	tel.opNot.Inc()
 	var a Appender
 	var it runIter

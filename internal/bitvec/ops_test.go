@@ -14,12 +14,12 @@ func naiveOp(a, b []bool, op func(x, y bool) bool) []bool {
 	return out
 }
 
-func sameBits(t *testing.T, name string, v *Vector, want []bool) {
+func sameBits(t *testing.T, name string, v Bitmap, want []bool) {
 	t.Helper()
 	if v.Len() != len(want) {
 		t.Fatalf("%s: Len=%d want %d", name, v.Len(), len(want))
 	}
-	got := v.Bools()
+	got := Bools(v)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("%s: bit %d = %v, want %v", name, i, got[i], want[i])
@@ -31,7 +31,7 @@ func TestBinaryOpsProperty(t *testing.T) {
 	f := func(p pairValue) bool {
 		va, vb := FromBools(p.A), FromBools(p.B)
 		checks := []struct {
-			got  *Vector
+			got  Bitmap
 			want []bool
 		}{
 			{va.And(vb), naiveOp(p.A, p.B, func(x, y bool) bool { return x && y })},
@@ -43,7 +43,7 @@ func TestBinaryOpsProperty(t *testing.T) {
 			if c.got.Len() != len(c.want) {
 				return false
 			}
-			bs := c.got.Bools()
+			bs := Bools(c.got)
 			for i := range c.want {
 				if bs[i] != c.want[i] {
 					return false
@@ -64,7 +64,7 @@ func TestNotProperty(t *testing.T) {
 		if n.Len() != len(bs) {
 			return false
 		}
-		got := n.Bools()
+		got := Bools(n)
 		for i := range bs {
 			if got[i] == bs[i] {
 				return false

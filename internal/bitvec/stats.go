@@ -13,6 +13,9 @@ type Stats struct {
 	FilledSegments int
 	Bits           int
 	SetBits        int
+	// PhysicalBytes is the encoded footprint in bytes, set by every codec
+	// (the WAH word tallies above only apply to word-aligned encodings).
+	PhysicalBytes int
 }
 
 // CompressionRatio is the compressed size relative to the uncompressed
@@ -21,12 +24,15 @@ func (s Stats) CompressionRatio() float64 {
 	if s.Bits == 0 {
 		return 0
 	}
+	if s.PhysicalBytes > 0 {
+		return float64(8*s.PhysicalBytes) / float64(s.Bits)
+	}
 	return float64(32*(s.LiteralWords+s.FillWords)) / float64(s.Bits)
 }
 
 // Stats scans the encoded words.
 func (v *Vector) Stats() Stats {
-	st := Stats{Bits: v.nbits, SetBits: v.Count()}
+	st := Stats{Bits: v.nbits, SetBits: v.Count(), PhysicalBytes: v.SizeBytes()}
 	for _, w := range v.words {
 		if w&fillFlag != 0 {
 			st.FillWords++
@@ -44,24 +50,17 @@ func (v *Vector) Stats() Stats {
 }
 
 // OrCount returns Count(v OR o) without materializing the result.
-func (v *Vector) OrCount(o *Vector) int {
+func (v *Vector) OrCount(o Bitmap) int {
 	// |A ∪ B| = |A| + |B| − |A ∩ B|: two cached counts and one fused pass.
 	return v.Count() + o.Count() - v.AndCount(o)
 }
 
 // AndNotCount returns Count(v AND NOT o) without materializing the result.
-func (v *Vector) AndNotCount(o *Vector) int {
+func (v *Vector) AndNotCount(o Bitmap) int {
 	// |A \ B| = |A| − |A ∩ B|.
 	return v.Count() - v.AndCount(o)
 }
 
 // Jaccard returns |A∩B| / |A∪B|, the similarity measure used to compare
 // bin occupancy patterns; two empty vectors have similarity 1.
-func (v *Vector) Jaccard(o *Vector) float64 {
-	inter := v.AndCount(o)
-	union := v.Count() + o.Count() - inter
-	if union == 0 {
-		return 1
-	}
-	return float64(inter) / float64(union)
-}
+func (v *Vector) Jaccard(o Bitmap) float64 { return Jaccard(v, o) }

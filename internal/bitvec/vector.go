@@ -133,14 +133,18 @@ func FromRawWords(words []uint32, nbits int) (*Vector, error) {
 }
 
 // Clone returns a deep copy.
-func (v *Vector) Clone() *Vector {
+func (v *Vector) Clone() Bitmap {
 	return &Vector{words: append([]uint32(nil), v.words...), nbits: v.nbits}
 }
 
-// Equal reports whether two vectors have identical logical contents.
+// Equal reports whether two bitmaps have identical logical contents.
 // Physical encodings may differ (e.g. two adjacent fills vs one); Equal
 // compares run-by-run, not word-by-word.
-func (v *Vector) Equal(o *Vector) bool {
+func (v *Vector) Equal(bm Bitmap) bool {
+	o, ok := bm.(*Vector)
+	if !ok {
+		return genericEqual(v, bm)
+	}
 	if v.nbits != o.nbits {
 		return false
 	}
@@ -265,6 +269,31 @@ func (v *Vector) String() string {
 	sb.WriteByte(']')
 	return sb.String()
 }
+
+// Runs streams the contents at segment granularity (see Bitmap).
+func (v *Vector) Runs() RunReader {
+	r := &vecRunReader{}
+	r.it.reset(v.words)
+	return r
+}
+
+type vecRunReader struct{ it runIter }
+
+func (r *vecRunReader) NextRun() (Run, bool) {
+	if !r.it.valid() {
+		return Run{}, false
+	}
+	if r.it.fill {
+		run := Run{Fill: true, Bit: r.it.fillBit(), N: r.it.run}
+		r.it.consume(r.it.run)
+		return run, true
+	}
+	run := Run{N: 1, Word: r.it.payload()}
+	r.it.consume(1)
+	return run, true
+}
+
+var _ Bitmap = (*Vector)(nil)
 
 // runIter walks the encoded words as a sequence of runs. For a fill word the
 // run is its segment count; for a literal the run is 1. consume(n) advances

@@ -412,7 +412,7 @@ func addXorDiffs(a, b *stepSummary, k int, diffs []int) {
 	if a.indices != nil {
 		xa, xb := a.indices[k], b.indices[k]
 		for j := 0; j < xa.Bins(); j++ {
-			diffs[j] += xa.Vector(j).XorCount(xb.Vector(j))
+			diffs[j] += xa.Bitmap(j).XorCount(xb.Bitmap(j))
 		}
 		return
 	}

@@ -1,0 +1,137 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"insitubits/internal/bitvec"
+)
+
+func boolsAtDensity(r *rand.Rand, n int, p float64) []bool {
+	bs := make([]bool, n)
+	for i := range bs {
+		bs[i] = r.Float64() < p
+	}
+	return bs
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, id := range []ID{Auto, WAH, BBC, Dense} {
+		got, err := Parse(id.String())
+		if err != nil || got != id {
+			t.Fatalf("Parse(%q) = %v, %v", id.String(), got, err)
+		}
+	}
+	if _, err := Parse("zstd"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if id, err := Parse(""); err != nil || id != Auto {
+		t.Fatalf("empty codec: %v, %v", id, err)
+	}
+}
+
+func TestEncodeProducesRequestedCodec(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v := bitvec.FromBools(boolsAtDensity(r, 1000, 0.3))
+	for _, c := range []struct {
+		id   ID
+		want ID
+	}{{WAH, WAH}, {BBC, BBC}, {Dense, Dense}} {
+		got := Encode(v, c.id)
+		if Of(got) != c.want {
+			t.Fatalf("Encode(%v) produced %v", c.id, Of(got))
+		}
+		if !got.Equal(v) {
+			t.Fatalf("Encode(%v) changed contents", c.id)
+		}
+	}
+}
+
+// The acceptance-criteria policy assertion: Auto picks the uncompressed
+// codec at and above 50% density and a run-length codec below it.
+func TestAutoPolicy(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n = 10000
+	cases := []struct {
+		density   float64
+		wantDense bool
+	}{
+		{0.001, false},
+		{0.05, false},
+		{0.3, false},
+		{0.5, true},
+		{0.75, true},
+		{0.99, true},
+	}
+	for _, c := range cases {
+		// Fix the exact count so the density is deterministic, not sampled.
+		k := int(c.density * n)
+		bs := make([]bool, n)
+		perm := r.Perm(n)
+		for _, i := range perm[:k] {
+			bs[i] = true
+		}
+		got := Encode(bitvec.FromBools(bs), Auto)
+		id := Of(got)
+		if c.wantDense && id != Dense {
+			t.Fatalf("density %.3f: Auto chose %v, want dense", c.density, id)
+		}
+		if !c.wantDense && (id != WAH && id != BBC) {
+			t.Fatalf("density %.3f: Auto chose %v, want a run-length codec", c.density, id)
+		}
+	}
+}
+
+func TestAutoKeepsSmallerRunLengthCodec(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.4} {
+		b := Encode(bitvec.FromBools(boolsAtDensity(r, 20000, p)), Auto)
+		if Of(b) == Dense {
+			continue
+		}
+		w := bitvec.ToVector(b)
+		c := bitvec.BBCFromBitmap(b)
+		min := w.SizeBytes()
+		if c.SizeBytes() < min {
+			min = c.SizeBytes()
+		}
+		if b.SizeBytes() != min {
+			t.Fatalf("density %.3f: Auto kept %v at %d bytes; smaller option is %d",
+				p, Of(b), b.SizeBytes(), min)
+		}
+	}
+}
+
+func TestPayloadNewRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, p := range []float64{0, 0.01, 0.5, 1} {
+		for _, n := range []int{0, 1, 31, 100, 997} {
+			v := bitvec.FromBools(boolsAtDensity(r, n, p))
+			for _, id := range []ID{WAH, BBC, Dense} {
+				enc := Encode(v, id)
+				back, err := New(id, Payload(enc), n)
+				if err != nil {
+					t.Fatalf("n=%d p=%.2f %v: New: %v", n, p, id, err)
+				}
+				if Of(back) != id || !back.Equal(v) {
+					t.Fatalf("n=%d p=%.2f %v: payload round-trip diverged", n, p, id)
+				}
+			}
+		}
+	}
+}
+
+func TestNewRejectsMalformed(t *testing.T) {
+	if _, err := New(WAH, []byte{1, 2, 3}, 8); err == nil {
+		t.Fatal("ragged WAH payload accepted")
+	}
+	if _, err := New(Dense, []byte{0xFF, 0xFF, 0xFF, 0xFF}, 31); err == nil {
+		t.Fatal("dense payload with fill bit accepted")
+	}
+	if _, err := New(BBC, []byte{0x80}, 8); err == nil {
+		t.Fatal("truncated BBC payload accepted")
+	}
+	if _, err := New(ID(9), nil, 0); err == nil {
+		t.Fatal("unknown codec tag accepted")
+	}
+}

@@ -11,14 +11,17 @@ import (
 
 	"insitubits/internal/binning"
 	"insitubits/internal/bitvec"
+	"insitubits/internal/codec"
 )
 
 // Index is a bitmap index over one array of values. The per-bin 1-counts —
 // the value histogram — fall out of construction for free and are cached,
 // because every information-theoretic metric in the paper starts from them.
+// Each bin holds a bitvec.Bitmap of any codec; builders produce WAH and
+// Recode applies a per-bin encoding policy afterwards.
 type Index struct {
 	mapper binning.Mapper
-	vecs   []*bitvec.Vector
+	vecs   []bitvec.Bitmap
 	counts []int
 	n      int
 }
@@ -71,7 +74,7 @@ func BuildAlgorithm1(data []float64, m binning.Mapper) *Index {
 			}
 		}
 	}
-	idx := &Index{mapper: m, vecs: make([]*bitvec.Vector, binNum), counts: make([]int, binNum), n: len(data)}
+	idx := &Index{mapper: m, vecs: make([]bitvec.Bitmap, binNum), counts: make([]int, binNum), n: len(data)}
 	for j := range result {
 		idx.vecs[j] = result[j].Vector()
 		idx.counts[j] = idx.vecs[j].Count()
@@ -80,10 +83,10 @@ func BuildAlgorithm1(data []float64, m binning.Mapper) *Index {
 	return idx
 }
 
-// FromParts reassembles an Index from deserialized vectors (the store
-// package's read path). Every vector must cover exactly n bits and there
-// must be one per bin of the mapper.
-func FromParts(m binning.Mapper, vecs []*bitvec.Vector, n int) (*Index, error) {
+// FromParts reassembles an Index from deserialized bitmaps (the store
+// package's read path). Every bitmap must cover exactly n bits and there
+// must be one per bin of the mapper; codecs may differ per bin.
+func FromParts(m binning.Mapper, vecs []bitvec.Bitmap, n int) (*Index, error) {
 	if len(vecs) != m.Bins() {
 		return nil, fmt.Errorf("index: %d vectors for %d bins", len(vecs), m.Bins())
 	}
@@ -114,7 +117,7 @@ func BuildTwoPhase(data []float64, m binning.Mapper) *Index {
 		b := m.Bin(v)
 		dense[b][i/64] |= 1 << uint(i%64)
 	}
-	x := &Index{mapper: m, vecs: make([]*bitvec.Vector, nb), counts: make([]int, nb), n: len(data)}
+	x := &Index{mapper: m, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb), n: len(data)}
 	for b := range dense {
 		var a bitvec.Appender
 		for i := 0; i < len(data); i += bitvec.SegmentBits {
@@ -151,8 +154,27 @@ func (x *Index) Bins() int { return len(x.vecs) }
 // Mapper returns the binning used to build the index.
 func (x *Index) Mapper() binning.Mapper { return x.mapper }
 
-// Vector returns the bitvector of bin b (shared, do not mutate).
-func (x *Index) Vector(b int) *bitvec.Vector { return x.vecs[b] }
+// Bitmap returns the bitmap of bin b (shared, do not mutate).
+func (x *Index) Bitmap(b int) bitvec.Bitmap { return x.vecs[b] }
+
+// Codec reports the encoding of bin b.
+func (x *Index) Codec(b int) codec.ID { return codec.Of(x.vecs[b]) }
+
+// Recode re-encodes every bin under the given codec (codec.Auto applies
+// the adaptive per-bin policy). Bins already in the target encoding are
+// untouched; the index is modified in place and returned for chaining.
+func (x *Index) Recode(id codec.ID) *Index {
+	for b := range x.vecs {
+		x.vecs[b] = codec.Encode(x.vecs[b], id)
+	}
+	return x
+}
+
+// BuildCodec builds the index (streaming WAH generation) and then applies
+// the given encoding policy per bin.
+func BuildCodec(data []float64, m binning.Mapper, id codec.ID) *Index {
+	return Build(data, m).Recode(id)
+}
 
 // Count returns the cached number of elements in bin b.
 func (x *Index) Count(b int) int {
@@ -195,13 +217,13 @@ func (x *Index) SizeBytes() int {
 // Query returns the bitvector of elements whose value lies in [lo, hi),
 // OR-ing together every bin overlapping the range. Bins straddling the
 // endpoints are included whole (bin-granular semantics, as in the paper).
-func (x *Index) Query(lo, hi float64) *bitvec.Vector {
+func (x *Index) Query(lo, hi float64) bitvec.Bitmap {
 	tel.queries.Inc()
 	if tel.orMergeNs != nil {
 		start := time.Now()
 		defer func() { tel.orMergeNs.Record(time.Since(start).Nanoseconds()) }()
 	}
-	var acc *bitvec.Vector
+	var acc bitvec.Bitmap
 	for b := 0; b < x.Bins(); b++ {
 		if x.mapper.High(b) <= lo || x.mapper.Low(b) >= hi {
 			continue
@@ -296,7 +318,7 @@ func (sb *StreamBuilder) Finish() *Index {
 			}
 		}
 	}
-	x := &Index{mapper: sb.mapper, vecs: make([]*bitvec.Vector, nb), counts: make([]int, nb), n: sb.n}
+	x := &Index{mapper: sb.mapper, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb), n: sb.n}
 	for b := 0; b < nb; b++ {
 		x.vecs[b] = sb.apps[b].Vector()
 		x.counts[b] = x.vecs[b].Count()
@@ -369,8 +391,8 @@ func ConcatIndexes(parts ...*Index) *Index {
 	}
 	first := parts[0]
 	nb := first.Bins()
-	out := &Index{mapper: first.mapper, vecs: make([]*bitvec.Vector, nb), counts: make([]int, nb)}
-	vecs := make([]*bitvec.Vector, len(parts))
+	out := &Index{mapper: first.mapper, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb)}
+	vecs := make([]bitvec.Bitmap, len(parts))
 	for b := 0; b < nb; b++ {
 		for i, p := range parts {
 			if p.Bins() != nb {
@@ -406,10 +428,10 @@ func BuildMultiLevel(low *Index, fanout int) (*MultiLevel, error) {
 	if err != nil {
 		return nil, err
 	}
-	high := &Index{mapper: g, vecs: make([]*bitvec.Vector, g.Bins()), counts: make([]int, g.Bins()), n: low.n}
+	high := &Index{mapper: g, vecs: make([]bitvec.Bitmap, g.Bins()), counts: make([]int, g.Bins()), n: low.n}
 	for h := 0; h < g.Bins(); h++ {
 		lo, hi := g.Children(h)
-		acc := low.vecs[lo]
+		var acc bitvec.Bitmap = low.vecs[lo]
 		for b := lo + 1; b < hi; b++ {
 			acc = acc.Or(low.vecs[b])
 		}

@@ -48,9 +48,9 @@ func TestBuildMatchesAlgorithm1(t *testing.T) {
 			t.Fatalf("trial %d: shape mismatch", trial)
 		}
 		for b := 0; b < lazy.Bins(); b++ {
-			if !lazy.Vector(b).Equal(dense.Vector(b)) {
+			if !lazy.Bitmap(b).Equal(dense.Bitmap(b)) {
 				t.Fatalf("trial %d: bin %d differs\nlazy:  %s\ndense: %s",
-					trial, b, lazy.Vector(b), dense.Vector(b))
+					trial, b, lazy.Bitmap(b), dense.Bitmap(b))
 			}
 			if lazy.Count(b) != dense.Count(b) {
 				t.Fatalf("trial %d: bin %d count %d vs %d", trial, b, lazy.Count(b), dense.Count(b))
@@ -68,7 +68,7 @@ func TestEveryElementInExactlyOneBin(t *testing.T) {
 		want := m.Bin(v)
 		hits := 0
 		for b := 0; b < x.Bins(); b++ {
-			if x.Vector(b).Get(i) {
+			if x.Bitmap(b).Get(i) {
 				hits++
 				if b != want {
 					t.Fatalf("element %d (value %g) in bin %d, want %d", i, v, b, want)
@@ -113,7 +113,7 @@ func TestStreamBuilderChunkInvariance(t *testing.T) {
 	}
 	chunked := sb.Finish()
 	for b := 0; b < oneShot.Bins(); b++ {
-		if !oneShot.Vector(b).Equal(chunked.Vector(b)) {
+		if !oneShot.Bitmap(b).Equal(chunked.Bitmap(b)) {
 			t.Fatalf("bin %d differs between one-shot and chunked append", b)
 		}
 	}
@@ -130,7 +130,7 @@ func TestBuildParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("workers=%d: N=%d want %d", workers, parallel.N(), serial.N())
 		}
 		for b := 0; b < serial.Bins(); b++ {
-			if !serial.Vector(b).Equal(parallel.Vector(b)) {
+			if !serial.Bitmap(b).Equal(parallel.Bitmap(b)) {
 				t.Fatalf("workers=%d: bin %d differs", workers, b)
 			}
 			if serial.Count(b) != parallel.Count(b) {
@@ -193,7 +193,7 @@ func TestPaperFigure1(t *testing.T) {
 			t.Fatalf("bin %d count=%d want %d", b, x.Count(b), len(positions))
 		}
 		for _, p := range positions {
-			if !x.Vector(b).Get(p) {
+			if !x.Bitmap(b).Get(p) {
 				t.Fatalf("bin %d missing bit %d", b, p)
 			}
 		}
@@ -211,7 +211,7 @@ func TestPaperFigure1(t *testing.T) {
 			t.Fatalf("high bin %d count=%d want %d", h, ml.High.Count(h), len(positions))
 		}
 		for _, p := range positions {
-			if !ml.High.Vector(h).Get(p) {
+			if !ml.High.Bitmap(h).Get(p) {
 				t.Fatalf("high bin %d missing bit %d", h, p)
 			}
 		}
@@ -228,11 +228,11 @@ func TestMultiLevelHighIsOrOfChildren(t *testing.T) {
 	}
 	for h := 0; h < ml.High.Bins(); h++ {
 		lo, hi := ml.G.Children(h)
-		acc := x.Vector(lo).Clone()
+		acc := x.Bitmap(lo).Clone()
 		for b := lo + 1; b < hi; b++ {
-			acc = acc.Or(x.Vector(b))
+			acc = acc.Or(x.Bitmap(b))
 		}
-		if !ml.High.Vector(h).Equal(acc) {
+		if !ml.High.Bitmap(h).Equal(acc) {
 			t.Fatalf("high bin %d is not the OR of children [%d,%d)", h, lo, hi)
 		}
 	}
@@ -266,7 +266,7 @@ func TestSizeBytesMatchesVectors(t *testing.T) {
 	x := Build(data, mustUniform(t, 16))
 	sum := 0
 	for b := 0; b < x.Bins(); b++ {
-		sum += x.Vector(b).SizeBytes()
+		sum += x.Bitmap(b).SizeBytes()
 	}
 	if x.SizeBytes() != sum {
 		t.Fatalf("SizeBytes=%d, sum of vectors=%d", x.SizeBytes(), sum)
@@ -303,7 +303,7 @@ func TestEmptyBuild(t *testing.T) {
 		t.Fatalf("empty build: N=%d size=%d", x.N(), x.SizeBytes())
 	}
 	for b := 0; b < 4; b++ {
-		if x.Vector(b).Len() != 0 {
+		if x.Bitmap(b).Len() != 0 {
 			t.Fatalf("bin %d not empty", b)
 		}
 	}
@@ -356,7 +356,7 @@ func TestBuildTwoPhaseMatchesStreaming(t *testing.T) {
 			t.Fatalf("trial %d: shape mismatch", trial)
 		}
 		for bin := 0; bin < a.Bins(); bin++ {
-			if !a.Vector(bin).Equal(b.Vector(bin)) {
+			if !a.Bitmap(bin).Equal(b.Bitmap(bin)) {
 				t.Fatalf("trial %d: bin %d differs", trial, bin)
 			}
 		}

@@ -5,10 +5,53 @@ import (
 	"path/filepath"
 	"testing"
 
+	"insitubits/internal/codec"
 	"insitubits/internal/selection"
 	"insitubits/internal/sim/heat3d"
 	"insitubits/internal/store"
 )
+
+// TestPipelineCodecReachesDisk pins a codec in the config and checks the
+// persisted index files carry it bin by bin.
+func TestPipelineCodecReachesDisk(t *testing.T) {
+	for _, id := range []codec.ID{codec.WAH, codec.BBC, codec.Dense} {
+		dir := t.TempDir()
+		h, err := heat3d.New(10, 10, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Run(Config{
+			Sim: h, Steps: 8, Select: 2,
+			Method: Bitmaps, Bins: 32, Codec: id,
+			Metric:    selection.ConditionalEntropy,
+			Cores:     2,
+			OutputDir: dir,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+		m, err := ReadManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mf := range m.Files {
+			f, err := os.Open(filepath.Join(dir, mf.Path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := store.ReadIndex(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%v: %s: %v", id, mf.Path, err)
+			}
+			for b := 0; b < x.Bins(); b++ {
+				if got := x.Codec(b); got != id {
+					t.Fatalf("%v: %s bin %d stored as %v", id, mf.Path, b, got)
+				}
+			}
+		}
+	}
+}
 
 func TestOutputDirPersistsSelectedBitmaps(t *testing.T) {
 	dir := t.TempDir()

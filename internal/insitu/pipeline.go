@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"insitubits/internal/binning"
+	"insitubits/internal/codec"
 	"insitubits/internal/index"
 	"insitubits/internal/iosim"
 	"insitubits/internal/sampling"
@@ -59,6 +60,12 @@ type Config struct {
 	Bins      int     // bins per variable (bitmaps/fulldata metrics)
 	SamplePct float64 // sampling percentage for Method == Sampling
 	Seed      int64   // sampler seed
+
+	// Codec selects the per-bin bitmap encoding for Method == Bitmaps. The
+	// zero value (codec.Auto) applies the adaptive density policy — dense
+	// bins store uncompressed, sparse bins take the smaller run-length
+	// codec. Pin codec.WAH to reproduce pre-v2 output exactly.
+	Codec codec.ID
 
 	Metric selection.Metric
 	Part   selection.Partitioner
@@ -114,6 +121,9 @@ func (c *Config) validate() error {
 	}
 	if c.Cores < 1 {
 		return fmt.Errorf("insitu: %d cores", c.Cores)
+	}
+	if !c.Codec.Valid() {
+		return fmt.Errorf("insitu: unknown codec %v", c.Codec)
 	}
 	if c.Method == Sampling && c.Bins < 1 {
 		return fmt.Errorf("insitu: sampling still needs bins for selection metrics, got %d", c.Bins)
@@ -275,7 +285,7 @@ func (r *reducer) reduce(fields []sim.Field, nWorkers int) (*stepSummary, error)
 			}
 			sim.ParallelFor(len(fields), nWorkers, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
-					xs[k] = index.BuildParallel(fields[k].Data, r.mappers[k], perVar)
+					xs[k] = index.BuildParallel(fields[k].Data, r.mappers[k], perVar).Recode(r.cfg.Codec)
 				}
 			})
 			for k, x := range xs {
@@ -286,7 +296,7 @@ func (r *reducer) reduce(fields []sim.Field, nWorkers int) (*stepSummary, error)
 			break
 		}
 		for k, f := range fields {
-			x := index.BuildParallel(f.Data, r.mappers[k], nWorkers)
+			x := index.BuildParallel(f.Data, r.mappers[k], nWorkers).Recode(r.cfg.Codec)
 			parts[k] = selection.NewBitmapSummary(x)
 			outBytes += store.IndexSize(x)
 			memBytes += int64(x.SizeBytes())

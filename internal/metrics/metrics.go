@@ -85,12 +85,12 @@ func JointHistogramBitmapsAND(xa, xb *index.Index) [][]int {
 		if xa.Count(i) == 0 {
 			continue
 		}
-		va := xa.Vector(i)
+		va := xa.Bitmap(i)
 		for j := 0; j < xb.Bins(); j++ {
 			if xb.Count(j) == 0 {
 				continue
 			}
-			joint[i][j] = va.AndCount(xb.Vector(j))
+			joint[i][j] = va.AndCount(xb.Bitmap(j))
 		}
 	}
 	return joint
@@ -211,7 +211,7 @@ func EMDSpatialBitmaps(xa, xb *index.Index) float64 {
 	cfp := 0
 	total := 0.0
 	for j := 0; j < xa.Bins(); j++ {
-		cfp += xa.Vector(j).XorCount(xb.Vector(j))
+		cfp += xa.Bitmap(j).XorCount(xb.Bitmap(j))
 		total += float64(cfp)
 	}
 	return total

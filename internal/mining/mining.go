@@ -71,7 +71,7 @@ func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
 		if ci == 0 {
 			continue
 		}
-		va := xa.Vector(i)
+		va := xa.Bitmap(i)
 		for j := 0; j < xb.Bins(); j++ {
 			cj := xb.Count(j)
 			if cj == 0 {
@@ -82,7 +82,7 @@ func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
 			if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
 				continue
 			}
-			cij := va.AndCount(xb.Vector(j))                         // line 3: LogicAND (count only)
+			cij := va.AndCount(xb.Bitmap(j))                         // line 3: LogicAND (count only)
 			valueMI := metrics.MutualInformationTerm(cij, ci, cj, n) // line 4
 			if valueMI < cfg.ValueThreshold {                        // line 5
 				continue
@@ -91,7 +91,7 @@ func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
 				unitsA = unitCounts(xa, cfg.UnitSize)
 				unitsB = unitCounts(xb, cfg.UnitSize)
 			}
-			joint := va.And(xb.Vector(j))
+			joint := va.And(xb.Bitmap(j))
 			jointUnits := joint.CountUnits(cfg.UnitSize)
 			out = append(out, scanUnits(i, j, valueMI, jointUnits, unitsA[i], unitsB[j], n, cfg)...)
 		}
@@ -135,7 +135,7 @@ func scanUnits(binA, binB int, valueMI float64, joint, ca, cb []int, n int, cfg 
 func unitCounts(x *index.Index, unitSize int) [][]int {
 	out := make([][]int, x.Bins())
 	for b := range out {
-		out[b] = x.Vector(b).CountUnits(unitSize)
+		out[b] = x.Bitmap(b).CountUnits(unitSize)
 	}
 	return out
 }
@@ -160,12 +160,12 @@ func MineMultiLevel(mla, mlb *index.MultiLevel, cfg Config) ([]Finding, error) {
 		if mla.High.Count(hi) == 0 {
 			continue
 		}
-		vhi := mla.High.Vector(hi)
+		vhi := mla.High.Bitmap(hi)
 		for hj := 0; hj < mlb.High.Bins(); hj++ {
 			if mlb.High.Count(hj) == 0 {
 				continue
 			}
-			cHH := vhi.AndCount(mlb.High.Vector(hj))
+			cHH := vhi.AndCount(mlb.High.Bitmap(hj))
 			if childTermUpperBound(cHH, n) < cfg.ValueThreshold {
 				continue // no child pair can pass T
 			}
@@ -176,7 +176,7 @@ func MineMultiLevel(mla, mlb *index.MultiLevel, cfg Config) ([]Finding, error) {
 				if ci == 0 {
 					continue
 				}
-				va := xa.Vector(i)
+				va := xa.Bitmap(i)
 				for j := loB; j < hiB; j++ {
 					cj := xb.Count(j)
 					if cj == 0 {
@@ -185,7 +185,7 @@ func MineMultiLevel(mla, mlb *index.MultiLevel, cfg Config) ([]Finding, error) {
 					if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
 						continue
 					}
-					cij := va.AndCount(xb.Vector(j))
+					cij := va.AndCount(xb.Bitmap(j))
 					valueMI := metrics.MutualInformationTerm(cij, ci, cj, n)
 					if valueMI < cfg.ValueThreshold {
 						continue
@@ -194,7 +194,7 @@ func MineMultiLevel(mla, mlb *index.MultiLevel, cfg Config) ([]Finding, error) {
 						unitsA = unitCounts(xa, cfg.UnitSize)
 						unitsB = unitCounts(xb, cfg.UnitSize)
 					}
-					joint := va.And(xb.Vector(j))
+					joint := va.And(xb.Bitmap(j))
 					jointUnits := joint.CountUnits(cfg.UnitSize)
 					out = append(out, scanUnits(i, j, valueMI, jointUnits, unitsA[i], unitsB[j], n, cfg)...)
 				}

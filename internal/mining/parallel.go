@@ -39,7 +39,7 @@ func MineParallel(xa, xb *index.Index, cfg Config, nWorkers int) ([]Finding, err
 			if ci == 0 {
 				continue
 			}
-			va := xa.Vector(i)
+			va := xa.Bitmap(i)
 			for j := 0; j < xb.Bins(); j++ {
 				cj := xb.Count(j)
 				if cj == 0 {
@@ -48,12 +48,12 @@ func MineParallel(xa, xb *index.Index, cfg Config, nWorkers int) ([]Finding, err
 				if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
 					continue
 				}
-				cij := va.AndCount(xb.Vector(j))
+				cij := va.AndCount(xb.Bitmap(j))
 				valueMI := metrics.MutualInformationTerm(cij, ci, cj, n)
 				if valueMI < cfg.ValueThreshold {
 					continue
 				}
-				joint := va.And(xb.Vector(j))
+				joint := va.And(xb.Bitmap(j))
 				out = append(out, scanUnits(i, j, valueMI, joint.CountUnits(cfg.UnitSize), unitsA[i], unitsB[j], n, cfg)...)
 			}
 		}

@@ -47,12 +47,12 @@ func (s Subset) spatialBounds(n int) (lo, hi int) {
 }
 
 // Bits materializes the subset as a bitvector over the index's elements.
-func Bits(x *index.Index, s Subset) (*bitvec.Vector, error) {
+func Bits(x *index.Index, s Subset) (bitvec.Bitmap, error) {
 	defer observe(tel.bits)()
 	if err := s.validate(x.N()); err != nil {
 		return nil, err
 	}
-	var v *bitvec.Vector
+	var v bitvec.Bitmap
 	if s.hasValue() {
 		v = x.Query(s.ValueLo, s.ValueHi)
 	} else {
@@ -138,7 +138,7 @@ func Count(x *index.Index, s Subset) (int, error) {
 		if !s.hasSpatial() {
 			total += x.Count(b)
 		} else {
-			total += x.Vector(b).CountRange(lo, hi)
+			total += x.Bitmap(b).CountRange(lo, hi)
 		}
 	}
 	return total, nil
@@ -168,7 +168,7 @@ func Sum(x *index.Index, s Subset) (Aggregate, error) {
 		if !s.hasSpatial() {
 			c = x.Count(b)
 		} else {
-			c = x.Vector(b).CountRange(lo, hi)
+			c = x.Bitmap(b).CountRange(lo, hi)
 		}
 		if c == 0 {
 			continue
@@ -185,7 +185,7 @@ func Sum(x *index.Index, s Subset) (Aggregate, error) {
 // SumMasked aggregates the values of the elements selected by an arbitrary
 // bitvector mask — the building block for analyses whose selections are
 // produced by bitwise combinations (subgroup discovery, incomplete data).
-func SumMasked(x *index.Index, mask *bitvec.Vector) (Aggregate, error) {
+func SumMasked(x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
 	defer observe(tel.masked)()
 	if mask.Len() != x.N() {
 		return Aggregate{}, fmt.Errorf("query: mask covers %d bits for %d elements", mask.Len(), x.N())
@@ -195,7 +195,7 @@ func SumMasked(x *index.Index, mask *bitvec.Vector) (Aggregate, error) {
 		if x.Count(b) == 0 {
 			continue
 		}
-		c := x.Vector(b).AndCount(mask)
+		c := x.Bitmap(b).AndCount(mask)
 		if c == 0 {
 			continue
 		}
@@ -209,7 +209,7 @@ func SumMasked(x *index.Index, mask *bitvec.Vector) (Aggregate, error) {
 }
 
 // MeanMasked is SumMasked divided by the selected count.
-func MeanMasked(x *index.Index, mask *bitvec.Vector) (Aggregate, error) {
+func MeanMasked(x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
 	sum, err := SumMasked(x, mask)
 	if err != nil || sum.Count == 0 {
 		return Aggregate{}, err
@@ -257,7 +257,7 @@ func Quantile(x *index.Index, s Subset, q float64) (Aggregate, error) {
 		if !s.hasSpatial() {
 			counts[b] = x.Count(b)
 		} else {
-			counts[b] = x.Vector(b).CountRange(lo, hi)
+			counts[b] = x.Bitmap(b).CountRange(lo, hi)
 		}
 		total += counts[b]
 	}
@@ -296,7 +296,7 @@ func MinMax(x *index.Index, s Subset) (min, max Aggregate, err error) {
 		if !s.hasSpatial() {
 			c = x.Count(b)
 		} else {
-			c = x.Vector(b).CountRange(lo, hi)
+			c = x.Bitmap(b).CountRange(lo, hi)
 		}
 		if c == 0 {
 			continue
@@ -355,19 +355,19 @@ func Correlation(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, error) {
 		joint[i] = make([]int, xb.Bins())
 	}
 	// Restricted marginals and joint distribution via AND with the mask.
-	restrictedA := make([]*bitvec.Vector, xa.Bins())
+	restrictedA := make([]bitvec.Bitmap, xa.Bins())
 	for i := 0; i < xa.Bins(); i++ {
 		if xa.Count(i) == 0 {
 			continue
 		}
-		restrictedA[i] = xa.Vector(i).And(mask)
+		restrictedA[i] = xa.Bitmap(i).And(mask)
 		ha[i] = restrictedA[i].Count()
 	}
 	for j := 0; j < xb.Bins(); j++ {
 		if xb.Count(j) == 0 {
 			continue
 		}
-		vj := xb.Vector(j).And(mask)
+		vj := xb.Bitmap(j).And(mask)
 		hb[j] = vj.Count()
 		if hb[j] == 0 {
 			continue
@@ -393,11 +393,11 @@ func Correlation(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, error) {
 // are missing and excluded from every aggregate.
 type Masked struct {
 	X     *index.Index
-	Valid *bitvec.Vector
+	Valid bitvec.Bitmap
 }
 
 // NewMasked pairs an index with its validity mask.
-func NewMasked(x *index.Index, valid *bitvec.Vector) (*Masked, error) {
+func NewMasked(x *index.Index, valid bitvec.Bitmap) (*Masked, error) {
 	if valid.Len() != x.N() {
 		return nil, fmt.Errorf("query: mask covers %d bits for %d elements", valid.Len(), x.N())
 	}
@@ -418,7 +418,7 @@ func (m *Masked) Sum(s Subset) (Aggregate, error) {
 		if !s.binSelected(m.X, b) || m.X.Count(b) == 0 {
 			continue
 		}
-		vb := m.X.Vector(b).And(m.Valid)
+		vb := m.X.Bitmap(b).And(m.Valid)
 		c := vb.CountRange(lo, hi)
 		if c == 0 {
 			continue

@@ -1,16 +1,21 @@
 // Package store defines the on-disk formats: a compact binary container for
 // compressed bitmap indices (what the in-situ pipeline writes instead of raw
 // data) and a raw float64 array format for the full-data baseline. Both are
-// little-endian, versioned, and validated on read.
+// little-endian, versioned, and validated on read. docs/FORMATS.md specifies
+// every layout byte-by-byte.
 //
 // Index file layout (all integers little-endian):
 //
 //	magic   "ISBM" (4 bytes)
-//	version u32 (currently 1)
+//	version u32 (2; version-1 files are still read)
 //	n       u64  elements indexed
 //	bins    u32
 //	edges   (bins+1) × f64   bin boundaries (reconstructs the binning)
-//	per bin:
+//	per bin (v2):
+//	    codec  u8            codec tag (1=WAH, 2=BBC, 3=Dense)
+//	    nbytes u32
+//	    nbytes × u8          encoded payload
+//	per bin (v1):
 //	    words u32
 //	    words × u32          WAH-encoded words
 package store
@@ -24,55 +29,53 @@ import (
 
 	"insitubits/internal/binning"
 	"insitubits/internal/bitvec"
+	"insitubits/internal/codec"
 	"insitubits/internal/index"
 )
 
 const (
 	indexMagic = "ISBM"
 	rawMagic   = "ISRW"
-	version    = 1
+	// version is the container version WriteIndex produces; ReadIndex also
+	// accepts the all-WAH version 1 layout.
+	version   = 2
+	versionV1 = 1
 	// maxBins bounds allocation from untrusted headers.
 	maxBins = 1 << 20
-	// maxWords bounds a single bitvector's word count on read.
+	// maxWords bounds a single bitvector's word count on a v1 read.
 	maxWords = 1 << 28
+	// maxPayload bounds a single bin's byte count on a v2 read.
+	maxPayload = 4 * maxWords
 )
 
-// WriteIndex serializes an index. It returns the number of payload bytes
-// written so callers can account I/O.
+// WriteIndex serializes an index in the v2 format, preserving each bin's
+// codec. It returns the number of payload bytes written so callers can
+// account I/O.
 func WriteIndex(w io.Writer, x *index.Index) (int64, error) {
 	bw := bufio.NewWriter(w)
-	n := int64(0)
-	put := func(v any) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-		n += int64(binary.Size(v))
-		return nil
-	}
-	if _, err := bw.WriteString(indexMagic); err != nil {
-		return n, err
-	}
-	n += 4
-	if err := put(uint32(version)); err != nil {
-		return n, err
-	}
-	if err := put(uint64(x.N())); err != nil {
-		return n, err
-	}
-	if err := put(uint32(x.Bins())); err != nil {
-		return n, err
-	}
-	if err := put(binning.Edges(x.Mapper())); err != nil {
+	n, err := writeHeader(bw, x)
+	if err != nil {
 		return n, err
 	}
 	for b := 0; b < x.Bins(); b++ {
-		words := x.Vector(b).RawWords()
-		if err := put(uint32(len(words))); err != nil {
+		bm := x.Bitmap(b)
+		id := codec.Of(bm)
+		if !id.Concrete() {
+			return n, fmt.Errorf("store: bin %d has unknown codec", b)
+		}
+		payload := codec.Payload(bm)
+		if err := bw.WriteByte(byte(id)); err != nil {
 			return n, err
 		}
-		if err := put(words); err != nil {
+		n++
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(payload))); err != nil {
 			return n, err
 		}
+		n += 4
+		if _, err := bw.Write(payload); err != nil {
+			return n, err
+		}
+		n += int64(len(payload))
 	}
 	if err := bw.Flush(); err != nil {
 		return n, err
@@ -82,18 +85,87 @@ func WriteIndex(w io.Writer, x *index.Index) (int64, error) {
 	return n, nil
 }
 
-// IndexSize returns the exact byte size WriteIndex will produce, letting
-// the pipeline account modelled I/O without serializing.
+// WriteIndexV1 serializes an index in the legacy all-WAH version-1 layout,
+// re-encoding non-WAH bins. Kept so compatibility tests (and tools that
+// must interoperate with pre-v2 readers) can produce v1 files.
+func WriteIndexV1(w io.Writer, x *index.Index) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n, err := writeHeaderVersion(bw, x, versionV1)
+	if err != nil {
+		return n, err
+	}
+	for b := 0; b < x.Bins(); b++ {
+		words := bitvec.ToVector(x.Bitmap(b)).RawWords()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(words))); err != nil {
+			return n, err
+		}
+		n += 4
+		if err := binary.Write(bw, binary.LittleEndian, words); err != nil {
+			return n, err
+		}
+		n += int64(4 * len(words))
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	tel.indexesWritten.Inc()
+	tel.bytesWritten.Add(n)
+	return n, nil
+}
+
+func writeHeader(bw *bufio.Writer, x *index.Index) (int64, error) {
+	return writeHeaderVersion(bw, x, version)
+}
+
+func writeHeaderVersion(bw *bufio.Writer, x *index.Index, ver uint32) (int64, error) {
+	n := int64(0)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return n, err
+	}
+	n += 4
+	for _, v := range []any{ver, uint64(x.N()), uint32(x.Bins())} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return n, err
+		}
+		n += int64(binary.Size(v))
+	}
+	edges := binning.Edges(x.Mapper())
+	if err := binary.Write(bw, binary.LittleEndian, edges); err != nil {
+		return n, err
+	}
+	n += int64(8 * len(edges))
+	return n, nil
+}
+
+// IndexSize returns the exact byte size WriteIndex (v2) will produce,
+// letting the pipeline account modelled I/O without serializing.
 func IndexSize(x *index.Index) int64 {
 	n := int64(4 + 4 + 8 + 4) // magic, version, n, bins
 	n += int64(8 * (x.Bins() + 1))
 	for b := 0; b < x.Bins(); b++ {
-		n += 4 + int64(x.Vector(b).SizeBytes())
+		n += 1 + 4 + int64(x.Bitmap(b).SizeBytes())
 	}
 	return n
 }
 
-// ReadIndex parses an index written by WriteIndex.
+// validEdges rejects edges that would build a broken mapper: every edge
+// must be finite and the sequence strictly increasing. (binning.NewExplicit
+// re-checks monotonicity, but the store rejects non-finite values that a
+// NaN/Inf-laden file would otherwise smuggle into query arithmetic.)
+func validEdges(edges []float64) error {
+	for i, e := range edges {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("store: bin edge %d is not finite (%v)", i, e)
+		}
+		if i > 0 && edges[i-1] >= e {
+			return fmt.Errorf("store: bin edges not strictly increasing at %d (%v >= %v)", i, edges[i-1], e)
+		}
+	}
+	return nil
+}
+
+// ReadIndex parses an index written by WriteIndex (v2) or the legacy v1
+// writer; v1 bins load as WAH.
 func ReadIndex(r io.Reader) (*index.Index, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
@@ -107,7 +179,7 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != version && ver != versionV1 {
 		return nil, fmt.Errorf("store: unsupported index version %d", ver)
 	}
 	var n uint64
@@ -125,33 +197,26 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 	if err := binary.Read(br, binary.LittleEndian, edges); err != nil {
 		return nil, err
 	}
-	for _, e := range edges {
-		if math.IsNaN(e) {
-			return nil, fmt.Errorf("store: NaN bin edge")
-		}
+	if err := validEdges(edges); err != nil {
+		return nil, err
 	}
 	mapper, err := binning.NewExplicit(edges)
 	if err != nil {
 		return nil, fmt.Errorf("store: invalid edges: %w", err)
 	}
-	vecs := make([]*bitvec.Vector, bins)
+	vecs := make([]bitvec.Bitmap, bins)
 	for b := range vecs {
-		var words uint32
-		if err := binary.Read(br, binary.LittleEndian, &words); err != nil {
-			return nil, fmt.Errorf("store: bin %d header: %w", b, err)
+		var bm bitvec.Bitmap
+		var err error
+		if ver == versionV1 {
+			bm, err = readBinV1(br, int(n))
+		} else {
+			bm, err = readBinV2(br, int(n))
 		}
-		if words > maxWords {
-			return nil, fmt.Errorf("store: bin %d declares %d words", b, words)
-		}
-		raw := make([]uint32, words)
-		if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
-			return nil, fmt.Errorf("store: bin %d payload: %w", b, err)
-		}
-		v, err := bitvec.FromRawWords(raw, int(n))
 		if err != nil {
 			return nil, fmt.Errorf("store: bin %d: %w", b, err)
 		}
-		vecs[b] = v
+		vecs[b] = bm
 	}
 	x, err := index.FromParts(mapper, vecs, int(n))
 	if err == nil {
@@ -159,6 +224,44 @@ func ReadIndex(r io.Reader) (*index.Index, error) {
 		tel.bytesRead.Add(IndexSize(x))
 	}
 	return x, err
+}
+
+func readBinV1(br *bufio.Reader, nbits int) (bitvec.Bitmap, error) {
+	var words uint32
+	if err := binary.Read(br, binary.LittleEndian, &words); err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	if words > maxWords {
+		return nil, fmt.Errorf("declares %d words", words)
+	}
+	raw := make([]uint32, words)
+	if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+		return nil, fmt.Errorf("payload: %w", err)
+	}
+	return bitvec.FromRawWords(raw, nbits)
+}
+
+func readBinV2(br *bufio.Reader, nbits int) (bitvec.Bitmap, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	id := codec.ID(tag)
+	if !id.Concrete() {
+		return nil, fmt.Errorf("unknown codec tag %d", tag)
+	}
+	var nbytes uint32
+	if err := binary.Read(br, binary.LittleEndian, &nbytes); err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	if nbytes > maxPayload {
+		return nil, fmt.Errorf("declares %d payload bytes", nbytes)
+	}
+	payload := make([]byte, nbytes)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("payload: %w", err)
+	}
+	return codec.New(id, payload, nbits)
 }
 
 // WriteRaw serializes a raw float64 array (the full-data baseline's output).

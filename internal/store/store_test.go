@@ -51,7 +51,7 @@ func TestIndexRoundTrip(t *testing.T) {
 			t.Fatalf("n=%d: shape changed: %d/%d vs %d/%d", n, y.N(), y.Bins(), x.N(), x.Bins())
 		}
 		for b := 0; b < x.Bins(); b++ {
-			if !x.Vector(b).Equal(y.Vector(b)) {
+			if !x.Bitmap(b).Equal(y.Bitmap(b)) {
 				t.Fatalf("n=%d: bin %d differs after round trip", n, b)
 			}
 			if x.Count(b) != y.Count(b) {

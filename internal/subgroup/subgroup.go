@@ -38,7 +38,7 @@ type Subgroup struct {
 	// interestingness).
 	Quality float64
 
-	extent *bitvec.Vector
+	extent bitvec.Bitmap
 }
 
 // Config tunes the beam search.
@@ -164,10 +164,10 @@ func Discover(vars []*index.Index, target *index.Index, cfg Config) ([]Subgroup,
 }
 
 // conditionExtent ORs the condition's bin vectors.
-func conditionExtent(x *index.Index, c Condition) *bitvec.Vector {
-	acc := x.Vector(c.BinLo).Clone()
+func conditionExtent(x *index.Index, c Condition) bitvec.Bitmap {
+	acc := x.Bitmap(c.BinLo).Clone()
 	for b := c.BinLo + 1; b < c.BinHi; b++ {
-		acc = acc.Or(x.Vector(b))
+		acc = acc.Or(x.Bitmap(b))
 	}
 	return acc
 }
@@ -175,7 +175,7 @@ func conditionExtent(x *index.Index, c Condition) *bitvec.Vector {
 // evaluate scores one candidate; ok is false when pruned by MinCount.
 // Conditions are stored in canonical (Var, BinLo) order so the same
 // conjunction reached via different refinement orders deduplicates.
-func evaluate(conds []Condition, extent *bitvec.Vector, target *index.Index, globalMean float64, cfg Config) (Subgroup, bool) {
+func evaluate(conds []Condition, extent bitvec.Bitmap, target *index.Index, globalMean float64, cfg Config) (Subgroup, bool) {
 	sort.Slice(conds, func(i, j int) bool {
 		if conds[i].Var != conds[j].Var {
 			return conds[i].Var < conds[j].Var
