@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench overhead fuzz-smoke ci
+.PHONY: all build test vet race race-hot bench bench-json overhead fuzz-smoke ci
 
 all: build
 
@@ -16,19 +16,32 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race pass focused on the packages with the most lock-free state: the
+# query layer (slow-log gate, codec counters) and the telemetry registry.
+race-hot:
+	$(GO) test -race ./internal/query/ ./internal/telemetry/
+
 # Telemetry micro-benchmarks plus the instrumented-vs-disabled append pair.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkNoop|BenchmarkAppendTelemetry' -benchmem ./internal/telemetry/ ./internal/bitvec/
 
-# Timing guard for the < 2% telemetry overhead budget (docs/OBSERVABILITY.md).
-# Gated behind the env var because wall-clock assertions flap on loaded CI
-# hosts; run it on a quiet machine.
+# Full benchmark sweep archived as machine-readable JSON (BENCH_<date>.json)
+# for diffing across commits; cmd/benchjson parses the go test stream.
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem ./internal/... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y%m%d).json
+	@echo wrote BENCH_$$(date +%Y%m%d).json
+
+# Timing guards for the < 2% observability budgets (docs/OBSERVABILITY.md):
+# the telemetry hooks on the bitvec append hot loop, and the slow-log gate +
+# codec counters on the plain query path with ANALYZE disabled. Gated behind
+# the env var because wall-clock assertions flap on loaded CI hosts; run it
+# on a quiet machine.
 overhead:
-	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run TestInstrumentationOverhead -v ./internal/bitvec/
+	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run 'TestInstrumentationOverhead|TestAnalyzeOverheadDisabled' -v ./internal/bitvec/ ./internal/query/
 
 # Short fuzz pass over the untrusted index-file parser (docs/FORMATS.md);
 # the full corpus exploration is `go test -fuzz FuzzReadIndex ./internal/store/`.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzReadIndex$$' -fuzztime 10s ./internal/store/
 
-ci: vet build race overhead fuzz-smoke
+ci: vet build race-hot race overhead fuzz-smoke

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const sample = `goos: linux
+goarch: amd64
+pkg: insitubits/internal/telemetry
+cpu: Example CPU @ 3.00GHz
+BenchmarkNoopCounter-8   	1000000000	         0.2500 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSpan-8          	 5000000	       240.0 ns/op
+PASS
+ok  	insitubits/internal/telemetry	2.150s
+pkg: insitubits/internal/bitvec
+BenchmarkAppend-8        	  120000	      9800 ns/op	     132 B/op	       2 allocs/op
+some stray log line
+PASS
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU == "" {
+		t.Errorf("header not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b := rep.Benchmarks[0]
+	if b.Pkg != "insitubits/internal/telemetry" || b.Name != "BenchmarkNoopCounter-8" ||
+		b.Runs != 1000000000 || b.Metrics["ns/op"] != 0.25 || b.Metrics["allocs/op"] != 0 {
+		t.Errorf("first benchmark mis-parsed: %+v", b)
+	}
+	if got := rep.Benchmarks[2]; got.Pkg != "insitubits/internal/bitvec" || got.Metrics["B/op"] != 132 {
+		t.Errorf("pkg tracking broken: %+v", got)
+	}
+}

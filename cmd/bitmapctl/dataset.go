@@ -102,6 +102,7 @@ func cmdMine(args []string) error {
 	t1 := fs.Float64("t", 0.002, "value threshold T")
 	t2 := fs.Float64("t2", 0.05, "spatial threshold T'")
 	top := fs.Int("top", 10, "findings to print")
+	slow := fs.Int("slow", 0, "also print the N slowest bin-pair profiles")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,8 +121,12 @@ func cmdMine(args []string) error {
 	if err != nil {
 		return err
 	}
+	var slowPairs *insitubits.QueryTopK
+	if *slow > 0 {
+		slowPairs = insitubits.NewQueryTopK(*slow)
+	}
 	findings, err := insitubits.Mine(xa, xb, insitubits.MiningConfig{
-		UnitSize: *unit, ValueThreshold: *t1, SpatialThreshold: *t2,
+		UnitSize: *unit, ValueThreshold: *t1, SpatialThreshold: *t2, Slow: slowPairs,
 	})
 	if err != nil {
 		return err
@@ -143,6 +148,13 @@ func cmdMine(args []string) error {
 			*varA, xa.Mapper().Low(f.BinA), xa.Mapper().High(f.BinA),
 			*varB, xb.Mapper().Low(f.BinB), xb.Mapper().High(f.BinB),
 			f.Begin, f.End, f.SpatialMI)
+	}
+	if slowPairs != nil {
+		profiles := slowPairs.Profiles()
+		fmt.Printf("slowest %d of %d profiled bin pairs:\n", len(profiles), slowPairs.Seen())
+		for _, p := range profiles {
+			fmt.Print(p.Render())
+		}
 	}
 	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"insitubits"
+)
+
+// cmdExplain prints the estimated plan (EXPLAIN — per-bin index stats
+// only, nothing executed) and then executes the same query under ANALYZE,
+// printing the measured per-operator profile next to it. With two index
+// files the query is the interactive correlation query of the paper.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	opName := fs.String("op", "count", "query operator: bits | count | sum | mean | quantile | minmax | correlation")
+	lo := fs.Float64("lo", 0, "lower value bound (inclusive, bin-granular)")
+	hi := fs.Float64("hi", 0, "upper value bound (exclusive, bin-granular)")
+	slo := fs.Int("slo", 0, "lower spatial bound (inclusive element position)")
+	shi := fs.Int("shi", 0, "upper spatial bound (exclusive element position)")
+	q := fs.Float64("q", 0.5, "quantile for -op quantile")
+	jsonOut := fs.Bool("json", false, "emit the two profiles as JSON instead of rendered trees")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		return fmt.Errorf("usage: bitmapctl explain [-op OP] [-lo V -hi V] [-slo P -shi P] FILE [FILE2]")
+	}
+	x, err := loadIndex(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	s := insitubits.QuerySubset{ValueLo: *lo, ValueHi: *hi, SpatialLo: *slo, SpatialHi: *shi}
+
+	if *opName == "correlation" || fs.NArg() == 2 {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-op correlation needs two index files")
+		}
+		xb, err := loadIndex(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		est, err := insitubits.ExplainCorrelationQuery(x, xb, s, s)
+		if err != nil {
+			return err
+		}
+		_, prof, err := insitubits.CorrelationAnalyze(x, xb, s, s)
+		if err != nil {
+			return err
+		}
+		return printProfiles(est, prof, *jsonOut)
+	}
+
+	op, err := insitubits.ParseQueryOp(*opName)
+	if err != nil {
+		return err
+	}
+	est, err := insitubits.ExplainQuery(x, s, op)
+	if err != nil {
+		return err
+	}
+	var prof *insitubits.QueryProfile
+	switch op {
+	case insitubits.QueryOpBits:
+		_, prof, err = insitubits.SubsetBitsAnalyze(x, s)
+	case insitubits.QueryOpCount:
+		_, prof, err = insitubits.SubsetCountAnalyze(x, s)
+	case insitubits.QueryOpSum:
+		_, prof, err = insitubits.SubsetSumAnalyze(x, s)
+	case insitubits.QueryOpMean:
+		_, prof, err = insitubits.SubsetMeanAnalyze(x, s)
+	case insitubits.QueryOpQuantile:
+		_, prof, err = insitubits.SubsetQuantileAnalyze(x, s, *q)
+	case insitubits.QueryOpMinMax:
+		_, _, prof, err = insitubits.SubsetMinMaxAnalyze(x, s)
+	default:
+		return fmt.Errorf("unsupported operator %q", op)
+	}
+	if err != nil {
+		return err
+	}
+	return printProfiles(est, prof, *jsonOut)
+}
+
+func printProfiles(est, prof *insitubits.QueryProfile, asJSON bool) error {
+	if asJSON {
+		fmt.Printf("{\"explain\": %s, \"analyze\": %s}\n", est.JSON(), prof.JSON())
+		return nil
+	}
+	fmt.Println("-- EXPLAIN (estimated, not executed) --")
+	os.Stdout.WriteString(est.Render())
+	fmt.Println("-- ANALYZE (executed) --")
+	os.Stdout.WriteString(prof.Render())
+	return nil
+}

@@ -6,6 +6,7 @@
 //	bitmapctl stat  index.isbm
 //	bitmapctl convert -codec wah [-v1] -in index.isbm -out recoded.isbm
 //	bitmapctl query -lo V -hi V index.isbm
+//	bitmapctl explain -op count -lo V -hi V index.isbm
 //	bitmapctl histogram index.isbm
 //	bitmapctl entropy index.isbm
 //	bitmapctl mi a.isbm b.isbm
@@ -60,6 +61,8 @@ func main() {
 		err = cmdConvert(args)
 	case "query":
 		err = cmdQuery(args)
+	case "explain":
+		err = cmdExplain(args)
 	case "histogram":
 		err = cmdHistogram(args)
 	case "entropy":
@@ -95,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|stat|convert|query|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {

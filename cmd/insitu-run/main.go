@@ -9,19 +9,27 @@
 //	insitu-run -sim heat3d -strategy auto      # Eq. 1/2 calibration
 //
 // Observability (see docs/OBSERVABILITY.md): -debug-addr starts a debug
-// HTTP server with live expvar counters, the pipeline span tree and pprof;
-// -telemetry dumps the full telemetry snapshot as JSON after the run; -hold
-// keeps the process (and debug server) alive after the report.
+// HTTP server with live expvar counters, Prometheus /metrics, the pipeline
+// span tree and pprof; -telemetry dumps the full telemetry snapshot as JSON
+// after the run; -slowlog/-slowlog-threshold emit every query slower than
+// the threshold as a JSON line with its full ANALYZE profile; -hold keeps
+// the process (and debug server) alive until SIGINT/SIGTERM.
 //
 //	insitu-run -sim heat3d -debug-addr :6060 -steps 200 -select 50 -hold
+//	insitu-run -sim heat3d -slowlog slow.jsonl -slowlog-threshold 5ms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"insitubits"
 )
@@ -44,16 +52,32 @@ func main() {
 	outDir := flag.String("out", "", "persist selected summaries (+manifest.json) to this directory")
 	debugAddr := flag.String("debug-addr", "", "serve live telemetry, expvar and pprof on this address (e.g. :6060)")
 	telemetryDump := flag.Bool("telemetry", false, "print the telemetry snapshot as JSON after the run")
-	hold := flag.Bool("hold", false, "keep the process (and debug server) alive after the report")
+	slowLog := flag.String("slowlog", "", `slow-query log destination: "stderr" or a file path (JSON lines)`)
+	slowLogThreshold := flag.Duration("slowlog-threshold", 10*time.Millisecond, "log queries slower than this (with -slowlog)")
+	hold := flag.Bool("hold", false, "keep the process (and debug server) alive after the report; ctrl-C shuts down cleanly")
 	flag.Parse()
 
+	var dbg *insitubits.TelemetryDebugServer
 	if *debugAddr != "" {
-		dbg, err := insitubits.Telemetry.ServeDebug(*debugAddr)
+		var err error
+		dbg, err = insitubits.Telemetry.ServeDebug(*debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		fmt.Printf("debug server:   http://%s  (/telemetry /debug/vars /debug/pprof/)\n", dbg.Addr)
+		fmt.Printf("debug server:   http://%s  (/telemetry /metrics /debug/vars /debug/pprof/)\n", dbg.Addr)
+	}
+	if *slowLog != "" {
+		w := os.Stderr
+		if *slowLog != "stderr" {
+			f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		insitubits.SetSlowQueryLog(slog.New(slog.NewJSONHandler(w, nil)), *slowLogThreshold)
 	}
 
 	mkSim := func() (insitubits.Simulator, error) {
@@ -159,6 +183,12 @@ func main() {
 	if *outDir != "" {
 		fmt.Printf("write time:     %.3fs (measured file output)\n", res.WriteTime.Seconds())
 	}
+	if len(res.SlowQueries) > 0 {
+		fmt.Printf("slowest selection queries (top %d):\n", len(res.SlowQueries))
+		for _, p := range res.SlowQueries {
+			fmt.Printf("  %-28s %8.3fms  %s\n", p.Query, float64(p.ElapsedNs)/1e6, p.Detail)
+		}
+	}
 	if *telemetryDump {
 		data, err := insitubits.Telemetry.MarshalJSON()
 		if err != nil {
@@ -168,6 +198,13 @@ func main() {
 	}
 	if *hold {
 		fmt.Println("holding (-hold): press ctrl-C to exit")
-		select {}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := dbg.Shutdown(ctx); err != nil {
+			log.Printf("debug server shutdown: %v", err)
+		}
 	}
 }

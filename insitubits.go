@@ -298,6 +298,49 @@ var (
 	NewMaskedIndex   = query.NewMasked
 )
 
+// --- Query EXPLAIN/ANALYZE and slow-query log (internal/query) ---
+
+// QueryProfile is the plan-profile tree an EXPLAIN or ANALYZE run returns:
+// per-operator cost accounting (bins touched, words scanned split into
+// fills and literals, bytes decoded, output shape) plus wall time for
+// ANALYZE. QueryTopK keeps the K slowest profiles seen.
+type (
+	QueryProfile  = query.Profile
+	QueryPlanNode = query.Node
+	QueryCost     = query.Cost
+	QueryOp       = query.Op
+	QueryTopK     = query.TopK
+)
+
+// Query operators accepted by ExplainQuery.
+const (
+	QueryOpBits     = query.OpBits
+	QueryOpCount    = query.OpCount
+	QueryOpSum      = query.OpSum
+	QueryOpMean     = query.OpMean
+	QueryOpQuantile = query.OpQuantile
+	QueryOpMinMax   = query.OpMinMax
+)
+
+// Re-exported EXPLAIN/ANALYZE API. ExplainQuery estimates cost from the
+// index's per-bin stats without executing; the *Analyze variants execute
+// and return the measured profile alongside the normal result.
+var (
+	ExplainQuery            = query.Explain
+	ExplainCorrelationQuery = query.ExplainCorrelation
+	ParseQueryOp            = query.ParseOp
+	SubsetBitsAnalyze       = query.BitsAnalyze
+	SubsetCountAnalyze      = query.CountAnalyze
+	SubsetSumAnalyze        = query.SumAnalyze
+	SubsetMeanAnalyze       = query.MeanAnalyze
+	SubsetQuantileAnalyze   = query.QuantileAnalyze
+	SubsetMinMaxAnalyze     = query.MinMaxAnalyze
+	SumMaskedAnalyze        = query.SumMaskedAnalyze
+	CorrelationAnalyze      = query.CorrelationAnalyze
+	SetSlowQueryLog         = query.SetSlowLog
+	NewQueryTopK            = query.NewTopK
+)
+
 // --- Subgroup discovery (internal/subgroup) ---
 
 // SubgroupCondition, Subgroup and SubgroupConfig drive bitmap-based

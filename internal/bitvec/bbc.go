@@ -390,12 +390,36 @@ func (b *BBC) Equal(o Bitmap) bool {
 
 // Stats describes the physical composition. For the byte-aligned stream the
 // WAH word tallies don't apply; PhysicalBytes carries the true footprint.
+// Stats walks the token stream once. The word-kind tallies are
+// codec-native: FillWords counts run tokens (not 32-bit words),
+// LiteralWords counts literal payload bytes, and FilledSegments is the
+// 31-bit segments the run bytes cover (rounded down — the figure answers
+// "how many segment-sized steps did compression skip").
 func (b *BBC) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Bits:          b.nbits,
 		SetBits:       b.Count(),
 		PhysicalBytes: b.SizeBytes(),
 	}
+	var t bbcTokIter
+	t.reset(b.data)
+	runBits := 0
+	for t.valid() {
+		if t.fill {
+			st.FillWords++
+			if t.fb == 0 {
+				st.ZeroFillWords++
+			} else {
+				st.OneFillWords++
+			}
+			runBits += 8 * t.n
+		} else {
+			st.LiteralWords += t.n
+		}
+		t.consume(t.n)
+	}
+	st.FilledSegments = runBits / SegmentBits
+	return st
 }
 
 // Runs streams the contents at 31-bit segment granularity directly from the

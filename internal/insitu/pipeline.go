@@ -10,12 +10,14 @@ package insitu
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"insitubits/internal/binning"
 	"insitubits/internal/codec"
 	"insitubits/internal/index"
 	"insitubits/internal/iosim"
+	"insitubits/internal/query"
 	"insitubits/internal/sampling"
 	"insitubits/internal/selection"
 	"insitubits/internal/sim"
@@ -196,6 +198,11 @@ type Result struct {
 	// (the "write" spans); distinct from Breakdown.Output, which stays the
 	// bandwidth-modelled transfer time (see DESIGN.md).
 	WriteTime time.Duration
+	// SlowQueries are the slowest per-step selection scorings of the run
+	// (slowest first, at most selectorSlowK), each with a profile of the
+	// step's per-variable summary shape. They also feed query.LogSlow, so
+	// an installed slow-query log sees them with full detail.
+	SlowQueries []*query.Profile
 }
 
 // Run executes the configured pipeline and reports the phase breakdown.
@@ -230,6 +237,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	res.SlowQueries = sel.slow.Profiles()
 	res.finishMemory(cfg, red)
 	return res, nil
 }
@@ -408,8 +416,13 @@ type selector struct {
 	nSeen     int
 	w         *writer
 	rt        *runTelemetry
+	slow      *query.TopK
 	err       error
 }
+
+// selectorSlowK is how many of the slowest per-step selection scorings
+// every run keeps for its report (Result.SlowQueries).
+const selectorSlowK = 5
 
 func newSelector(cfg Config) *selector {
 	imp := make([]float64, cfg.Steps) // fixed-length partitioning ignores it
@@ -417,7 +430,11 @@ func newSelector(cfg Config) *selector {
 	if part == nil {
 		part = selection.FixedLength{}
 	}
-	return &selector{cfg: cfg, intervals: part.Partition(imp, cfg.Select)}
+	return &selector{
+		cfg:       cfg,
+		intervals: part.Partition(imp, cfg.Select),
+		slow:      query.NewTopK(selectorSlowK),
+	}
 }
 
 // offer consumes step t's summary in order; metric evaluation is recorded
@@ -435,8 +452,11 @@ func (s *selector) offer(t int, sum *stepSummary) {
 		return
 	}
 	sp := s.rt.root.Child(SpanSelect)
+	start := time.Now()
 	score := sum.Dissimilarity(s.prev, s.cfg.Metric)
+	elapsed := time.Since(start)
 	sp.End()
+	s.recordSelect(t, sum, score, elapsed)
 	if s.ivPos < len(s.intervals) {
 		iv := s.intervals[s.ivPos]
 		if t >= iv[0] && t < iv[1] {
@@ -452,6 +472,50 @@ func (s *selector) offer(t int, sum *stepSummary) {
 			}
 		}
 	}
+}
+
+// recordSelect profiles one dissimilarity scoring for the run report's
+// top-K slowest selection queries and the process-wide slow-query log. The
+// per-variable nodes carry only O(bins) metadata reads (bin count, codec,
+// encoded words/bytes) — no bitmap is decoded, so the profile costs far
+// less than the scoring it describes.
+func (s *selector) recordSelect(t int, sum *stepSummary, score float64, elapsed time.Duration) {
+	root := &query.Node{Op: "dissimilarity", Bin: -1}
+	for k, part := range sum.parts {
+		bs, ok := part.(*selection.BitmapSummary)
+		if !ok || bs.X == nil {
+			continue
+		}
+		x := bs.X
+		var words, bytes int64
+		perCodec := map[string]int{}
+		for b := 0; b < x.Bins(); b++ {
+			words += int64(x.Bitmap(b).Words())
+			bytes += int64(x.Bitmap(b).SizeBytes())
+			perCodec[x.Codec(b).String()]++
+		}
+		mix := make([]string, 0, len(perCodec))
+		for _, id := range []string{"wah", "bbc", "dense"} {
+			if n := perCodec[id]; n > 0 {
+				mix = append(mix, fmt.Sprintf("%s=%d", id, n))
+			}
+		}
+		root.Children = append(root.Children, &query.Node{
+			Op:     "variable",
+			Detail: fmt.Sprintf("var %d, codecs %s", k, strings.Join(mix, " ")),
+			Bin:    -1,
+			Cost:   query.Cost{BinsTouched: x.Bins(), WordsScanned: words, BytesDecoded: bytes},
+		})
+	}
+	p := &query.Profile{
+		Query:     "selection.dissimilarity",
+		Mode:      query.ModeAnalyze,
+		Detail:    fmt.Sprintf("step %d vs selected step %d, metric %s, score %g", t, s.prev.step, s.cfg.Metric, score),
+		ElapsedNs: elapsed.Nanoseconds(),
+		Root:      root,
+	}
+	s.slow.Offer(p)
+	query.LogSlow(p)
 }
 
 func (s *selector) write(sum *stepSummary) {

@@ -11,10 +11,13 @@ package mining
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"insitubits/internal/binning"
+	"insitubits/internal/bitvec"
 	"insitubits/internal/index"
 	"insitubits/internal/metrics"
+	"insitubits/internal/query"
 )
 
 // Config parameterizes Algorithm 2.
@@ -30,6 +33,11 @@ type Config struct {
 	// SpatialThreshold is T': a spatial unit is reported only if its local
 	// mutual-information term reaches it (Algorithm 2 line 8).
 	SpatialThreshold float64
+	// Slow, when set, receives one profile per bin pair surviving the value
+	// filter in Mine — the pairs that pay for a materialized AND and the
+	// per-unit scan — ranked by wall time. Profiles also feed the
+	// process-wide slow-query log (query.SetSlowLog). Nil disables.
+	Slow *query.TopK
 }
 
 func (c Config) validate(n int) error {
@@ -82,6 +90,7 @@ func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
 			if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
 				continue
 			}
+			start := time.Now()
 			cij := va.AndCount(xb.Bitmap(j))                         // line 3: LogicAND (count only)
 			valueMI := metrics.MutualInformationTerm(cij, ci, cj, n) // line 4
 			if valueMI < cfg.ValueThreshold {                        // line 5
@@ -93,10 +102,45 @@ func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
 			}
 			joint := va.And(xb.Bitmap(j))
 			jointUnits := joint.CountUnits(cfg.UnitSize)
-			out = append(out, scanUnits(i, j, valueMI, jointUnits, unitsA[i], unitsB[j], n, cfg)...)
+			found := scanUnits(i, j, valueMI, jointUnits, unitsA[i], unitsB[j], n, cfg)
+			out = append(out, found...)
+			profilePair(cfg, xa, xb, i, j, valueMI, joint, len(found), time.Since(start))
 		}
 	}
 	return out, nil
+}
+
+// profilePair records one surviving bin pair's bitmap work for cfg.Slow and
+// the slow-query log. Costs come from the operands' encoded shape (O(1)
+// metadata reads, no decode): the pair consumed both bin bitmaps twice —
+// once for the AndCount filter, once for the materialized AND — and then
+// scanned the joint vector per unit.
+func profilePair(cfg Config, xa, xb *index.Index, i, j int, valueMI float64, joint bitvec.Bitmap, found int, elapsed time.Duration) {
+	if cfg.Slow == nil {
+		return
+	}
+	opCost := func(x *index.Index, b int) query.Cost {
+		bm := x.Bitmap(b)
+		return query.Cost{WordsScanned: int64(bm.Words()), BytesDecoded: int64(bm.SizeBytes())}
+	}
+	andCount := &query.Node{Op: "and-count", Detail: "value filter", Bin: -1}
+	andCount.Cost.WordsScanned = opCost(xa, i).WordsScanned + opCost(xb, j).WordsScanned
+	andCount.Cost.BytesDecoded = opCost(xa, i).BytesDecoded + opCost(xb, j).BytesDecoded
+	and := &query.Node{Op: "and", Detail: "materialize joint vector", Bin: -1, Cost: andCount.Cost}
+	and.Cost.OutWords = joint.Words()
+	units := &query.Node{
+		Op: "count-units", Detail: fmt.Sprintf("unit size %d", cfg.UnitSize), Bin: -1,
+		Cost: query.Cost{WordsScanned: int64(joint.Words()), BytesDecoded: int64(joint.SizeBytes()), Rows: int64(found)},
+	}
+	p := &query.Profile{
+		Query:     "mine.pair",
+		Mode:      query.ModeAnalyze,
+		Detail:    fmt.Sprintf("binA=%d (%s) binB=%d (%s) valueMI=%.4g findings=%d", i, xa.Codec(i), j, xb.Codec(j), valueMI, found),
+		ElapsedNs: elapsed.Nanoseconds(),
+		Root:      &query.Node{Op: "mine.pair", Bin: -1, Children: []*query.Node{andCount, and, units}},
+	}
+	cfg.Slow.Offer(p)
+	query.LogSlow(p)
 }
 
 func minInt(a, b int) int {

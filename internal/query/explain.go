@@ -1,0 +1,737 @@
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"insitubits/internal/bitvec"
+	"insitubits/internal/codec"
+	"insitubits/internal/index"
+	"insitubits/internal/metrics"
+)
+
+// Op names a profileable query entry point for Explain.
+type Op string
+
+// Ops accepted by Explain (Correlation and the Masked family have their
+// own dedicated Explain/Analyze entry points because of their extra
+// arguments).
+const (
+	OpBits     Op = "bits"
+	OpCount    Op = "count"
+	OpSum      Op = "sum"
+	OpMean     Op = "mean"
+	OpQuantile Op = "quantile"
+	OpMinMax   Op = "minmax"
+)
+
+// ParseOp maps a CLI flag value to an Op.
+func ParseOp(s string) (Op, error) {
+	switch op := Op(s); op {
+	case OpBits, OpCount, OpSum, OpMean, OpQuantile, OpMinMax:
+		return op, nil
+	default:
+		return "", fmt.Errorf("query: unknown op %q (want bits, count, sum, mean, quantile, or minmax)", s)
+	}
+}
+
+func (s Subset) describe() string {
+	switch {
+	case s.hasValue() && s.hasSpatial():
+		return fmt.Sprintf("value=[%g,%g) spatial=[%d,%d)", s.ValueLo, s.ValueHi, s.SpatialLo, s.SpatialHi)
+	case s.hasValue():
+		return fmt.Sprintf("value=[%g,%g)", s.ValueLo, s.ValueHi)
+	case s.hasSpatial():
+		return fmt.Sprintf("spatial=[%d,%d)", s.SpatialLo, s.SpatialHi)
+	default:
+		return "all"
+	}
+}
+
+// newAnalyze opens an ANALYZE profile whose root node collects the query's
+// operators; finish stamps the wall time, records the error, and submits
+// the profile to the slow-query log.
+func newAnalyze(query, detail string) (*Profile, func(error)) {
+	p := &Profile{
+		Query:  query,
+		Mode:   ModeAnalyze,
+		Detail: detail,
+		Root:   &Node{Op: query, Bin: -1},
+	}
+	start := time.Now()
+	return p, func(err error) {
+		p.ElapsedNs = time.Since(start).Nanoseconds()
+		if err != nil {
+			p.Err = err.Error()
+		}
+		LogSlow(p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Always-on per-codec operation counters. These fire on the plain path too
+// (prof == nil): each bitmap operand a query operator consumes bumps the
+// counter of its codec, and merging operands of different codecs bumps the
+// cross-codec fallback counter (those ops leave the native word/byte merge
+// kernels for the generic 31-bit run path — see internal/bitvec/generic.go).
+// Cost: one predictable-branch type switch plus an atomic add per operand,
+// the same order as the index.Count cache-hit counter.
+
+// codecTally batches per-bin operand counts inside a hot loop so the loop
+// pays one atomic add per codec instead of one per bin — that difference is
+// what keeps the disabled-ANALYZE overhead guard under its 2% budget.
+type codecTally [4]int64
+
+func (ct *codecTally) bin(x *index.Index, b int) { ct[x.Codec(b)]++ }
+
+func (ct *codecTally) flush() {
+	for id, n := range ct {
+		if n == 0 {
+			continue
+		}
+		if c := tel.codecOps[id]; c != nil {
+			c.Add(n)
+		}
+	}
+}
+
+// countPairOperands counts both operands of a binary bitmap op and returns
+// 1 when their codecs differ (a fallback merge), else 0.
+func countPairOperands(a, b bitvec.Bitmap) int64 {
+	ca, cb := codec.Of(a), codec.Of(b)
+	if c := tel.codecOps[ca]; c != nil {
+		c.Inc()
+	}
+	if c := tel.codecOps[cb]; c != nil {
+		c.Inc()
+	}
+	if ca != cb {
+		tel.fallbackMerges.Inc()
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Profiled implementations. Each xxxImpl is the single execution path for
+// its query: the exported plain entry points call it with prof == nil
+// (every profiling hook no-ops), the Analyze variants pass the profile
+// root. ANALYZE accounting convention: an operator is charged one full
+// scan of each encoded operand it consumes (bitvec's kernels are not
+// instrumented — that would tax the hot loops the <2% overhead budget
+// protects; the physical composition of the operands is the same number,
+// read after the fact via Stats).
+
+func bitsImpl(x *index.Index, s Subset, prof *Node) (bitvec.Bitmap, error) {
+	if err := s.validate(x.N()); err != nil {
+		return nil, err
+	}
+	var v bitvec.Bitmap
+	if s.hasValue() {
+		n := prof.child("or-merge", fmt.Sprintf("value=[%g,%g)", s.ValueLo, s.ValueHi))
+		touched := 0
+		var ct codecTally
+		for b := 0; b < x.Bins(); b++ {
+			if !s.binSelected(x, b) {
+				continue
+			}
+			ct.bin(x, b)
+			touched++
+			n.binChild("or", x, b)
+		}
+		ct.flush()
+		n.addCost(Cost{BinsTouched: touched})
+		v = x.Query(s.ValueLo, s.ValueHi)
+		n.setOut(v)
+	} else {
+		n := prof.child("ones", "no value predicate")
+		v = onesVector(x.N())
+		n.setOut(v)
+	}
+	if s.hasSpatial() {
+		n := prof.child("and-range", fmt.Sprintf("spatial=[%d,%d)", s.SpatialLo, s.SpatialHi))
+		r := rangeVector(x.N(), s.SpatialLo, s.SpatialHi)
+		n.scanOperand(v)
+		n.scanOperand(r)
+		n.markFallback(countPairOperands(v, r))
+		v = v.And(r)
+		n.setOut(v)
+	}
+	if prof != nil {
+		prof.setRows(v.Count())
+	}
+	return v, nil
+}
+
+// binCounts runs the shared per-bin counting loop of Count/Sum/Quantile/
+// MinMax: for each value-selected bin, the subset count — from the cached
+// per-bin cardinality when there is no spatial restriction (no bitmap is
+// touched), else by scanning the bin's bitmap over the element range.
+// visit receives every selected bin with its count.
+func binCounts(x *index.Index, s Subset, prof *Node, visit func(b, c int)) {
+	lo, hi := s.spatialBounds(x.N())
+	var ct codecTally
+	for b := 0; b < x.Bins(); b++ {
+		if !s.binSelected(x, b) {
+			continue
+		}
+		var c int
+		if !s.hasSpatial() {
+			c = x.Count(b)
+			n := prof.child("cached-count", "")
+			if n != nil {
+				n.Bin = b
+				n.Codec = x.Codec(b).String()
+				n.setRows(c)
+			}
+		} else {
+			ct.bin(x, b)
+			c = x.Bitmap(b).CountRange(lo, hi)
+			prof.binChild("count-range", x, b).setRows(c)
+		}
+		visit(b, c)
+	}
+	ct.flush()
+}
+
+func countImpl(x *index.Index, s Subset, prof *Node) (int, error) {
+	if err := s.validate(x.N()); err != nil {
+		return 0, err
+	}
+	total := 0
+	bins := 0
+	binCounts(x, s, prof, func(b, c int) {
+		total += c
+		bins++
+	})
+	prof.addCost(Cost{BinsTouched: bins})
+	prof.setRows(total)
+	return total, nil
+}
+
+func sumImpl(x *index.Index, s Subset, prof *Node) (Aggregate, error) {
+	if err := s.validate(x.N()); err != nil {
+		return Aggregate{}, err
+	}
+	var agg Aggregate
+	bins := 0
+	binCounts(x, s, prof, func(b, c int) {
+		bins++
+		if c == 0 {
+			return
+		}
+		bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
+		agg.Count += c
+		agg.Estimate += float64(c) * (bl + bh) / 2
+		agg.Lo += float64(c) * bl
+		agg.Hi += float64(c) * bh
+	})
+	prof.addCost(Cost{BinsTouched: bins})
+	prof.setRows(agg.Count)
+	return agg, nil
+}
+
+func meanImpl(x *index.Index, s Subset, prof *Node) (Aggregate, error) {
+	sum, err := sumImpl(x, s, prof.child("sum", s.describe()))
+	if err != nil || sum.Count == 0 {
+		return Aggregate{}, err
+	}
+	n := float64(sum.Count)
+	prof.setRows(sum.Count)
+	return Aggregate{Count: sum.Count, Estimate: sum.Estimate / n, Lo: sum.Lo / n, Hi: sum.Hi / n}, nil
+}
+
+func quantileImpl(x *index.Index, s Subset, q float64, prof *Node) (Aggregate, error) {
+	if q < 0 || q > 1 {
+		return Aggregate{}, fmt.Errorf("query: quantile %g out of [0,1]", q)
+	}
+	if err := s.validate(x.N()); err != nil {
+		return Aggregate{}, err
+	}
+	counts := make([]int, x.Bins())
+	total := 0
+	bins := 0
+	binCounts(x, s, prof, func(b, c int) {
+		counts[b] = c
+		total += c
+		bins++
+	})
+	prof.addCost(Cost{BinsTouched: bins})
+	prof.setRows(total)
+	if total == 0 {
+		return Aggregate{}, nil
+	}
+	// Rank of the quantile element (1-based), clamped into [1, total].
+	rank := int(q*float64(total-1)) + 1
+	cum := 0
+	for b := 0; b < x.Bins(); b++ {
+		cum += counts[b]
+		if cum >= rank {
+			bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
+			n := prof.child("rank-scan", fmt.Sprintf("rank %d of %d", rank, total))
+			if n != nil {
+				n.Bin = b
+			}
+			return Aggregate{Count: total, Estimate: (bl + bh) / 2, Lo: bl, Hi: bh}, nil
+		}
+	}
+	return Aggregate{}, fmt.Errorf("query: internal: rank %d beyond %d elements", rank, total)
+}
+
+func minMaxImpl(x *index.Index, s Subset, prof *Node) (min, max Aggregate, err error) {
+	if err := s.validate(x.N()); err != nil {
+		return Aggregate{}, Aggregate{}, err
+	}
+	first, last := -1, -1
+	total := 0
+	bins := 0
+	binCounts(x, s, prof, func(b, c int) {
+		bins++
+		if c == 0 {
+			return
+		}
+		if first < 0 {
+			first = b
+		}
+		last = b
+		total += c
+	})
+	prof.addCost(Cost{BinsTouched: bins})
+	prof.setRows(total)
+	if first < 0 {
+		return Aggregate{}, Aggregate{}, nil
+	}
+	m := x.Mapper()
+	min = Aggregate{Count: total, Estimate: (m.Low(first) + m.High(first)) / 2, Lo: m.Low(first), Hi: m.High(first)}
+	max = Aggregate{Count: total, Estimate: (m.Low(last) + m.High(last)) / 2, Lo: m.Low(last), Hi: m.High(last)}
+	return min, max, nil
+}
+
+func sumMaskedImpl(x *index.Index, mask bitvec.Bitmap, prof *Node) (Aggregate, error) {
+	if mask.Len() != x.N() {
+		return Aggregate{}, fmt.Errorf("query: mask covers %d bits for %d elements", mask.Len(), x.N())
+	}
+	var agg Aggregate
+	bins := 0
+	for b := 0; b < x.Bins(); b++ {
+		if x.Count(b) == 0 {
+			continue
+		}
+		bins++
+		n := prof.binChild("and-count-mask", x, b)
+		n.scanOperand(mask)
+		n.markFallback(countPairOperands(x.Bitmap(b), mask))
+		c := x.Bitmap(b).AndCount(mask)
+		n.setRows(c)
+		if c == 0 {
+			continue
+		}
+		bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
+		agg.Count += c
+		agg.Estimate += float64(c) * (bl + bh) / 2
+		agg.Lo += float64(c) * bl
+		agg.Hi += float64(c) * bh
+	}
+	prof.addCost(Cost{BinsTouched: bins})
+	prof.setRows(agg.Count)
+	return agg, nil
+}
+
+func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node) (metrics.Pair, error) {
+	if xa.N() != xb.N() {
+		return metrics.Pair{}, fmt.Errorf("query: indices over %d and %d elements", xa.N(), xb.N())
+	}
+	if err := sa.validate(xa.N()); err != nil {
+		return metrics.Pair{}, err
+	}
+	if err := sb.validate(xb.N()); err != nil {
+		return metrics.Pair{}, err
+	}
+	if sa.hasSpatial() != sb.hasSpatial() || (sa.hasSpatial() && (sa.SpatialLo != sb.SpatialLo || sa.SpatialHi != sb.SpatialHi)) {
+		return metrics.Pair{}, fmt.Errorf("query: correlation needs one common spatial range, got [%d,%d) vs [%d,%d)",
+			sa.SpatialLo, sa.SpatialHi, sb.SpatialLo, sb.SpatialHi)
+	}
+	maskA, err := bitsImpl(xa, sa, prof.child("bits-a", sa.describe()))
+	if err != nil {
+		return metrics.Pair{}, err
+	}
+	maskB, err := bitsImpl(xb, sb, prof.child("bits-b", sb.describe()))
+	if err != nil {
+		return metrics.Pair{}, err
+	}
+	mn := prof.child("and-masks", "elements satisfying both predicates")
+	mn.scanOperand(maskA)
+	mn.scanOperand(maskB)
+	mn.markFallback(countPairOperands(maskA, maskB))
+	mask := maskA.And(maskB)
+	mn.setOut(mask)
+	n := mask.Count()
+	mn.setRows(n)
+	if n == 0 {
+		return metrics.Pair{}, nil
+	}
+	ha := make([]int, xa.Bins())
+	hb := make([]int, xb.Bins())
+	joint := make([][]int, xa.Bins())
+	for i := range joint {
+		joint[i] = make([]int, xb.Bins())
+	}
+	// Restricted marginals and joint distribution via AND with the mask.
+	// Profile shape: one node per A-bin restriction, and one node per B-bin
+	// that folds in the cost of its row of joint AndCounts — per-pair nodes
+	// would explode the tree quadratically.
+	restrictedA := make([]bitvec.Bitmap, xa.Bins())
+	an := prof.child("restrict-a", "per-bin AND with subset mask")
+	binsA := 0
+	for i := 0; i < xa.Bins(); i++ {
+		if xa.Count(i) == 0 {
+			continue
+		}
+		binsA++
+		bn := an.binChild("and-mask", xa, i)
+		bn.scanOperand(mask)
+		bn.markFallback(countPairOperands(xa.Bitmap(i), mask))
+		restrictedA[i] = xa.Bitmap(i).And(mask)
+		ha[i] = restrictedA[i].Count()
+		bn.setRows(ha[i])
+	}
+	an.addCost(Cost{BinsTouched: binsA})
+	jn := prof.child("joint", "B-bin restriction + per-pair AndCount row")
+	binsB := 0
+	for j := 0; j < xb.Bins(); j++ {
+		if xb.Count(j) == 0 {
+			continue
+		}
+		binsB++
+		bn := jn.binChild("and-mask", xb, j)
+		bn.scanOperand(mask)
+		bn.markFallback(countPairOperands(xb.Bitmap(j), mask))
+		vj := xb.Bitmap(j).And(mask)
+		hb[j] = vj.Count()
+		bn.setRows(hb[j])
+		if hb[j] == 0 {
+			continue
+		}
+		for i := 0; i < xa.Bins(); i++ {
+			if ha[i] == 0 {
+				continue
+			}
+			bn.scanOperand(restrictedA[i])
+			bn.scanOperand(vj)
+			bn.markFallback(countPairOperands(restrictedA[i], vj))
+			joint[i][j] = restrictedA[i].AndCount(vj)
+		}
+	}
+	jn.addCost(Cost{BinsTouched: binsB})
+	ea := metrics.Entropy(ha, n)
+	eb := metrics.Entropy(hb, n)
+	mi := metrics.MutualInformation(joint, ha, hb, n)
+	prof.setRows(n)
+	return metrics.Pair{
+		EntropyA: ea, EntropyB: eb, MI: mi,
+		CondEntropyAB: ea - mi, CondEntropyBA: eb - mi,
+	}, nil
+}
+
+func maskedSumImpl(m *Masked, s Subset, prof *Node) (Aggregate, error) {
+	if err := s.validate(m.X.N()); err != nil {
+		return Aggregate{}, err
+	}
+	lo, hi := s.spatialBounds(m.X.N())
+	var agg Aggregate
+	bins := 0
+	for b := 0; b < m.X.Bins(); b++ {
+		if !s.binSelected(m.X, b) || m.X.Count(b) == 0 {
+			continue
+		}
+		bins++
+		n := prof.binChild("and-valid", m.X, b)
+		n.scanOperand(m.Valid)
+		n.markFallback(countPairOperands(m.X.Bitmap(b), m.Valid))
+		vb := m.X.Bitmap(b).And(m.Valid)
+		n.setOut(vb)
+		c := vb.CountRange(lo, hi)
+		n.setRows(c)
+		if c == 0 {
+			continue
+		}
+		bl, bh := m.X.Mapper().Low(b), m.X.Mapper().High(b)
+		agg.Count += c
+		agg.Estimate += float64(c) * (bl + bh) / 2
+		agg.Lo += float64(c) * bl
+		agg.Hi += float64(c) * bh
+	}
+	prof.addCost(Cost{BinsTouched: bins})
+	prof.setRows(agg.Count)
+	return agg, nil
+}
+
+// ---------------------------------------------------------------------------
+// ANALYZE entry points: execute the query and return the result together
+// with the measured operator profile. The profile is also offered to the
+// slow-query log (SetSlowLog).
+
+// BitsAnalyze is Bits with a measured profile.
+func BitsAnalyze(x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
+	defer observe(tel.bits)()
+	return bitsAnalyze(x, s)
+}
+
+func bitsAnalyze(x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
+	p, finish := newAnalyze(string(OpBits), s.describe())
+	v, err := bitsImpl(x, s, p.Root)
+	finish(err)
+	return v, p, err
+}
+
+// CountAnalyze is Count with a measured profile.
+func CountAnalyze(x *index.Index, s Subset) (int, *Profile, error) {
+	defer observe(tel.count)()
+	return countAnalyze(x, s)
+}
+
+func countAnalyze(x *index.Index, s Subset) (int, *Profile, error) {
+	p, finish := newAnalyze(string(OpCount), s.describe())
+	n, err := countImpl(x, s, p.Root)
+	finish(err)
+	return n, p, err
+}
+
+// SumAnalyze is Sum with a measured profile.
+func SumAnalyze(x *index.Index, s Subset) (Aggregate, *Profile, error) {
+	defer observe(tel.sum)()
+	return sumAnalyze(x, s)
+}
+
+func sumAnalyze(x *index.Index, s Subset) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(string(OpSum), s.describe())
+	agg, err := sumImpl(x, s, p.Root)
+	finish(err)
+	return agg, p, err
+}
+
+// MeanAnalyze is Mean with a measured profile.
+func MeanAnalyze(x *index.Index, s Subset) (Aggregate, *Profile, error) {
+	defer observe(tel.sum)()
+	return meanAnalyze(x, s)
+}
+
+func meanAnalyze(x *index.Index, s Subset) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(string(OpMean), s.describe())
+	agg, err := meanImpl(x, s, p.Root)
+	finish(err)
+	return agg, p, err
+}
+
+// QuantileAnalyze is Quantile with a measured profile.
+func QuantileAnalyze(x *index.Index, s Subset, q float64) (Aggregate, *Profile, error) {
+	defer observe(tel.quantile)()
+	return quantileAnalyze(x, s, q)
+}
+
+func quantileAnalyze(x *index.Index, s Subset, q float64) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(string(OpQuantile), fmt.Sprintf("q=%g %s", q, s.describe()))
+	agg, err := quantileImpl(x, s, q, p.Root)
+	finish(err)
+	return agg, p, err
+}
+
+// MinMaxAnalyze is MinMax with a measured profile.
+func MinMaxAnalyze(x *index.Index, s Subset) (min, max Aggregate, p *Profile, err error) {
+	defer observe(tel.minmax)()
+	return minMaxAnalyze(x, s)
+}
+
+func minMaxAnalyze(x *index.Index, s Subset) (min, max Aggregate, p *Profile, err error) {
+	p, finish := newAnalyze(string(OpMinMax), s.describe())
+	min, max, err = minMaxImpl(x, s, p.Root)
+	finish(err)
+	return min, max, p, err
+}
+
+// SumMaskedAnalyze is SumMasked with a measured profile.
+func SumMaskedAnalyze(x *index.Index, mask bitvec.Bitmap) (Aggregate, *Profile, error) {
+	defer observe(tel.masked)()
+	return sumMaskedAnalyze(x, mask)
+}
+
+func sumMaskedAnalyze(x *index.Index, mask bitvec.Bitmap) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze("sum-masked", fmt.Sprintf("mask rows=%d", mask.Count()))
+	agg, err := sumMaskedImpl(x, mask, p.Root)
+	finish(err)
+	return agg, p, err
+}
+
+// CorrelationAnalyze is Correlation with a measured profile.
+func CorrelationAnalyze(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
+	defer observe(tel.correlation)()
+	return correlationAnalyze(xa, xb, sa, sb)
+}
+
+func correlationAnalyze(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
+	p, finish := newAnalyze("correlation", fmt.Sprintf("a: %s | b: %s", sa.describe(), sb.describe()))
+	pair, err := correlationImpl(xa, xb, sa, sb, p.Root)
+	finish(err)
+	return pair, p, err
+}
+
+// SumAnalyze is Masked.Sum with a measured profile.
+func (m *Masked) SumAnalyze(s Subset) (Aggregate, *Profile, error) {
+	defer observe(tel.masked)()
+	return m.sumAnalyze(s)
+}
+
+func (m *Masked) sumAnalyze(s Subset) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze("masked-sum", s.describe())
+	agg, err := maskedSumImpl(m, s, p.Root)
+	finish(err)
+	return agg, p, err
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN: estimate the plan's cost from per-bin index metadata — encoded
+// size, word count, cached cardinality, codec — without executing anything.
+// O(bins), no bitmap is decoded. Estimates carry WordsScanned, BytesDecoded
+// and Rows; the fill/literal split needs a scan of the encoding, so it is
+// ANALYZE-only. Value predicates select whole bins (bin-granular semantics),
+// so estimated rows for partially-overlapped edge bins are upper bounds;
+// spatial restrictions scale row estimates by the covered fraction but not
+// scan costs (CountRange still walks the encoding from the start).
+
+// Explain returns the estimated plan of op over the subset.
+func Explain(x *index.Index, s Subset, op Op) (*Profile, error) {
+	if err := s.validate(x.N()); err != nil {
+		return nil, err
+	}
+	p := &Profile{Query: string(op), Mode: ModeExplain, Detail: s.describe(), Root: &Node{Op: string(op), Bin: -1}}
+	switch op {
+	case OpBits:
+		explainBits(x, s, p.Root)
+	case OpCount, OpSum, OpQuantile, OpMinMax:
+		explainBinCounts(x, s, p.Root)
+	case OpMean:
+		explainBinCounts(x, s, p.Root.child("sum", s.describe()))
+	default:
+		return nil, fmt.Errorf("query: cannot explain op %q", op)
+	}
+	return p, nil
+}
+
+// spatialFraction is the fraction of elements the spatial range covers.
+func (s Subset) spatialFraction(n int) float64 {
+	if !s.hasSpatial() || n == 0 {
+		return 1
+	}
+	return float64(s.SpatialHi-s.SpatialLo) / float64(n)
+}
+
+// estBin estimates the cost of consuming bin b once: its full encoded form.
+func estBin(x *index.Index, b int, frac float64) Cost {
+	bm := x.Bitmap(b)
+	return Cost{
+		WordsScanned: int64(bm.Words()),
+		BytesDecoded: int64(bm.SizeBytes()),
+		Rows:         int64(float64(x.Count(b)) * frac),
+	}
+}
+
+func explainBits(x *index.Index, s Subset, root *Node) {
+	frac := s.spatialFraction(x.N())
+	var rows int64
+	if s.hasValue() {
+		n := root.child("or-merge", fmt.Sprintf("value=[%g,%g)", s.ValueLo, s.ValueHi))
+		touched := 0
+		for b := 0; b < x.Bins(); b++ {
+			if !s.binSelected(x, b) {
+				continue
+			}
+			touched++
+			c := n.child("or", "")
+			c.Bin = b
+			c.Codec = x.Codec(b).String()
+			c.Cost = estBin(x, b, 1)
+			rows += c.Cost.Rows
+		}
+		n.addCost(Cost{BinsTouched: touched})
+		n.setRows(int(rows))
+	} else {
+		rows = int64(x.N())
+		root.child("ones", "no value predicate").setRows(x.N())
+	}
+	if s.hasSpatial() {
+		segWords := int64((x.N() + bitvec.SegmentBits - 1) / bitvec.SegmentBits)
+		n := root.child("and-range", fmt.Sprintf("spatial=[%d,%d)", s.SpatialLo, s.SpatialHi))
+		n.addCost(Cost{WordsScanned: segWords, BytesDecoded: 4 * segWords})
+		rows = int64(float64(rows) * frac)
+		n.setRows(int(rows))
+	}
+	root.setRows(int(rows))
+}
+
+func explainBinCounts(x *index.Index, s Subset, root *Node) {
+	frac := s.spatialFraction(x.N())
+	touched := 0
+	var rows int64
+	for b := 0; b < x.Bins(); b++ {
+		if !s.binSelected(x, b) {
+			continue
+		}
+		touched++
+		var c *Node
+		if !s.hasSpatial() {
+			c = root.child("cached-count", "")
+			c.Cost.Rows = int64(x.Count(b))
+		} else {
+			c = root.child("count-range", "")
+			c.Cost = estBin(x, b, frac)
+		}
+		c.Bin = b
+		c.Codec = x.Codec(b).String()
+		rows += c.Cost.Rows
+	}
+	root.addCost(Cost{BinsTouched: touched})
+	root.setRows(int(rows))
+}
+
+// ExplainCorrelation estimates the correlation query's plan: both subset
+// materializations, the mask AND, the per-bin restrictions of both
+// variables, and the joint AndCount grid over occupied bin pairs.
+func ExplainCorrelation(xa, xb *index.Index, sa, sb Subset) (*Profile, error) {
+	if err := sa.validate(xa.N()); err != nil {
+		return nil, err
+	}
+	if err := sb.validate(xb.N()); err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Query: "correlation", Mode: ModeExplain,
+		Detail: fmt.Sprintf("a: %s | b: %s", sa.describe(), sb.describe()),
+		Root:   &Node{Op: "correlation", Bin: -1},
+	}
+	explainBits(xa, sa, p.Root.child("bits-a", sa.describe()))
+	explainBits(xb, sb, p.Root.child("bits-b", sb.describe()))
+	segWords := int64((xa.N() + bitvec.SegmentBits - 1) / bitvec.SegmentBits)
+	p.Root.child("and-masks", "elements satisfying both predicates").
+		addCost(Cost{WordsScanned: 2 * segWords, BytesDecoded: 8 * segWords})
+	occupied := func(x *index.Index) (bins int, words, bytes int64) {
+		for b := 0; b < x.Bins(); b++ {
+			if x.Count(b) == 0 {
+				continue
+			}
+			bins++
+			words += int64(x.Bitmap(b).Words())
+			bytes += int64(x.Bitmap(b).SizeBytes())
+		}
+		return
+	}
+	binsA, wordsA, bytesA := occupied(xa)
+	binsB, wordsB, bytesB := occupied(xb)
+	p.Root.child("restrict-a", "per-bin AND with subset mask").
+		addCost(Cost{BinsTouched: binsA, WordsScanned: wordsA + int64(binsA)*segWords, BytesDecoded: bytesA + 4*int64(binsA)*segWords})
+	// Each occupied B bin is restricted once, then AndCounted against every
+	// occupied restricted A bin; restricted bitmaps are bounded by the mask.
+	jointOps := int64(binsA) * int64(binsB)
+	p.Root.child("joint", fmt.Sprintf("%d×%d bin pairs", binsA, binsB)).
+		addCost(Cost{BinsTouched: binsB, WordsScanned: wordsB + int64(binsB)*segWords + 2*jointOps*segWords, BytesDecoded: bytesB + 4*int64(binsB)*segWords + 8*jointOps*segWords})
+	return p, nil
+}

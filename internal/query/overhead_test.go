@@ -1,0 +1,75 @@
+package query
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"insitubits/internal/codec"
+	"insitubits/internal/index"
+	"insitubits/internal/telemetry"
+)
+
+// queryWorkload is the guarded hot path: spatially-restricted counts and
+// sums, which walk every selected bin's compressed bitmap — the same shape
+// the selection and mining layers issue in bulk.
+func queryWorkload(x *index.Index) {
+	s := Subset{ValueLo: 0, ValueHi: 8, SpatialLo: 31, SpatialHi: x.N() - 31}
+	if _, err := Count(x, s); err != nil {
+		panic(err)
+	}
+	if _, err := Sum(x, Subset{ValueLo: 1, ValueHi: 7}); err != nil {
+		panic(err)
+	}
+}
+
+// TestAnalyzeOverheadDisabled guards the EXPLAIN/ANALYZE budget: with no
+// slow-query log installed and ANALYZE not requested, the plain query path
+// (which still carries the slow-log gate and the always-on per-codec
+// operand counters) must stay within 2% of the fully-uninstrumented path.
+// Gated like the bitvec guard: wall-clock assertions flap on loaded CI
+// hosts, so it only engages under TELEMETRY_OVERHEAD_GUARD=1 (the Makefile
+// `overhead` target sets it).
+func TestAnalyzeOverheadDisabled(t *testing.T) {
+	if os.Getenv("TELEMETRY_OVERHEAD_GUARD") == "" {
+		t.Skip("set TELEMETRY_OVERHEAD_GUARD=1 to run the timing guard (make overhead)")
+	}
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	x := explainTestIndex(t, codec.Auto)
+	measure := func(enabled bool) time.Duration {
+		if enabled {
+			SetTelemetry(telemetry.Default)
+		} else {
+			SetTelemetry(nil)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				queryWorkload(x)
+			}
+		})
+		return time.Duration(r.NsPerOp())
+	}
+	// Interleave off/on rounds and take each side's minimum, as in the
+	// bitvec guard, so frequency drift hits both sides equally.
+	measure(false)
+	measure(true)
+	min := time.Duration(1<<63 - 1)
+	off, on := min, min
+	for round := 0; round < 5; round++ {
+		if d := measure(false); d < off {
+			off = d
+		}
+		if d := measure(true); d < on {
+			on = d
+		}
+	}
+	SetTelemetry(telemetry.Default)
+	overhead := float64(on-off) / float64(off)
+	t.Logf("query hot path: off=%v on=%v overhead=%.2f%%", off, on, 100*overhead)
+	if overhead > 0.02 {
+		t.Errorf("disabled-ANALYZE overhead %.2f%% exceeds the 2%% budget (off=%v on=%v)",
+			100*overhead, off, on)
+	}
+}

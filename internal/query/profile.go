@@ -1,0 +1,384 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"insitubits/internal/bitvec"
+	"insitubits/internal/codec"
+	"insitubits/internal/index"
+)
+
+// Cost is the per-operator accounting of an EXPLAIN/ANALYZE plan node. In
+// analyze mode the figures are what the executed operator actually touched,
+// derived from the physical composition of every operand it consumed; in
+// explain mode they are estimates from the per-bin index stats (encoded
+// size, cached count, codec) without executing anything.
+//
+// Word semantics are codec-native: for WAH and Dense, WordsScanned is the
+// number of encoded 32-bit words and FillWords/LiteralWords split them by
+// kind; for BBC, WordsScanned is the byte stream rounded up to 32-bit words
+// while FillWords counts run tokens and LiteralWords literal payload bytes.
+// FillSegments is the number of 31-bit segments covered by fill runs — the
+// "how much work did compression save" figure.
+type Cost struct {
+	BinsTouched    int   `json:"bins_touched,omitempty"`
+	WordsScanned   int64 `json:"words_scanned,omitempty"`
+	FillWords      int64 `json:"fill_words,omitempty"`
+	FillSegments   int64 `json:"fill_segments,omitempty"`
+	LiteralWords   int64 `json:"literal_words,omitempty"`
+	BytesDecoded   int64 `json:"bytes_decoded,omitempty"`
+	FallbackMerges int64 `json:"fallback_merges,omitempty"`
+	// OutBits/OutWords describe the intermediate bitmap an operator
+	// produced (0 for count-only operators that never materialize).
+	OutBits  int `json:"out_bits,omitempty"`
+	OutWords int `json:"out_words,omitempty"`
+	// Rows is the operator's output cardinality (elements selected /
+	// counted); estimated in explain mode.
+	Rows int64 `json:"rows,omitempty"`
+}
+
+// add folds another cost into c (used for rolling children up into parents;
+// output-shape fields are kept, not summed).
+func (c *Cost) add(o Cost) {
+	c.BinsTouched += o.BinsTouched
+	c.WordsScanned += o.WordsScanned
+	c.FillWords += o.FillWords
+	c.FillSegments += o.FillSegments
+	c.LiteralWords += o.LiteralWords
+	c.BytesDecoded += o.BytesDecoded
+	c.FallbackMerges += o.FallbackMerges
+}
+
+// Node is one operator of a plan/profile tree.
+type Node struct {
+	// Op names the operator ("count-range", "or-merge", "and-mask", ...).
+	Op string `json:"op"`
+	// Detail is a human-oriented qualifier (value range, step pair, ...).
+	Detail string `json:"detail,omitempty"`
+	// Bin is the index bin a bin-level operator touched, -1 otherwise.
+	Bin int `json:"bin"`
+	// Codec names the encoding of the bin (or dominant operand) when known.
+	Codec string `json:"codec,omitempty"`
+	// Cost is this operator's own accounting, excluding children.
+	Cost Cost `json:"cost"`
+	// ElapsedNs is the measured wall time, when the operator was timed
+	// separately (only the root is timed for most queries).
+	ElapsedNs int64   `json:"elapsed_ns,omitempty"`
+	Children  []*Node `json:"children,omitempty"`
+}
+
+// child appends (and returns) a new child operator. Nil-safe: on a nil
+// receiver — the plain, unprofiled execution path — it returns nil, and the
+// other nil-safe mutators below keep no-oping down the chain.
+func (n *Node) child(op, detail string) *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Op: op, Detail: detail, Bin: -1}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// binChild appends a child operator pinned to an index bin, recording the
+// bin's codec and charging one full scan of its encoding. Nil-safe.
+func (n *Node) binChild(op string, x *index.Index, b int) *Node {
+	if n == nil {
+		return nil
+	}
+	bm := x.Bitmap(b)
+	c := &Node{Op: op, Bin: b, Codec: codecName(bm), Cost: scanCost(bm)}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// addCost folds extra cost into the node's own accounting. Nil-safe.
+func (n *Node) addCost(c Cost) {
+	if n == nil {
+		return
+	}
+	n.Cost.add(c)
+}
+
+// scanOperand charges the node one full scan of an operand bitmap. Nil-safe.
+func (n *Node) scanOperand(b bitvec.Bitmap) {
+	if n == nil {
+		return
+	}
+	n.Cost.add(scanCost(b))
+}
+
+// setOut records the intermediate bitmap the operator produced. Nil-safe.
+func (n *Node) setOut(b bitvec.Bitmap) {
+	if n == nil {
+		return
+	}
+	outShape(&n.Cost, b)
+	if n.Codec == "" {
+		n.Codec = codecName(b)
+	}
+}
+
+// setRows records the operator's output cardinality. Nil-safe.
+func (n *Node) setRows(rows int) {
+	if n == nil {
+		return
+	}
+	n.Cost.Rows = int64(rows)
+}
+
+// markFallback charges n cross-codec fallback merges. Nil-safe.
+func (n *Node) markFallback(count int64) {
+	if n == nil {
+		return
+	}
+	n.Cost.FallbackMerges += count
+}
+
+// Total returns the node's cost including all descendants.
+func (n *Node) Total() Cost {
+	t := n.Cost
+	for _, c := range n.Children {
+		sub := c.Total()
+		t.add(sub)
+	}
+	return t
+}
+
+// Profile is the result of an EXPLAIN (estimated, not executed) or ANALYZE
+// (executed and measured) query: the operator tree plus query-level
+// metadata. It marshals to JSON for the slow-query log and renders as an
+// indented tree for the CLI.
+type Profile struct {
+	// Query is the entry point ("count", "sum", "correlation", ...).
+	Query string `json:"query"`
+	// Mode is "explain" (estimated) or "analyze" (executed).
+	Mode string `json:"mode"`
+	// Detail describes the parameters (subset ranges, quantile, ...).
+	Detail string `json:"detail,omitempty"`
+	// ElapsedNs is the measured wall time of the whole query (analyze) or 0.
+	ElapsedNs int64 `json:"elapsed_ns,omitempty"`
+	// Err records the query error, if it failed.
+	Err string `json:"error,omitempty"`
+	// Root is the operator tree.
+	Root *Node `json:"plan"`
+}
+
+// Modes of a Profile.
+const (
+	ModeExplain = "explain"
+	ModeAnalyze = "analyze"
+)
+
+// Elapsed returns the measured duration.
+func (p *Profile) Elapsed() time.Duration { return time.Duration(p.ElapsedNs) }
+
+// Total returns the whole plan's aggregated cost.
+func (p *Profile) Total() Cost {
+	if p == nil || p.Root == nil {
+		return Cost{}
+	}
+	return p.Root.Total()
+}
+
+// JSON renders the profile as one JSON document (the slow-query log payload).
+func (p *Profile) JSON() json.RawMessage {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return json.RawMessage(fmt.Sprintf("{%q:%q}", "error", err))
+	}
+	return data
+}
+
+// maxRenderedBins caps how many sibling bin-level nodes Render prints per
+// parent; the remainder is summarized in one line (the JSON form is never
+// truncated).
+const maxRenderedBins = 12
+
+// Render returns the profile as an indented operator tree, one operator per
+// line with its cost summary — the `bitmapctl explain` output.
+func (p *Profile) Render() string {
+	if p == nil || p.Root == nil {
+		return ""
+	}
+	var sb strings.Builder
+	header := strings.ToUpper(p.Mode)
+	fmt.Fprintf(&sb, "%s %s", header, p.Query)
+	if p.Detail != "" {
+		fmt.Fprintf(&sb, " (%s)", p.Detail)
+	}
+	if p.ElapsedNs > 0 {
+		fmt.Fprintf(&sb, "  [%s]", time.Duration(p.ElapsedNs))
+	}
+	if p.Err != "" {
+		fmt.Fprintf(&sb, "  ERROR: %s", p.Err)
+	}
+	sb.WriteByte('\n')
+	renderNode(&sb, p.Root, "")
+	return sb.String()
+}
+
+func renderNode(sb *strings.Builder, n *Node, indent string) {
+	fmt.Fprintf(sb, "%s%s\n", indent, n.describe())
+	binRun := 0 // consecutive bin-level children beyond the render cap
+	var skipped Cost
+	flush := func() {
+		if binRun > 0 {
+			fmt.Fprintf(sb, "%s  … +%d more bins  %s\n", indent, binRun, skipped.describe())
+			binRun, skipped = 0, Cost{}
+		}
+	}
+	seenBins := 0
+	for _, c := range n.Children {
+		if c.Bin >= 0 && len(c.Children) == 0 {
+			seenBins++
+			if seenBins > maxRenderedBins {
+				binRun++
+				skipped.add(c.Cost)
+				continue
+			}
+		}
+		flush()
+		renderNode(sb, c, indent+"  ")
+	}
+	flush()
+}
+
+func (n *Node) describe() string {
+	var sb strings.Builder
+	sb.WriteString(n.Op)
+	if n.Bin >= 0 {
+		fmt.Fprintf(&sb, " bin=%d", n.Bin)
+	}
+	if n.Codec != "" {
+		fmt.Fprintf(&sb, " codec=%s", n.Codec)
+	}
+	if n.Detail != "" {
+		fmt.Fprintf(&sb, " (%s)", n.Detail)
+	}
+	if s := n.Cost.describe(); s != "" {
+		sb.WriteString("  ")
+		sb.WriteString(s)
+	}
+	if n.ElapsedNs > 0 {
+		fmt.Fprintf(&sb, "  [%s]", time.Duration(n.ElapsedNs))
+	}
+	return sb.String()
+}
+
+func (c Cost) describe() string {
+	var parts []string
+	if c.BinsTouched > 0 {
+		parts = append(parts, fmt.Sprintf("bins=%d", c.BinsTouched))
+	}
+	if c.WordsScanned > 0 {
+		parts = append(parts, fmt.Sprintf("words=%d (fill=%d lit=%d)", c.WordsScanned, c.FillWords, c.LiteralWords))
+	}
+	if c.FillSegments > 0 {
+		parts = append(parts, fmt.Sprintf("fillsegs=%d", c.FillSegments))
+	}
+	if c.BytesDecoded > 0 {
+		parts = append(parts, fmt.Sprintf("bytes=%d", c.BytesDecoded))
+	}
+	if c.FallbackMerges > 0 {
+		parts = append(parts, fmt.Sprintf("fallback=%d", c.FallbackMerges))
+	}
+	if c.OutBits > 0 {
+		parts = append(parts, fmt.Sprintf("out=%db/%dw", c.OutBits, c.OutWords))
+	}
+	if c.Rows > 0 {
+		parts = append(parts, fmt.Sprintf("rows=%d", c.Rows))
+	}
+	return strings.Join(parts, " ")
+}
+
+// scanCost reads a bitmap's physical composition as the cost of one full
+// scan of its encoding — the unit of ANALYZE accounting: an operator that
+// consumes a bitmap is charged its complete encoded form.
+func scanCost(b bitvec.Bitmap) Cost {
+	st := b.Stats()
+	return Cost{
+		WordsScanned: int64(b.Words()),
+		FillWords:    int64(st.FillWords),
+		FillSegments: int64(st.FilledSegments),
+		LiteralWords: int64(st.LiteralWords),
+		BytesDecoded: int64(b.SizeBytes()),
+	}
+}
+
+// outShape records the intermediate bitmap an operator materialized.
+func outShape(c *Cost, b bitvec.Bitmap) {
+	c.OutBits = b.Len()
+	c.OutWords = b.Words()
+}
+
+// TopK keeps the K slowest profiles seen so far (by elapsed time); the
+// in-situ pipeline and the mining CLI use it to embed the slowest
+// selection/mining queries in their run reports. Safe for concurrent
+// Offer/Profiles. A nil *TopK ignores everything.
+type TopK struct {
+	mu    sync.Mutex
+	k     int
+	slow  []*Profile // unordered; smallest elapsed tracked on insert
+	count int64
+}
+
+// NewTopK returns a recorder keeping the k slowest profiles (k < 1 → 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k}
+}
+
+// Offer records p if it ranks among the K slowest. Nil-safe on both sides.
+func (t *TopK) Offer(p *Profile) {
+	if t == nil || p == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	if len(t.slow) < t.k {
+		t.slow = append(t.slow, p)
+		return
+	}
+	min := 0
+	for i, q := range t.slow {
+		if q.ElapsedNs < t.slow[min].ElapsedNs {
+			min = i
+		}
+	}
+	if p.ElapsedNs > t.slow[min].ElapsedNs {
+		t.slow[min] = p
+	}
+}
+
+// Profiles returns the recorded profiles, slowest first.
+func (t *TopK) Profiles() []*Profile {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]*Profile(nil), t.slow...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ElapsedNs > out[j].ElapsedNs })
+	return out
+}
+
+// Seen returns how many profiles were offered in total.
+func (t *TopK) Seen() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// codecName labels a bitmap's encoding for plan nodes.
+func codecName(b bitvec.Bitmap) string { return codec.Of(b).String() }

@@ -49,19 +49,11 @@ func (s Subset) spatialBounds(n int) (lo, hi int) {
 // Bits materializes the subset as a bitvector over the index's elements.
 func Bits(x *index.Index, s Subset) (bitvec.Bitmap, error) {
 	defer observe(tel.bits)()
-	if err := s.validate(x.N()); err != nil {
-		return nil, err
+	if slowLogEnabled() {
+		v, _, err := bitsAnalyze(x, s)
+		return v, err
 	}
-	var v bitvec.Bitmap
-	if s.hasValue() {
-		v = x.Query(s.ValueLo, s.ValueHi)
-	} else {
-		v = onesVector(x.N())
-	}
-	if s.hasSpatial() {
-		v = v.And(rangeVector(x.N(), s.SpatialLo, s.SpatialHi))
-	}
-	return v, nil
+	return bitsImpl(x, s, nil)
 }
 
 func onesVector(n int) *bitvec.Vector {
@@ -126,22 +118,11 @@ type Aggregate struct {
 // bitmaps; only value reconstruction is approximate).
 func Count(x *index.Index, s Subset) (int, error) {
 	defer observe(tel.count)()
-	if err := s.validate(x.N()); err != nil {
-		return 0, err
+	if slowLogEnabled() {
+		n, _, err := countAnalyze(x, s)
+		return n, err
 	}
-	lo, hi := s.spatialBounds(x.N())
-	total := 0
-	for b := 0; b < x.Bins(); b++ {
-		if !s.binSelected(x, b) {
-			continue
-		}
-		if !s.hasSpatial() {
-			total += x.Count(b)
-		} else {
-			total += x.Bitmap(b).CountRange(lo, hi)
-		}
-	}
-	return total, nil
+	return countImpl(x, s, nil)
 }
 
 // binSelected reports whether bin b overlaps the value range.
@@ -155,31 +136,11 @@ func (s Subset) binSelected(x *index.Index, b int) bool {
 // Sum estimates the subset's value sum.
 func Sum(x *index.Index, s Subset) (Aggregate, error) {
 	defer observe(tel.sum)()
-	if err := s.validate(x.N()); err != nil {
-		return Aggregate{}, err
+	if slowLogEnabled() {
+		agg, _, err := sumAnalyze(x, s)
+		return agg, err
 	}
-	lo, hi := s.spatialBounds(x.N())
-	var agg Aggregate
-	for b := 0; b < x.Bins(); b++ {
-		if !s.binSelected(x, b) {
-			continue
-		}
-		c := 0
-		if !s.hasSpatial() {
-			c = x.Count(b)
-		} else {
-			c = x.Bitmap(b).CountRange(lo, hi)
-		}
-		if c == 0 {
-			continue
-		}
-		bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
-		agg.Count += c
-		agg.Estimate += float64(c) * (bl + bh) / 2
-		agg.Lo += float64(c) * bl
-		agg.Hi += float64(c) * bh
-	}
-	return agg, nil
+	return sumImpl(x, s, nil)
 }
 
 // SumMasked aggregates the values of the elements selected by an arbitrary
@@ -187,25 +148,11 @@ func Sum(x *index.Index, s Subset) (Aggregate, error) {
 // produced by bitwise combinations (subgroup discovery, incomplete data).
 func SumMasked(x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
 	defer observe(tel.masked)()
-	if mask.Len() != x.N() {
-		return Aggregate{}, fmt.Errorf("query: mask covers %d bits for %d elements", mask.Len(), x.N())
+	if slowLogEnabled() {
+		agg, _, err := sumMaskedAnalyze(x, mask)
+		return agg, err
 	}
-	var agg Aggregate
-	for b := 0; b < x.Bins(); b++ {
-		if x.Count(b) == 0 {
-			continue
-		}
-		c := x.Bitmap(b).AndCount(mask)
-		if c == 0 {
-			continue
-		}
-		bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
-		agg.Count += c
-		agg.Estimate += float64(c) * (bl + bh) / 2
-		agg.Lo += float64(c) * bl
-		agg.Hi += float64(c) * bh
-	}
-	return agg, nil
+	return sumMaskedImpl(x, mask, nil)
 }
 
 // MeanMasked is SumMasked divided by the selected count.
@@ -220,20 +167,12 @@ func MeanMasked(x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
 
 // Mean estimates the subset's average value.
 func Mean(x *index.Index, s Subset) (Aggregate, error) {
-	sum, err := Sum(x, s)
-	if err != nil {
-		return Aggregate{}, err
+	defer observe(tel.sum)()
+	if slowLogEnabled() {
+		agg, _, err := meanAnalyze(x, s)
+		return agg, err
 	}
-	if sum.Count == 0 {
-		return Aggregate{}, nil
-	}
-	n := float64(sum.Count)
-	return Aggregate{
-		Count:    sum.Count,
-		Estimate: sum.Estimate / n,
-		Lo:       sum.Lo / n,
-		Hi:       sum.Hi / n,
-	}, nil
+	return meanImpl(x, s, nil)
 }
 
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the subset's values,
@@ -241,40 +180,11 @@ func Mean(x *index.Index, s Subset) (Aggregate, error) {
 // quantile of the discarded data is guaranteed inside [Lo, Hi].
 func Quantile(x *index.Index, s Subset, q float64) (Aggregate, error) {
 	defer observe(tel.quantile)()
-	if q < 0 || q > 1 {
-		return Aggregate{}, fmt.Errorf("query: quantile %g out of [0,1]", q)
+	if slowLogEnabled() {
+		agg, _, err := quantileAnalyze(x, s, q)
+		return agg, err
 	}
-	if err := s.validate(x.N()); err != nil {
-		return Aggregate{}, err
-	}
-	lo, hi := s.spatialBounds(x.N())
-	counts := make([]int, x.Bins())
-	total := 0
-	for b := 0; b < x.Bins(); b++ {
-		if !s.binSelected(x, b) {
-			continue
-		}
-		if !s.hasSpatial() {
-			counts[b] = x.Count(b)
-		} else {
-			counts[b] = x.Bitmap(b).CountRange(lo, hi)
-		}
-		total += counts[b]
-	}
-	if total == 0 {
-		return Aggregate{}, nil
-	}
-	// Rank of the quantile element (1-based), clamped into [1, total].
-	rank := int(q*float64(total-1)) + 1
-	cum := 0
-	for b := 0; b < x.Bins(); b++ {
-		cum += counts[b]
-		if cum >= rank {
-			bl, bh := x.Mapper().Low(b), x.Mapper().High(b)
-			return Aggregate{Count: total, Estimate: (bl + bh) / 2, Lo: bl, Hi: bh}, nil
-		}
-	}
-	return Aggregate{}, fmt.Errorf("query: internal: rank %d beyond %d elements", rank, total)
+	return quantileImpl(x, s, q, nil)
 }
 
 // MinMax returns bin-edge bounds on the subset's extreme values: the true
@@ -282,38 +192,11 @@ func Quantile(x *index.Index, s Subset, q float64) (Aggregate, error) {
 // for max), where Estimate is the midpoint of the extreme occupied bin.
 func MinMax(x *index.Index, s Subset) (min, max Aggregate, err error) {
 	defer observe(tel.minmax)()
-	if err := s.validate(x.N()); err != nil {
-		return Aggregate{}, Aggregate{}, err
+	if slowLogEnabled() {
+		min, max, _, err := minMaxAnalyze(x, s)
+		return min, max, err
 	}
-	lo, hi := s.spatialBounds(x.N())
-	first, last := -1, -1
-	total := 0
-	for b := 0; b < x.Bins(); b++ {
-		if !s.binSelected(x, b) {
-			continue
-		}
-		c := 0
-		if !s.hasSpatial() {
-			c = x.Count(b)
-		} else {
-			c = x.Bitmap(b).CountRange(lo, hi)
-		}
-		if c == 0 {
-			continue
-		}
-		if first < 0 {
-			first = b
-		}
-		last = b
-		total += c
-	}
-	if first < 0 {
-		return Aggregate{}, Aggregate{}, nil
-	}
-	m := x.Mapper()
-	min = Aggregate{Count: total, Estimate: (m.Low(first) + m.High(first)) / 2, Lo: m.Low(first), Hi: m.High(first)}
-	max = Aggregate{Count: total, Estimate: (m.Low(last) + m.High(last)) / 2, Lo: m.Low(last), Hi: m.High(last)}
-	return min, max, nil
+	return minMaxImpl(x, s, nil)
 }
 
 // Correlation answers the paper's §4.1 interactive correlation query: the
@@ -322,70 +205,11 @@ func MinMax(x *index.Index, s Subset) (min, max Aggregate, err error) {
 // to both. It touches only bitmaps.
 func Correlation(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, error) {
 	defer observe(tel.correlation)()
-	if xa.N() != xb.N() {
-		return metrics.Pair{}, fmt.Errorf("query: indices over %d and %d elements", xa.N(), xb.N())
+	if slowLogEnabled() {
+		pair, _, err := correlationAnalyze(xa, xb, sa, sb)
+		return pair, err
 	}
-	if err := sa.validate(xa.N()); err != nil {
-		return metrics.Pair{}, err
-	}
-	if err := sb.validate(xb.N()); err != nil {
-		return metrics.Pair{}, err
-	}
-	if sa.hasSpatial() != sb.hasSpatial() || (sa.hasSpatial() && (sa.SpatialLo != sb.SpatialLo || sa.SpatialHi != sb.SpatialHi)) {
-		return metrics.Pair{}, fmt.Errorf("query: correlation needs one common spatial range, got [%d,%d) vs [%d,%d)",
-			sa.SpatialLo, sa.SpatialHi, sb.SpatialLo, sb.SpatialHi)
-	}
-	maskA, err := Bits(xa, sa)
-	if err != nil {
-		return metrics.Pair{}, err
-	}
-	maskB, err := Bits(xb, sb)
-	if err != nil {
-		return metrics.Pair{}, err
-	}
-	mask := maskA.And(maskB) // elements satisfying both variables' predicates
-	n := mask.Count()
-	if n == 0 {
-		return metrics.Pair{}, nil
-	}
-	ha := make([]int, xa.Bins())
-	hb := make([]int, xb.Bins())
-	joint := make([][]int, xa.Bins())
-	for i := range joint {
-		joint[i] = make([]int, xb.Bins())
-	}
-	// Restricted marginals and joint distribution via AND with the mask.
-	restrictedA := make([]bitvec.Bitmap, xa.Bins())
-	for i := 0; i < xa.Bins(); i++ {
-		if xa.Count(i) == 0 {
-			continue
-		}
-		restrictedA[i] = xa.Bitmap(i).And(mask)
-		ha[i] = restrictedA[i].Count()
-	}
-	for j := 0; j < xb.Bins(); j++ {
-		if xb.Count(j) == 0 {
-			continue
-		}
-		vj := xb.Bitmap(j).And(mask)
-		hb[j] = vj.Count()
-		if hb[j] == 0 {
-			continue
-		}
-		for i := 0; i < xa.Bins(); i++ {
-			if ha[i] == 0 {
-				continue
-			}
-			joint[i][j] = restrictedA[i].AndCount(vj)
-		}
-	}
-	ea := metrics.Entropy(ha, n)
-	eb := metrics.Entropy(hb, n)
-	mi := metrics.MutualInformation(joint, ha, hb, n)
-	return metrics.Pair{
-		EntropyA: ea, EntropyB: eb, MI: mi,
-		CondEntropyAB: ea - mi, CondEntropyBA: eb - mi,
-	}, nil
+	return correlationImpl(xa, xb, sa, sb, nil)
 }
 
 // Masked wraps an index together with a validity bitvector for
@@ -409,27 +233,12 @@ func (m *Masked) Missing() int { return m.X.N() - m.Valid.Count() }
 
 // Sum aggregates over valid elements only.
 func (m *Masked) Sum(s Subset) (Aggregate, error) {
-	if err := s.validate(m.X.N()); err != nil {
-		return Aggregate{}, err
+	defer observe(tel.masked)()
+	if slowLogEnabled() {
+		agg, _, err := m.sumAnalyze(s)
+		return agg, err
 	}
-	lo, hi := s.spatialBounds(m.X.N())
-	var agg Aggregate
-	for b := 0; b < m.X.Bins(); b++ {
-		if !s.binSelected(m.X, b) || m.X.Count(b) == 0 {
-			continue
-		}
-		vb := m.X.Bitmap(b).And(m.Valid)
-		c := vb.CountRange(lo, hi)
-		if c == 0 {
-			continue
-		}
-		bl, bh := m.X.Mapper().Low(b), m.X.Mapper().High(b)
-		agg.Count += c
-		agg.Estimate += float64(c) * (bl + bh) / 2
-		agg.Lo += float64(c) * bl
-		agg.Hi += float64(c) * bh
-	}
-	return agg, nil
+	return maskedSumImpl(m, s, nil)
 }
 
 // Impute estimates missing values from the valid value distribution inside

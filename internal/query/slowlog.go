@@ -1,0 +1,63 @@
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// slowLog is the installed slow-query sink: queries (and pipeline/mining
+// profiles fed through LogSlow) at or above the threshold are emitted as
+// one structured record with the full profile attached as JSON.
+type slowLogSink struct {
+	logger    *slog.Logger
+	threshold time.Duration
+}
+
+var slowLogState atomic.Pointer[slowLogSink]
+
+// SetSlowLog installs a structured slow-query log: every profiled query
+// whose wall time reaches threshold is emitted through logger with its
+// full ANALYZE profile as a JSON attribute. While a log is installed, the
+// plain query entry points route through the profiled execution path so
+// slow calls are captured without the caller opting into Analyze variants;
+// when no log is installed (the default, and after SetSlowLog(nil, 0))
+// the plain path carries zero profiling cost. Safe for concurrent use.
+func SetSlowLog(logger *slog.Logger, threshold time.Duration) {
+	if logger == nil {
+		slowLogState.Store(nil)
+		return
+	}
+	if threshold < 0 {
+		threshold = 0
+	}
+	slowLogState.Store(&slowLogSink{logger: logger, threshold: threshold})
+}
+
+// slowLogEnabled reports whether a slow-query log is installed (one atomic
+// load — the plain entry points check it on every call).
+func slowLogEnabled() bool { return slowLogState.Load() != nil }
+
+// LogSlow offers a finished profile to the installed slow-query log; it is
+// emitted when its elapsed time reaches the threshold. The analyze entry
+// points call this automatically; the in-situ pipeline and the mining pass
+// feed their selection/mining profiles through it too. Nil-safe, no-op
+// when no log is installed.
+func LogSlow(p *Profile) {
+	sink := slowLogState.Load()
+	if sink == nil || p == nil {
+		return
+	}
+	if time.Duration(p.ElapsedNs) < sink.threshold {
+		return
+	}
+	tel.slowQueries.Inc()
+	sink.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query",
+		slog.String("query", p.Query),
+		slog.String("detail", p.Detail),
+		slog.Duration("elapsed", p.Elapsed()),
+		slog.Any("profile", json.RawMessage(p.JSON())),
+	)
+}

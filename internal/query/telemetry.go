@@ -3,6 +3,7 @@ package query
 import (
 	"time"
 
+	"insitubits/internal/codec"
 	"insitubits/internal/telemetry"
 )
 
@@ -10,6 +11,12 @@ import (
 // bitmap-only analysis plus a per-operation counter. Derived helpers
 // (Mean, MeanMasked) time themselves and also hit the primitive they call,
 // so counters are operation counts, not unique user requests. Nil-safe.
+//
+// codecOps (indexed by codec.ID) counts bitmap operands consumed by query
+// operators per codec — every bin bitmap or mask an operator reads bumps
+// the counter of its encoding, on the plain and profiled paths alike.
+// fallbackMerges counts binary ops whose operands had different codecs
+// (they leave the native merge kernels for the generic run path).
 var tel struct {
 	latency     *telemetry.Histogram // ns per query operation
 	bits        *telemetry.Counter
@@ -19,6 +26,10 @@ var tel struct {
 	minmax      *telemetry.Counter
 	correlation *telemetry.Counter
 	masked      *telemetry.Counter
+
+	codecOps       [4]*telemetry.Counter // by codec.ID; 0 = unknown wrappers
+	fallbackMerges *telemetry.Counter
+	slowQueries    *telemetry.Counter // profiles emitted to the slow-query log
 }
 
 // SetTelemetry (re)binds the package's instruments to a registry; nil
@@ -32,6 +43,12 @@ func SetTelemetry(r *telemetry.Registry) {
 	tel.minmax = r.Counter("query.minmax")
 	tel.correlation = r.Counter("query.correlation")
 	tel.masked = r.Counter("query.masked")
+	tel.codecOps[codec.Auto] = r.Counter("query.codec_ops.other")
+	tel.codecOps[codec.WAH] = r.Counter("query.codec_ops.wah")
+	tel.codecOps[codec.BBC] = r.Counter("query.codec_ops.bbc")
+	tel.codecOps[codec.Dense] = r.Counter("query.codec_ops.dense")
+	tel.fallbackMerges = r.Counter("query.fallback_merges")
+	tel.slowQueries = r.Counter("query.slow")
 }
 
 func init() { SetTelemetry(telemetry.Default) }

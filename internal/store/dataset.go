@@ -64,6 +64,7 @@ func (d *Dataset) Var(name string) ([]float64, error) {
 
 // WriteDataset serializes the dataset.
 func WriteDataset(w io.Writer, d *Dataset) (int64, error) {
+	defer timeIO(tel.writeNs)()
 	bw := bufio.NewWriter(w)
 	total := int64(0)
 	if _, err := bw.WriteString(datasetMagic); err != nil {
@@ -113,6 +114,7 @@ func WriteDataset(w io.Writer, d *Dataset) (int64, error) {
 
 // ReadDataset parses a dataset written by WriteDataset.
 func ReadDataset(r io.Reader) (*Dataset, error) {
+	defer timeIO(tel.readNs)()
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {

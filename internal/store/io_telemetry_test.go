@@ -1,0 +1,87 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/index"
+	"insitubits/internal/telemetry"
+)
+
+// TestIOAccounting checks the satellite I/O instrumentation: every store
+// read/write path records payload bytes and a wall-time sample, and the
+// figures surface through both the JSON snapshot and the Prometheus text
+// endpoint.
+func TestIOAccounting(t *testing.T) {
+	r := telemetry.NewRegistry()
+	SetTelemetry(r)
+	defer SetTelemetry(telemetry.Default)
+
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	m, err := binning.NewUniform(0, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := index.Build(data, m)
+
+	var buf bytes.Buffer
+	wrote, err := WriteIndex(&buf, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var rawBuf bytes.Buffer
+	if _, err := WriteRaw(&rawBuf, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRaw(bytes.NewReader(rawBuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDataset(0, 0, 0)
+	if err := ds.Add("temp", data); err != nil {
+		t.Fatal(err)
+	}
+	var dsBuf bytes.Buffer
+	if _, err := WriteDataset(&dsBuf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDataset(bytes.NewReader(dsBuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := r.Snapshot()
+	if got := snap.Counters["store.bytes_written"]; got < wrote {
+		t.Errorf("bytes_written = %d, want >= %d", got, wrote)
+	}
+	if got := snap.Counters["store.bytes_read"]; got < wrote {
+		t.Errorf("bytes_read = %d, want >= %d", got, wrote)
+	}
+	// Three writes and three reads were timed (index, raw, dataset).
+	if h := snap.Histograms["store.write_ns"]; h.Count != 3 {
+		t.Errorf("write_ns samples = %d, want 3", h.Count)
+	}
+	if h := snap.Histograms["store.read_ns"]; h.Count != 3 {
+		t.Errorf("read_ns samples = %d, want 3", h.Count)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"insitubits_store_bytes_written_total",
+		"insitubits_store_write_ns_count 3",
+		"insitubits_store_read_ns_count 3",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Prometheus exposition missing %q", want)
+		}
+	}
+}

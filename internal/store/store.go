@@ -52,6 +52,7 @@ const (
 // codec. It returns the number of payload bytes written so callers can
 // account I/O.
 func WriteIndex(w io.Writer, x *index.Index) (int64, error) {
+	defer timeIO(tel.writeNs)()
 	bw := bufio.NewWriter(w)
 	n, err := writeHeader(bw, x)
 	if err != nil {
@@ -89,6 +90,7 @@ func WriteIndex(w io.Writer, x *index.Index) (int64, error) {
 // re-encoding non-WAH bins. Kept so compatibility tests (and tools that
 // must interoperate with pre-v2 readers) can produce v1 files.
 func WriteIndexV1(w io.Writer, x *index.Index) (int64, error) {
+	defer timeIO(tel.writeNs)()
 	bw := bufio.NewWriter(w)
 	n, err := writeHeaderVersion(bw, x, versionV1)
 	if err != nil {
@@ -167,6 +169,7 @@ func validEdges(edges []float64) error {
 // ReadIndex parses an index written by WriteIndex (v2) or the legacy v1
 // writer; v1 bins load as WAH.
 func ReadIndex(r io.Reader) (*index.Index, error) {
+	defer timeIO(tel.readNs)()
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -266,6 +269,7 @@ func readBinV2(br *bufio.Reader, nbits int) (bitvec.Bitmap, error) {
 
 // WriteRaw serializes a raw float64 array (the full-data baseline's output).
 func WriteRaw(w io.Writer, data []float64) (int64, error) {
+	defer timeIO(tel.writeNs)()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(rawMagic); err != nil {
 		return 0, err
@@ -289,6 +293,7 @@ func RawSize(n int) int64 { return 4 + 8 + int64(8*n) }
 
 // ReadRaw parses an array written by WriteRaw.
 func ReadRaw(r io.Reader) ([]float64, error) {
+	defer timeIO(tel.readNs)()
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {

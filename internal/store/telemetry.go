@@ -1,10 +1,16 @@
 package store
 
-import "insitubits/internal/telemetry"
+import (
+	"time"
+
+	"insitubits/internal/telemetry"
+)
 
 // tel counts serialization traffic: artifact counts and payload bytes in
-// each direction, across the index, raw-array and dataset formats.
-// Nil-safe; bound to telemetry.Default at init.
+// each direction, across the index, raw-array and dataset formats, plus
+// wall-time histograms for whole read/write calls (failed calls are timed
+// too — a slow failure is still I/O spent). Nil-safe; bound to
+// telemetry.Default at init.
 var tel struct {
 	bytesWritten   *telemetry.Counter
 	bytesRead      *telemetry.Counter
@@ -12,6 +18,8 @@ var tel struct {
 	indexesRead    *telemetry.Counter
 	rawWritten     *telemetry.Counter
 	rawRead        *telemetry.Counter
+	writeNs        *telemetry.Histogram // ns per Write{Index,IndexV1,Raw,Dataset} call
+	readNs         *telemetry.Histogram // ns per Read{Index,Raw,Dataset} call
 }
 
 // SetTelemetry (re)binds the package's instruments to a registry; nil
@@ -23,6 +31,21 @@ func SetTelemetry(r *telemetry.Registry) {
 	tel.indexesRead = r.Counter("store.indexes_read")
 	tel.rawWritten = r.Counter("store.raw_written")
 	tel.rawRead = r.Counter("store.raw_read")
+	tel.writeNs = r.Histogram("store.write_ns")
+	tel.readNs = r.Histogram("store.read_ns")
 }
 
 func init() { SetTelemetry(telemetry.Default) }
+
+var noopTimeIO = func() {}
+
+// timeIO times one store call into h:
+//
+//	defer timeIO(tel.writeNs)()
+func timeIO(h *telemetry.Histogram) func() {
+	if h == nil {
+		return noopTimeIO
+	}
+	start := time.Now()
+	return func() { h.Record(time.Since(start).Nanoseconds()) }
+}

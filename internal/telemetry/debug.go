@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -12,6 +13,7 @@ import (
 // behind -debug-addr. It serves:
 //
 //	/telemetry     the registry snapshot as JSON
+//	/metrics       the snapshot in Prometheus text exposition format
 //	/debug/vars    expvar (includes the "telemetry" var)
 //	/debug/pprof/  the standard pprof profiles
 type DebugServer struct {
@@ -38,6 +40,10 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 		}
 		w.Write(data)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // best-effort over HTTP
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -49,7 +55,7 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/metrics\n/debug/vars\n/debug/pprof/\n")
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -60,10 +66,21 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 	return d, nil
 }
 
-// Close stops the server and releases the listener.
+// Close stops the server immediately, dropping in-flight requests, and
+// releases the listener. Nil-safe.
 func (d *DebugServer) Close() error {
 	if d == nil || d.srv == nil {
 		return nil
 	}
 	return d.srv.Close()
+}
+
+// Shutdown stops accepting new connections, waits for in-flight requests
+// to finish (bounded by ctx), and releases the listener — the graceful
+// counterpart to Close for tests and signal-driven -hold runs. Nil-safe.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Shutdown(ctx)
 }
