@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench bench-json overhead fuzz-smoke ci
+.PHONY: all build test vet race race-hot bench bench-json overhead fuzz-smoke crash-matrix ci
 
 all: build
 
@@ -39,9 +39,18 @@ bench-json:
 overhead:
 	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run 'TestInstrumentationOverhead|TestAnalyzeOverheadDisabled' -v ./internal/bitvec/ ./internal/query/
 
-# Short fuzz pass over the untrusted index-file parser (docs/FORMATS.md);
-# the full corpus exploration is `go test -fuzz FuzzReadIndex ./internal/store/`.
+# Short fuzz passes over the untrusted parsers (docs/FORMATS.md): the
+# index-file reader and the run-journal parser. Full corpus exploration is
+# `go test -fuzz <target> ./internal/<pkg>/`.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzReadIndex$$' -fuzztime 10s ./internal/store/
+	$(GO) test -run xxx -fuzz 'FuzzParseJournal$$' -fuzztime 10s ./internal/insitu/
 
-ci: vet build race-hot race overhead fuzz-smoke
+# The crash-safety acceptance suite (docs/ROBUSTNESS.md): kill a run at
+# every recorded write boundary and every mid-write offset, resume, and
+# require a byte-identical directory plus a clean fsck — under the race
+# detector, together with the fault-injection and fsck corruption tables.
+crash-matrix:
+	$(GO) test -race -run 'TestCrashMatrix|TestResume|TestTransient|TestWorkerPanic|TestFsck' -v ./internal/insitu/
+
+ci: vet build race-hot race overhead crash-matrix fuzz-smoke

@@ -11,6 +11,7 @@
 //	bitmapctl entropy index.isbm
 //	bitmapctl mi a.isbm b.isbm
 //	bitmapctl emd a.isbm b.isbm
+//	bitmapctl fsck [-repair] [-json] outdir/
 //
 // Raw input files use the .israw format (WriteRawFile); `bitmapctl genraw`
 // produces a demo file from the Heat3D workload.
@@ -87,6 +88,8 @@ func main() {
 		err = cmdEvolve(args)
 	case "manifest":
 		err = cmdManifest(args)
+	case "fsck":
+		err = cmdFsck(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -98,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {

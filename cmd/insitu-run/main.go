@@ -7,6 +7,11 @@
 //	insitu-run -sim heat3d -method sampling -sample 10
 //	insitu-run -sim heat3d -strategy separate -simcores 2 -redcores 2
 //	insitu-run -sim heat3d -strategy auto      # Eq. 1/2 calibration
+//	insitu-run -sim heat3d -out run1/ -resume  # continue a crashed run
+//
+// Runs with -out are crash-safe: every artifact is written atomically and
+// committed through a fsync'd journal (journal.isbj), so a killed run
+// resumes with -resume and `bitmapctl fsck` can audit the directory.
 //
 // Observability (see docs/OBSERVABILITY.md): -debug-addr starts a debug
 // HTTP server with live expvar counters, Prometheus /metrics, the pipeline
@@ -50,6 +55,7 @@ func main() {
 	disk := flag.Float64("disk", insitubits.Xeon.DiskMBps, "modelled disk bandwidth MB/s")
 	dim := flag.Int("dim", 32, "grid/mesh edge length")
 	outDir := flag.String("out", "", "persist selected summaries (+manifest.json) to this directory")
+	resume := flag.Bool("resume", false, "continue a crashed run from -out's journal instead of starting over")
 	debugAddr := flag.String("debug-addr", "", "serve live telemetry, expvar and pprof on this address (e.g. :6060)")
 	telemetryDump := flag.Bool("telemetry", false, "print the telemetry snapshot as JSON after the run")
 	slowLog := flag.String("slowlog", "", `slow-query log destination: "stderr" or a file path (JSON lines)`)
@@ -159,7 +165,15 @@ func main() {
 	cfg.Store = store
 	cfg.OutputDir = *outDir
 
-	res, err := insitubits.RunPipeline(cfg)
+	var res *insitubits.PipelineResult
+	if *resume {
+		if *outDir == "" {
+			log.Fatal("-resume needs -out pointing at the crashed run's directory")
+		}
+		res, err = insitubits.ResumePipeline(*outDir, cfg)
+	} else {
+		res, err = insitubits.RunPipeline(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -395,6 +395,37 @@ var (
 	ReadManifest = insitu.ReadManifest
 )
 
+// --- Crash safety: run journal, resume, fsck (internal/insitu) ---
+
+// PipelineJournalName is the append-only run journal written into
+// OutputDir; PipelineQuarantineDir is where Resume and fsck park damaged
+// or stray files instead of deleting them.
+const (
+	PipelineJournalName   = insitu.JournalName
+	PipelineQuarantineDir = insitu.QuarantineDir
+)
+
+// JournalRecord is one entry of the run journal; JournalFile is one
+// durable artifact a select record covers. FsckReport and FsckIssue
+// describe a directory verification.
+type (
+	JournalRecord = insitu.JournalRecord
+	JournalFile   = insitu.JournalFile
+	FsckReport    = insitu.FsckReport
+	FsckIssue     = insitu.FsckIssue
+	FsckOptions   = insitu.FsckOptions
+)
+
+// Re-exported crash-safety API: ResumePipeline continues a crashed run
+// from its journal; Fsck verifies (and optionally repairs) an output
+// directory; ReadJournal/ParseJournal expose the journal itself.
+var (
+	ResumePipeline = insitu.Resume
+	Fsck           = insitu.Fsck
+	ReadJournal    = insitu.ReadJournal
+	ParseJournal   = insitu.ParseJournal
+)
+
 // --- Offline archives (internal/offline) ---
 
 // Archive is a loaded pipeline output directory (manifest + artifacts);
@@ -484,12 +515,14 @@ var (
 // NetCDF stand-in).
 type DatasetFile = store.Dataset
 
-// Re-exported storage API.
+// Re-exported storage API. WriteIndexFile emits the v3 checksummed
+// container; the V1/V2 writers keep the legacy layouts producible.
 var (
 	NewIOStore       = iosim.NewStore
 	NewIOStoreWriter = iosim.NewStoreWriter
 	WriteIndexFile   = store.WriteIndex
 	WriteIndexFileV1 = store.WriteIndexV1
+	WriteIndexFileV2 = store.WriteIndexV2
 	ReadIndexFile    = store.ReadIndex
 	IndexFileSize    = store.IndexSize
 	WriteRawFile     = store.WriteRaw
@@ -498,6 +531,39 @@ var (
 	NewDatasetFile   = store.NewDataset
 	WriteDatasetFile = store.WriteDataset
 	ReadDatasetFile  = store.ReadDataset
+)
+
+// --- Durability and fault injection (internal/store, internal/iosim) ---
+
+// ErrChecksum is the sentinel wrapped by every checksum failure in the
+// container formats; ErrTransientIO and ErrCrashedIO are the fault layer's
+// injected error kinds.
+var (
+	ErrChecksum    = store.ErrChecksum
+	ErrTransientIO = iosim.ErrTransient
+	ErrCrashedIO   = iosim.ErrCrashed
+)
+
+// FaultPlan schedules injected I/O faults; FaultFS applies one to a whole
+// filesystem; Backoff parameterizes RetryIO. FileSystem is the pluggable
+// filesystem the pipeline writes through (PipelineConfig.FS).
+type (
+	FaultPlan   = iosim.FaultPlan
+	FaultWriter = iosim.FaultWriter
+	FaultFS     = iosim.FaultFS
+	FileSystem  = iosim.FS
+	Backoff     = iosim.Backoff
+)
+
+// Re-exported durability API: CRC32C is the checksum every container and
+// journal frame uses; AtomicWriteFile stages-fsyncs-renames so files are
+// never torn; RetryIO retries transient store errors with backoff.
+var (
+	CRC32C          = store.CRC32C
+	AtomicWriteFile = store.AtomicWrite
+	NewFaultFS      = iosim.NewFaultFS
+	RetryIO         = iosim.Retry
+	IsTransientIO   = iosim.IsTransient
 )
 
 // --- Z-order curves (internal/zorder) ---

@@ -1,0 +1,309 @@
+package insitu
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"insitubits/internal/iosim"
+	"insitubits/internal/sim"
+)
+
+// triSim is a tiny deterministic 3-variable workload for the crash suite:
+// every field is a pure function of the step counter, so two independent
+// instances replay identical runs — the property Resume's re-simulation
+// relies on.
+type triSim struct {
+	t int
+	n int
+}
+
+func (s *triSim) Name() string         { return "tri" }
+func (s *triSim) Vars() []string       { return []string{"alpha", "beta", "gamma"} }
+func (s *triSim) Elements() int        { return s.n }
+func (s *triSim) Ranges() [][2]float64 { return [][2]float64{{-0.1, 1.1}, {-0.1, 1.1}, {-0.1, 1.1}} }
+func (s *triSim) Step(int) []sim.Field {
+	t := s.t
+	s.t++
+	mk := func(phase float64) []float64 {
+		d := make([]float64, s.n)
+		for i := range d {
+			d[i] = 0.5 + 0.5*math.Sin(phase+float64(t)*0.37+float64(i)*0.05)
+		}
+		return d
+	}
+	return []sim.Field{
+		{Name: "alpha", Data: mk(0)},
+		{Name: "beta", Data: mk(1.3)},
+		{Name: "gamma", Data: mk(2.6)},
+	}
+}
+
+// triConfig builds the canonical crash-suite run: 3 variables, 20 steps,
+// keep 5, bitmaps with adaptive codecs.
+func triConfig(dir string) Config {
+	return Config{
+		Sim:       &triSim{n: 60},
+		Steps:     20,
+		Select:    5,
+		Method:    Bitmaps,
+		Bins:      4,
+		Cores:     2,
+		OutputDir: dir,
+	}
+}
+
+// snapshot reads every regular file in dir (quarantine/ excluded — it is
+// the designated difference between a crashed-and-resumed directory and a
+// clean one).
+func snapshot(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+func sameSnapshot(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: %s missing after resume", label, name)
+			continue
+		}
+		if !bytes.Equal(w, g) {
+			t.Errorf("%s: %s differs after resume (%d vs %d bytes)", label, name, len(w), len(g))
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: unexpected extra file %s after resume", label, name)
+		}
+	}
+}
+
+// TestCrashMatrixResume is the crash-point suite: record the run's write
+// boundaries, kill a fresh run at every boundary (and mid-write between
+// boundaries, tearing frames and files), resume it, and require the
+// directory to come back byte-identical to an uninterrupted run — then pass
+// fsck clean. This is the PR's core acceptance criterion.
+func TestCrashMatrixResume(t *testing.T) {
+	baseDir := t.TempDir()
+	if _, err := Run(triConfig(baseDir)); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(t, baseDir)
+	if _, ok := want[JournalName]; !ok {
+		t.Fatal("baseline run wrote no journal")
+	}
+
+	// Recording pass: same run through a fault-free plan yields the kill
+	// schedule.
+	recPlan := &iosim.FaultPlan{}
+	recCfg := triConfig(t.TempDir())
+	recCfg.FS = iosim.NewFaultFS(iosim.OS, recPlan)
+	if _, err := Run(recCfg); err != nil {
+		t.Fatal(err)
+	}
+	// Expected schedule: 27 journal writes (header + begin + 19 scores +
+	// 5 selects + end) and 16 atomic artifact writes (5 steps x 3 vars +
+	// manifest) = 43 boundaries.
+	bounds := recPlan.WriteBoundaries()
+	if len(bounds) < 40 {
+		t.Fatalf("recorded only %d write boundaries; the schedule looks wrong", len(bounds))
+	}
+
+	// Kill offsets: every boundary (the next write dies with nothing
+	// landed) plus every midpoint (a write torn halfway).
+	var kills []int64
+	prev := int64(0)
+	for _, b := range bounds {
+		if mid := (prev + b) / 2; mid > prev && mid < b {
+			kills = append(kills, mid)
+		}
+		kills = append(kills, b)
+		prev = b
+	}
+	if testing.Short() {
+		thinned := kills[:0]
+		for i, k := range kills {
+			if i%17 == 0 {
+				thinned = append(thinned, k)
+			}
+		}
+		kills = thinned
+	}
+	total := bounds[len(bounds)-1]
+
+	for _, kill := range kills {
+		dir := t.TempDir()
+		plan := &iosim.FaultPlan{CrashAtByte: kill}
+		cfg := triConfig(dir)
+		cfg.FS = iosim.NewFaultFS(iosim.OS, plan)
+		_, err := Run(cfg)
+		if kill >= total {
+			// The kill offset is past the run's last write: no crash.
+			if err != nil {
+				t.Fatalf("kill@%d: run failed past its final write: %v", kill, err)
+			}
+		} else if err == nil {
+			t.Fatalf("kill@%d: run survived its own crash", kill)
+		} else {
+			if _, rerr := Resume(dir, triConfig(dir)); rerr != nil {
+				t.Fatalf("kill@%d: resume failed: %v", kill, rerr)
+			}
+		}
+		sameSnapshot(t, f("kill@%d", kill), want, snapshot(t, dir))
+		rep, err := Fsck(dir, FsckOptions{})
+		if err != nil {
+			t.Fatalf("kill@%d: fsck errored: %v", kill, err)
+		}
+		if !rep.Clean() || !rep.Complete {
+			t.Fatalf("kill@%d: fsck after resume not clean: %+v", kill, rep.Issues)
+		}
+	}
+}
+
+// f is a tiny fmt.Sprintf alias to keep the matrix loop readable.
+func f(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// TestResumeAfterCancel cancels a run mid-flight via its context, then
+// resumes it to completion.
+func TestResumeAfterCancel(t *testing.T) {
+	baseDir := t.TempDir()
+	if _, err := Run(triConfig(baseDir)); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(t, baseDir)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first step: maximal rewind
+	cfg := triConfig(dir)
+	cfg.Ctx = ctx
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if _, err := Resume(dir, triConfig(dir)); err != nil {
+		t.Fatal(err)
+	}
+	sameSnapshot(t, "cancel", want, snapshot(t, dir))
+}
+
+// TestResumeCompletedRun re-resumes a finished directory: the journal's end
+// record short-circuits any recomputation.
+func TestResumeCompletedRun(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(triConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Resume(dir, triConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Selected) != len(res.Selected) {
+		t.Fatalf("resumed selection %v, original %v", res2.Selected, res.Selected)
+	}
+	for i := range res.Selected {
+		if res.Selected[i] != res2.Selected[i] {
+			t.Fatalf("resumed selection %v, original %v", res2.Selected, res.Selected)
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedConfig guards against splicing two different
+// runs into one directory.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := triConfig(dir)
+	cfg.Steps, cfg.Select = 10, 3
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Ctx = ctx
+	cancel()
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	other := triConfig(dir)
+	other.Steps, other.Select = 12, 3
+	if _, err := Resume(dir, other); err == nil {
+		t.Fatal("resume accepted a mismatched config")
+	}
+}
+
+// TestTransientFaultsRetried proves the retry path absorbs injected
+// transient store errors: the run succeeds and its output is identical to
+// a fault-free run.
+func TestTransientFaultsRetried(t *testing.T) {
+	baseDir := t.TempDir()
+	if _, err := Run(triConfig(baseDir)); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshot(t, baseDir)
+
+	dir := t.TempDir()
+	plan := &iosim.FaultPlan{TransientErrs: 3}
+	cfg := triConfig(dir)
+	cfg.FS = iosim.NewFaultFS(iosim.OS, plan)
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("transient faults were not retried: %v", err)
+	}
+	sameSnapshot(t, "transient", want, snapshot(t, dir))
+}
+
+// TestWorkerPanicBecomesError: a panicking reduction worker must surface as
+// an error from Run, not kill the process — and the directory must then be
+// resumable.
+func TestWorkerPanicBecomesError(t *testing.T) {
+	dir := t.TempDir()
+	cfg := triConfig(dir)
+	cfg.Sim = &panicSim{triSim: triSim{n: 60}, panicAt: 7}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("panicking simulator did not fail the run")
+	}
+	// The journal survived the panic; a healthy simulator resumes the run.
+	if _, err := Resume(dir, triConfig(dir)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || !rep.Complete {
+		t.Fatalf("fsck after panic+resume: %+v", rep.Issues)
+	}
+}
+
+// panicSim panics inside a ParallelFor worker on one step.
+type panicSim struct {
+	triSim
+	panicAt int
+}
+
+func (s *panicSim) Step(nWorkers int) []sim.Field {
+	if s.t == s.panicAt {
+		sim.ParallelFor(4, 2, func(lo, hi int) {
+			panic("injected worker panic")
+		})
+	}
+	return s.triSim.Step(nWorkers)
+}

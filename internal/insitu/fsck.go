@@ -1,0 +1,388 @@
+package insitu
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"insitubits/internal/store"
+)
+
+// Damage classes Fsck assigns to issues. "missing" is an artifact the
+// journal or manifest references that is not on disk; "truncated" is a file
+// (or journal tail) cut short, the signature of a crash; "corrupt" is
+// content that fails its checksum or parses invalid — flipped bytes, not a
+// crash; "orphan" is a file nothing references (stray staging files
+// included); "incomplete" is a journal without an end record — the run
+// never finished and can be resumed.
+const (
+	DamageMissing    = "missing"
+	DamageTruncated  = "truncated"
+	DamageCorrupt    = "corrupt"
+	DamageOrphan     = "orphan"
+	DamageIncomplete = "incomplete"
+)
+
+// FsckIssue is one problem fsck found (and possibly repaired).
+type FsckIssue struct {
+	Path   string `json:"path"`
+	Step   int    `json:"step"` // -1 when not tied to a step
+	Class  string `json:"class"`
+	Detail string `json:"detail"`
+	// Action is what -repair did about it ("" when not repairing).
+	Action string `json:"action,omitempty"`
+}
+
+// FsckReport summarizes one directory verification.
+type FsckReport struct {
+	Dir string `json:"dir"`
+	// FilesChecked counts artifacts actually verified (journal CRC or full
+	// format parse), not counting the journal and manifest themselves.
+	FilesChecked int  `json:"files_checked"`
+	HasJournal   bool `json:"has_journal"`
+	// Complete is true when the journal records a finished run (or the
+	// directory predates journals and only a manifest exists).
+	Complete bool        `json:"complete"`
+	Issues   []FsckIssue `json:"issues,omitempty"`
+	Repaired bool        `json:"repaired,omitempty"`
+}
+
+// Clean reports whether no issues were found.
+func (r *FsckReport) Clean() bool { return len(r.Issues) == 0 }
+
+// FsckOptions configures Fsck.
+type FsckOptions struct {
+	// Repair quarantines damaged steps and strays and rewrites a
+	// consistent manifest (and, for completed runs, journal) covering only
+	// the surviving steps. Nothing is deleted — everything moves to
+	// quarantine/.
+	Repair bool
+}
+
+// Fsck verifies an output directory end to end: journal integrity,
+// manifest consistency, and every artifact's checksum (via the journal's
+// whole-file CRC32C when available, by full format parse otherwise —
+// which also covers directories written before journals existed, and
+// detects v3 per-bin and footer checksum violations). Damage is classified
+// per FsckIssue; the error return is reserved for fsck itself failing, not
+// for problems it found.
+func Fsck(dir string, opt FsckOptions) (*FsckReport, error) {
+	rep := &FsckReport{Dir: dir}
+	issue := func(path string, step int, class, detail, action string) {
+		rep.Issues = append(rep.Issues, FsckIssue{Path: path, Step: step, Class: class, Detail: detail, Action: action})
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return nil, fmt.Errorf("insitu: fsck: %s is not a directory", dir)
+	}
+
+	// Journal pass: parse, note torn tails and incompleteness, and verify
+	// every committed artifact against its journaled length + CRC32C.
+	var (
+		begin      *JournalRecord
+		selects    = map[int]*JournalRecord{}
+		end        *JournalRecord
+		tornTail   []byte
+		journalLen int64
+		referenced = map[string]bool{}
+		badSteps   = map[int]bool{}
+	)
+	jdata, jerr := os.ReadFile(filepath.Join(dir, JournalName))
+	switch {
+	case errors.Is(jerr, fs.ErrNotExist):
+		// Pre-journal directory: the manifest pass does all the work.
+	case jerr != nil:
+		return nil, jerr
+	default:
+		rep.HasJournal = true
+		recs, validLen, perr := ParseJournal(jdata)
+		if perr != nil {
+			issue(JournalName, -1, DamageCorrupt, perr.Error(), "")
+		} else {
+			if int64(len(jdata)) > validLen {
+				tornTail = jdata[validLen:]
+				journalLen = validLen
+				issue(JournalName, -1, DamageTruncated,
+					fmt.Sprintf("torn tail of %d bytes after %d valid records", len(tornTail), len(recs)), "")
+			}
+			for i := range recs {
+				rec := &recs[i]
+				switch rec.Kind {
+				case KindBegin:
+					if begin == nil {
+						begin = rec
+					}
+				case KindSelect:
+					selects[rec.Step] = rec // later record supersedes
+				case KindEnd:
+					end = rec
+				}
+			}
+			if end == nil {
+				issue(JournalName, -1, DamageIncomplete,
+					"no end record: the run did not finish (resumable with insitu-run -resume)", "")
+			}
+		}
+		for step, rec := range selects {
+			for _, jf := range rec.Files {
+				referenced[jf.Path] = true
+				rep.FilesChecked++
+				if err := verifyArtifact(dir, jf); err != nil {
+					badSteps[step] = true
+					issue(jf.Path, step, classifyDamage(err), err.Error(), "")
+				}
+			}
+		}
+	}
+	rep.Complete = end != nil || !rep.HasJournal
+
+	// Manifest pass: structural validation, then verify files the journal
+	// did not already cover by fully parsing them (the only integrity
+	// check available for pre-journal directories).
+	m, merr := ReadManifest(dir)
+	switch {
+	case errors.Is(merr, fs.ErrNotExist):
+		if !rep.HasJournal {
+			issue(ManifestName, -1, DamageMissing, "neither manifest nor journal present", "")
+		} else if end != nil {
+			issue(ManifestName, -1, DamageMissing, "journal records a completed run but the manifest is gone", "")
+		}
+		// An incomplete run legitimately has no manifest yet.
+	case merr != nil:
+		issue(ManifestName, -1, DamageCorrupt, merr.Error(), "")
+	default:
+		for _, mf := range m.Files {
+			referenced[mf.Path] = true
+			if journalCovers(selects, mf) {
+				continue
+			}
+			rep.FilesChecked++
+			if err := parseArtifact(dir, mf); err != nil {
+				badSteps[mf.Step] = true
+				issue(mf.Path, mf.Step, classifyDamage(err), err.Error(), "")
+			}
+		}
+	}
+
+	// Orphan pass: staging strays and unreferenced files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var orphans []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == JournalName || name == ManifestName {
+			continue
+		}
+		if referenced[name] {
+			continue
+		}
+		orphans = append(orphans, name)
+		detail := "referenced by neither journal nor manifest"
+		if strings.HasSuffix(name, store.TempSuffix) {
+			detail = "staging file stranded by a crash"
+		}
+		issue(name, -1, DamageOrphan, detail, "")
+	}
+
+	if !opt.Repair || rep.Clean() {
+		return rep, nil
+	}
+	if err := repair(dir, rep, begin, selects, end, badSteps, orphans, tornTail, journalLen); err != nil {
+		return rep, err
+	}
+	rep.Repaired = true
+	return rep, nil
+}
+
+// journalCovers reports whether a manifest entry was already verified via a
+// journal select record (same step, path, and length).
+func journalCovers(selects map[int]*JournalRecord, mf ManifestFile) bool {
+	rec, ok := selects[mf.Step]
+	if !ok {
+		return false
+	}
+	for _, jf := range rec.Files {
+		if jf.Path == mf.Path && jf.Bytes == mf.Bytes {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyDamage maps a verification error to a damage class.
+func classifyDamage(err error) string {
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return DamageMissing
+	case errors.Is(err, store.ErrChecksum):
+		return DamageCorrupt
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.EOF):
+		return DamageTruncated
+	default:
+		return DamageCorrupt
+	}
+}
+
+// parseArtifact fully decodes one artifact by its format — the verification
+// path for files with no journaled checksum.
+func parseArtifact(dir string, mf ManifestFile) error {
+	path := filepath.Join(dir, mf.Path)
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if st.Size() < mf.Bytes {
+		return fmt.Errorf("insitu: %s is %d bytes, manifest records %d: %w", mf.Path, st.Size(), mf.Bytes, io.ErrUnexpectedEOF)
+	}
+	if st.Size() > mf.Bytes {
+		return fmt.Errorf("insitu: %s is %d bytes, manifest records %d: %w", mf.Path, st.Size(), mf.Bytes, store.ErrChecksum)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(mf.Path) {
+	case ".isbm":
+		_, err = store.ReadIndex(f)
+	case ".israw":
+		_, err = store.ReadRaw(f)
+	default:
+		err = fmt.Errorf("insitu: unrecognized artifact extension on %s", mf.Path)
+	}
+	return err
+}
+
+// repair executes the -repair plan: quarantine the torn journal tail,
+// orphans, and every file of each damaged step, then rewrite a manifest
+// (and, for completed runs, a journal) that covers only the surviving
+// steps. Incomplete journals are left in place minus their torn tail so
+// Resume can still continue the run.
+func repair(dir string, rep *FsckReport, begin *JournalRecord, selects map[int]*JournalRecord,
+	end *JournalRecord, badSteps map[int]bool, orphans []string, tornTail []byte, journalLen int64) error {
+	act := func(path, action string) {
+		for i := range rep.Issues {
+			if rep.Issues[i].Path == path && rep.Issues[i].Action == "" {
+				rep.Issues[i].Action = action
+			}
+		}
+	}
+	if tornTail != nil {
+		if err := quarantineBytes(dir, JournalName+".tail", tornTail); err != nil {
+			return err
+		}
+		if err := os.Truncate(filepath.Join(dir, JournalName), journalLen); err != nil {
+			return err
+		}
+		act(JournalName, "torn tail quarantined and truncated")
+	}
+	for _, name := range orphans {
+		if err := quarantineFile(dir, name); err != nil {
+			return err
+		}
+		act(name, "quarantined")
+	}
+	// Whole-step granularity: the manifest invariant is one file per
+	// variable per selected step, so a step with any damaged artifact is
+	// dropped entirely and its surviving siblings quarantined with it.
+	for step := range badSteps {
+		rec, ok := selects[step]
+		if !ok {
+			continue
+		}
+		for _, jf := range rec.Files {
+			if _, err := os.Stat(filepath.Join(dir, jf.Path)); err == nil {
+				if err := quarantineFile(dir, jf.Path); err != nil {
+					return err
+				}
+			}
+			act(jf.Path, "step quarantined")
+		}
+	}
+
+	// Rebuild the manifest from the authoritative source. With a journal,
+	// that is the surviving select records; without one, the existing
+	// manifest minus the damaged steps.
+	var nm Manifest
+	if begin != nil {
+		nm = Manifest{Workload: begin.Workload, Method: begin.Method, Vars: begin.Vars, Steps: begin.Steps}
+		steps := make([]int, 0, len(selects))
+		for step := range selects {
+			if !badSteps[step] {
+				steps = append(steps, step)
+			}
+		}
+		sort.Ints(steps)
+		for _, step := range steps {
+			nm.Selected = append(nm.Selected, step)
+			for _, jf := range selects[step].Files {
+				nm.Files = append(nm.Files, ManifestFile{Step: step, Var: jf.Var, Path: jf.Path, Bytes: jf.Bytes})
+			}
+		}
+		if end == nil {
+			// The run is resumable; rewriting the manifest now would claim
+			// completeness it does not have. Quarantining was enough.
+			return nil
+		}
+	} else {
+		m, err := ReadManifest(dir)
+		if err != nil {
+			return fmt.Errorf("insitu: repair needs a readable journal or manifest: %w", err)
+		}
+		nm = Manifest{Workload: m.Workload, Method: m.Method, Vars: m.Vars, Steps: m.Steps}
+		for _, s := range m.Selected {
+			if !badSteps[s] {
+				nm.Selected = append(nm.Selected, s)
+			}
+		}
+		for _, f := range m.Files {
+			if !badSteps[f.Step] {
+				nm.Files = append(nm.Files, f)
+			}
+		}
+	}
+	data, err := marshalManifest(&nm)
+	if err != nil {
+		return err
+	}
+	if _, err := store.AtomicWriteBytes(nil, filepath.Join(dir, ManifestName), data); err != nil {
+		return err
+	}
+	act(ManifestName, "rewritten")
+
+	if begin != nil && end != nil {
+		// Rewrite the completed journal to match: begin, the surviving
+		// selects, and an end record over the surviving selection.
+		buf := journalHeader()
+		out := []*JournalRecord{begin}
+		for _, step := range nm.Selected {
+			out = append(out, selects[step])
+		}
+		out = append(out, &JournalRecord{Kind: KindEnd, Selected: nm.Selected})
+		for _, rec := range out {
+			frame, err := encodeFrame(rec)
+			if err != nil {
+				return err
+			}
+			buf = append(buf, frame...)
+		}
+		if _, err := store.AtomicWriteBytes(nil, filepath.Join(dir, JournalName), buf); err != nil {
+			return err
+		}
+		act(JournalName, "rewritten")
+	}
+	return nil
+}
+
+// marshalManifest renders a manifest exactly as writer.finish does, so a
+// repaired manifest is byte-identical to a freshly written one.
+func marshalManifest(m *Manifest) ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}

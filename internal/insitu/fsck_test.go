@@ -1,0 +1,264 @@
+package insitu
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"insitubits/internal/iosim"
+)
+
+// completedRun executes the canonical crash-suite workload into a fresh
+// directory and returns it.
+func completedRun(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := Run(triConfig(dir)); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// artifactNames returns the run's data files (sorted order not needed).
+func artifactNames(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(m.Files))
+	for _, f := range m.Files {
+		names = append(names, f.Path)
+	}
+	return names
+}
+
+func TestFsckCleanDir(t *testing.T) {
+	dir := completedRun(t)
+	rep, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || !rep.Complete || !rep.HasJournal {
+		t.Fatalf("clean completed run reported %+v", rep)
+	}
+	if rep.FilesChecked != 15 { // 5 selected steps x 3 variables
+		t.Fatalf("checked %d files, want 15", rep.FilesChecked)
+	}
+}
+
+// TestFsckDetectsCorruptionTable applies one mutation per case to a fresh
+// completed run; fsck must flag every one with the right damage class.
+func TestFsckDetectsCorruptionTable(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(t *testing.T, dir string)
+		class  string
+	}{
+		"flipped artifact byte": {func(t *testing.T, dir string) {
+			name := artifactNames(t, dir)[0]
+			flipByte(t, filepath.Join(dir, name), -10)
+		}, DamageCorrupt},
+		"truncated artifact": {func(t *testing.T, dir string) {
+			name := artifactNames(t, dir)[1]
+			path := filepath.Join(dir, name)
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		}, DamageTruncated},
+		"deleted artifact": {func(t *testing.T, dir string) {
+			name := artifactNames(t, dir)[2]
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				t.Fatal(err)
+			}
+		}, DamageMissing},
+		"torn journal tail": {func(t *testing.T, dir string) {
+			f, err := os.OpenFile(filepath.Join(dir, JournalName), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte{9, 0, 0, 0, 'x'}); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}, DamageTruncated},
+		"flipped journal header": {func(t *testing.T, dir string) {
+			flipByte(t, filepath.Join(dir, JournalName), 0)
+		}, DamageCorrupt},
+		"deleted manifest": {func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+				t.Fatal(err)
+			}
+		}, DamageMissing},
+		"stray staging file": {func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, "step0003_beta.isbm.tmp"), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, DamageOrphan},
+		"unreferenced file": {func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, DamageOrphan},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := completedRun(t)
+			tc.mutate(t, dir)
+			rep, err := Fsck(dir, FsckOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Clean() {
+				t.Fatalf("mutation went undetected")
+			}
+			found := false
+			for _, is := range rep.Issues {
+				if is.Class == tc.class {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no %s issue in %+v", tc.class, rep.Issues)
+			}
+		})
+	}
+}
+
+// flipByte XORs one byte of a file; negative offsets count from the end.
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += len(data)
+	}
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFsckRepair corrupts one artifact of a completed run, repairs, and
+// requires: report marked repaired, the damaged step quarantined whole (all
+// three variables), manifest and journal rewritten consistent, and a second
+// fsck pass coming back clean.
+func TestFsckRepair(t *testing.T) {
+	dir := completedRun(t)
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := m.Files[0]
+	flipByte(t, filepath.Join(dir, victim.Path), -10)
+
+	rep, err := Fsck(dir, FsckOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired {
+		t.Fatalf("repair did not run: %+v", rep)
+	}
+	// The whole step moved to quarantine, not just the damaged file.
+	for _, f := range m.Files {
+		if f.Step != victim.Step {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, QuarantineDir, f.Path)); err != nil {
+			t.Errorf("%s not quarantined: %v", f.Path, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, f.Path)); err == nil {
+			t.Errorf("%s still present after repair", f.Path)
+		}
+	}
+	m2, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("repaired manifest does not read: %v", err)
+	}
+	if len(m2.Selected) != len(m.Selected)-1 {
+		t.Fatalf("repaired manifest keeps %d steps, want %d", len(m2.Selected), len(m.Selected)-1)
+	}
+	for _, s := range m2.Selected {
+		if s == victim.Step {
+			t.Fatalf("damaged step %d survived in the manifest", s)
+		}
+	}
+	rep2, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Clean() || !rep2.Complete {
+		t.Fatalf("fsck after repair not clean: %+v", rep2.Issues)
+	}
+}
+
+// TestFsckRepairIncompleteLeavesResumable: repairing a crashed (incomplete)
+// run quarantines damage but must not fabricate a manifest — the directory
+// stays resumable, and Resume then finishes it.
+func TestFsckRepairIncompleteLeavesResumable(t *testing.T) {
+	base := completedRun(t)
+	want := snapshot(t, base)
+
+	dir := t.TempDir()
+	cfg := triConfig(dir)
+	cfg.FS = iosim.NewFaultFS(iosim.OS, &iosim.FaultPlan{CrashAtByte: 3000})
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("crashed run reported success")
+	}
+	rep, err := Fsck(dir, FsckOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Fatal("crashed run reported complete")
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		t.Fatal("repair fabricated a manifest for an incomplete run")
+	}
+	if _, err := Resume(dir, triConfig(dir)); err != nil {
+		t.Fatal(err)
+	}
+	got := snapshot(t, dir)
+	// Repair may have already quarantined what Resume would have; the final
+	// visible directory must still match the uninterrupted run.
+	sameSnapshot(t, "repair+resume", want, got)
+}
+
+// TestFsckPreJournalDir: a directory with only a manifest (written before
+// journals existed) verifies by full parse and counts as complete; flipping
+// an artifact byte is still caught.
+func TestFsckPreJournalDir(t *testing.T) {
+	dir := completedRun(t)
+	if err := os.Remove(filepath.Join(dir, JournalName)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || !rep.Complete || rep.HasJournal {
+		t.Fatalf("pre-journal dir reported %+v with issues %+v", rep, rep.Issues)
+	}
+	if rep.FilesChecked != 15 {
+		t.Fatalf("checked %d files, want 15", rep.FilesChecked)
+	}
+	name := artifactNames(t, dir)[0]
+	if strings.HasSuffix(name, ".isbm") {
+		flipByte(t, filepath.Join(dir, name), 30) // inside the edges region
+	} else {
+		flipByte(t, filepath.Join(dir, name), 20)
+	}
+	rep2, err := Fsck(dir, FsckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Clean() {
+		t.Fatal("pre-journal corruption went undetected")
+	}
+}

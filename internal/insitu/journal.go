@@ -1,0 +1,320 @@
+package insitu
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"insitubits/internal/iosim"
+	"insitubits/internal/store"
+)
+
+// The run journal (journal.isbj) is the pipeline's crash-safety spine: an
+// append-only, fsync-per-record log of everything the run decided and made
+// durable. A step's artifacts count as persisted only once its "select"
+// record is in the journal, so on restart Resume can replay the journal,
+// quarantine whatever a crash left half-written, and continue the run from
+// the last durable step without recomputing what already survived.
+//
+// File layout (little-endian; byte-level spec in docs/FORMATS.md):
+//
+//	magic   "ISBJ" (4 bytes)
+//	version u32 = 1
+//	records, each:
+//	    len u32         payload length, in (0, 2^20]
+//	    payload         len bytes of JSON (one JournalRecord)
+//	    crc u32         CRC32C of payload
+//
+// A torn tail — a partial frame, or a frame whose checksum disagrees — ends
+// the valid prefix; everything after it is quarantined on resume, never
+// trusted.
+
+// JournalName is the journal's file name inside the output directory.
+const JournalName = "journal.isbj"
+
+const (
+	journalMagic   = "ISBJ"
+	journalVersion = 1
+	// maxJournalRecord bounds one frame's payload so a corrupt length field
+	// cannot demand an absurd allocation.
+	maxJournalRecord = 1 << 20
+	journalHeaderLen = 8
+)
+
+// Record kinds, in the order a run emits them.
+const (
+	// KindBegin opens a journal with the run's config fingerprint.
+	KindBegin = "begin"
+	// KindScore records one offered step's selection score (steps >= 1).
+	KindScore = "score"
+	// KindSelect commits one selected step: its artifacts are durable
+	// (written, fsynced, renamed, directory fsynced) before this record is
+	// appended.
+	KindSelect = "select"
+	// KindEnd closes a completed run; the manifest is durable before it.
+	KindEnd = "end"
+)
+
+// JournalRecord is one journal entry. Kind decides which fields are set.
+type JournalRecord struct {
+	Kind string `json:"kind"`
+
+	// Begin: the config fingerprint Resume validates against.
+	Workload  string    `json:"workload,omitempty"`
+	Method    string    `json:"method,omitempty"`
+	Vars      []string  `json:"vars,omitempty"`
+	Steps     int       `json:"steps,omitempty"`
+	Select    int       `json:"select,omitempty"`
+	Bins      int       `json:"bins,omitempty"`
+	Codec     string    `json:"codec,omitempty"`
+	Metric    string    `json:"metric,omitempty"`
+	SamplePct float64   `json:"sample_pct,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	Weights   []float64 `json:"weights,omitempty"`
+
+	// Score and Select.
+	Step int `json:"step,omitempty"`
+	// Score is the step's dissimilarity vs the previously selected step.
+	Score float64 `json:"score,omitempty"`
+
+	// Select: the step's durable artifacts.
+	Files []JournalFile `json:"files,omitempty"`
+
+	// End: the final selected step set.
+	Selected []int `json:"selected,omitempty"`
+}
+
+// JournalFile describes one durable artifact of a selected step: its
+// on-disk name, exact length, and whole-file CRC32C, enough for fsck and
+// Resume to verify the file without parsing it.
+type JournalFile struct {
+	Var   string `json:"var"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+	CRC   uint32 `json:"crc"`
+}
+
+// journal is the append side. Every append is a single write of one framed
+// record followed by an fsync, so the file only ever grows by whole frames
+// (modulo the torn tail a kill can leave, which replay cuts off).
+type journal struct {
+	f     iosim.File
+	path  string
+	ctx   context.Context
+	retry iosim.Backoff
+}
+
+// writeAll pushes buf through the journal's file with retry — but only
+// attempts where nothing landed are retryable. Once any prefix of buf is
+// on disk, a retry would follow the torn bytes with a duplicate and
+// corrupt every later record, so a partial landing is a hard error (the
+// run aborts resumable, replay cuts the torn tail).
+func (j *journal) writeAll(buf []byte) error {
+	return iosim.Retry(j.ctx, j.retry, func() error {
+		n, err := j.f.Write(buf)
+		switch {
+		case err == nil:
+			return nil
+		case n > 0:
+			return fmt.Errorf("insitu: journal write tore after %d of %d bytes: %v", n, len(buf), err)
+		default:
+			return fmt.Errorf("insitu: journal write: %w", err)
+		}
+	})
+}
+
+// createJournal starts a fresh journal (truncating any previous one) and
+// makes its existence durable before the run writes anything else.
+func createJournal(fsys iosim.FS, dir string, ctx context.Context, retry iosim.Backoff) (*journal, error) {
+	path := filepath.Join(dir, JournalName)
+	f, err := fsys.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("insitu: creating journal: %w", err)
+	}
+	j := &journal{f: f, path: path, ctx: ctx, retry: retry}
+	if err := j.writeAll(journalHeader()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("insitu: syncing journal: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("insitu: syncing journal dir: %w", err)
+	}
+	return j, nil
+}
+
+// openJournalAppend reopens an existing journal for appending (the resume
+// path; the caller has already truncated any torn tail).
+func openJournalAppend(fsys iosim.FS, dir string, ctx context.Context, retry iosim.Backoff) (*journal, error) {
+	path := filepath.Join(dir, JournalName)
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("insitu: reopening journal: %w", err)
+	}
+	return &journal{f: f, path: path, ctx: ctx, retry: retry}, nil
+}
+
+// journalHeader returns the 8-byte magic+version prefix.
+func journalHeader() []byte {
+	hdr := make([]byte, 0, journalHeaderLen)
+	hdr = append(hdr, journalMagic...)
+	return binary.LittleEndian.AppendUint32(hdr, journalVersion)
+}
+
+// encodeFrame serializes one record as a length-prefixed, checksummed frame.
+func encodeFrame(rec *JournalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("insitu: journal record: %w", err)
+	}
+	if len(payload) > maxJournalRecord {
+		return nil, fmt.Errorf("insitu: journal record of %d bytes exceeds frame limit", len(payload))
+	}
+	frame := make([]byte, 0, 4+len(payload)+4)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	return binary.LittleEndian.AppendUint32(frame, store.CRC32C(payload)), nil
+}
+
+// append frames rec, writes it in one call, and fsyncs. The record is
+// durable when append returns nil.
+func (j *journal) append(rec *JournalRecord) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	if err := j.writeAll(frame); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("insitu: journal sync: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// ParseJournal decodes journal bytes. It returns every record of the valid
+// prefix and the prefix's byte length; a torn or corrupt tail is not an
+// error — it is exactly what a kill mid-append leaves — but any byte past
+// validLen must be quarantined, never replayed. Malformed bytes never
+// panic; a journal whose header is damaged yields an error.
+func ParseJournal(data []byte) (recs []JournalRecord, validLen int64, err error) {
+	if len(data) < journalHeaderLen {
+		return nil, 0, fmt.Errorf("insitu: journal too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != journalMagic {
+		return nil, 0, fmt.Errorf("insitu: bad journal magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != journalVersion {
+		return nil, 0, fmt.Errorf("insitu: unsupported journal version %d", v)
+	}
+	pos := int64(journalHeaderLen)
+	for {
+		rest := data[pos:]
+		if len(rest) < 4 {
+			return recs, pos, nil
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if n == 0 || n > maxJournalRecord || int64(len(rest)) < 4+int64(n)+4 {
+			return recs, pos, nil
+		}
+		payload := rest[4 : 4+n]
+		stored := binary.LittleEndian.Uint32(rest[4+n : 4+n+4])
+		if store.CRC32C(payload) != stored {
+			return recs, pos, nil
+		}
+		var rec JournalRecord
+		if json.Unmarshal(payload, &rec) != nil || rec.Kind == "" {
+			return recs, pos, nil
+		}
+		recs = append(recs, rec)
+		pos += 4 + int64(n) + 4
+	}
+}
+
+// ReadJournal loads and parses dir's journal from disk.
+func ReadJournal(dir string) (recs []JournalRecord, validLen int64, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, JournalName))
+	if err != nil {
+		return nil, 0, err
+	}
+	return ParseJournal(data)
+}
+
+// beginRecord captures the config fingerprint the journal opens with.
+func beginRecord(cfg Config) *JournalRecord {
+	return &JournalRecord{
+		Kind:      KindBegin,
+		Workload:  cfg.Sim.Name(),
+		Method:    cfg.Method.String(),
+		Vars:      cfg.Sim.Vars(),
+		Steps:     cfg.Steps,
+		Select:    cfg.Select,
+		Bins:      cfg.Bins,
+		Codec:     cfg.Codec.String(),
+		Metric:    cfg.Metric.String(),
+		SamplePct: cfg.SamplePct,
+		Seed:      cfg.Seed,
+		Weights:   cfg.VarWeights,
+	}
+}
+
+// matchesConfig checks a begin record against a resume config: everything
+// that shapes the deterministic replay must agree, or continuing would
+// splice two different runs into one directory.
+func (r *JournalRecord) matchesConfig(cfg Config) error {
+	if r.Kind != KindBegin {
+		return fmt.Errorf("insitu: journal does not open with a begin record (got %q)", r.Kind)
+	}
+	mismatch := func(field string, got, want any) error {
+		return fmt.Errorf("insitu: resume config mismatch: journal %s %v, config %v", field, got, want)
+	}
+	switch {
+	case r.Workload != cfg.Sim.Name():
+		return mismatch("workload", r.Workload, cfg.Sim.Name())
+	case r.Method != cfg.Method.String():
+		return mismatch("method", r.Method, cfg.Method.String())
+	case r.Steps != cfg.Steps:
+		return mismatch("steps", r.Steps, cfg.Steps)
+	case r.Select != cfg.Select:
+		return mismatch("select", r.Select, cfg.Select)
+	case r.Bins != cfg.Bins:
+		return mismatch("bins", r.Bins, cfg.Bins)
+	case r.Codec != cfg.Codec.String():
+		return mismatch("codec", r.Codec, cfg.Codec.String())
+	case r.Metric != cfg.Metric.String():
+		return mismatch("metric", r.Metric, cfg.Metric.String())
+	case r.SamplePct != cfg.SamplePct:
+		return mismatch("sample pct", r.SamplePct, cfg.SamplePct)
+	case r.Seed != cfg.Seed:
+		return mismatch("seed", r.Seed, cfg.Seed)
+	case len(r.Vars) != len(cfg.Sim.Vars()):
+		return mismatch("variable count", len(r.Vars), len(cfg.Sim.Vars()))
+	case len(r.Weights) != len(cfg.VarWeights):
+		return mismatch("weight count", len(r.Weights), len(cfg.VarWeights))
+	}
+	for i, v := range cfg.Sim.Vars() {
+		if r.Vars[i] != v {
+			return mismatch(fmt.Sprintf("variable %d", i), r.Vars[i], v)
+		}
+	}
+	for i, w := range cfg.VarWeights {
+		if r.Weights[i] != w {
+			return mismatch(fmt.Sprintf("weight %d", i), r.Weights[i], w)
+		}
+	}
+	return nil
+}

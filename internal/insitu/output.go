@@ -1,11 +1,14 @@
 package insitu
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"insitubits/internal/iosim"
 	"insitubits/internal/selection"
 	"insitubits/internal/store"
 )
@@ -33,83 +36,170 @@ type ManifestFile struct {
 // ManifestName is the manifest's file name inside the output directory.
 const ManifestName = "manifest.json"
 
-// writer persists selected summaries when Config.OutputDir is set.
+// QuarantineDir is the subdirectory Resume and fsck move damaged or stray
+// files into — nothing is silently deleted, and nothing quarantined is ever
+// read back.
+const QuarantineDir = "quarantine"
+
+// writer persists selected summaries when Config.OutputDir is set. Every
+// artifact goes through store.AtomicWrite (never torn on disk), transient
+// store errors are retried with backoff, and each committed step is sealed
+// with a fsync'd journal record before the run moves on — the contract
+// Resume and fsck build on.
 type writer struct {
 	dir      string
 	vars     []string
 	manifest Manifest
+	fs       iosim.FS
+	jnl      *journal
+	ctx      context.Context
+	retry    iosim.Backoff
+	resume   *resumeState
 }
 
-func newWriter(cfg Config) (*writer, error) {
+func newWriter(cfg Config, rt *runTelemetry) (*writer, error) {
 	if cfg.OutputDir == "" {
 		return nil, nil
 	}
 	if err := os.MkdirAll(cfg.OutputDir, 0o755); err != nil {
 		return nil, fmt.Errorf("insitu: output dir: %w", err)
 	}
-	return &writer{
-		dir:  cfg.OutputDir,
-		vars: cfg.Sim.Vars(),
+	w := &writer{
+		dir:    cfg.OutputDir,
+		vars:   cfg.Sim.Vars(),
+		fs:     cfg.fsys(),
+		ctx:    cfg.context(),
+		retry:  cfg.Retry,
+		resume: cfg.resume,
 		manifest: Manifest{
 			Workload: cfg.Sim.Name(),
 			Method:   cfg.Method.String(),
 			Vars:     cfg.Sim.Vars(),
 			Steps:    cfg.Steps,
 		},
-	}, nil
+	}
+	// Retries surface in telemetry on top of whatever hook the caller set.
+	userHook := w.retry.OnRetry
+	w.retry.OnRetry = func(attempt int, err error) {
+		rt.storeRetries.Inc()
+		if userHook != nil {
+			userHook(attempt, err)
+		}
+	}
+	var err error
+	if cfg.resume != nil {
+		// The journal already opens with this run's begin record; the torn
+		// tail (if any) was truncated before Run restarted.
+		w.jnl, err = openJournalAppend(w.fs, w.dir, w.ctx, w.retry)
+	} else {
+		w.jnl, err = createJournal(w.fs, w.dir, w.ctx, w.retry)
+		if err == nil {
+			err = w.jnl.append(beginRecord(cfg))
+		}
+	}
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	return w, nil
 }
 
-// writeStep persists one selected step's per-variable summaries.
+// writeStep persists one selected step's per-variable summaries, then seals
+// the step with a journal select record. Steps the resume state already
+// verified as durable are not rewritten — their manifest entries are copied
+// from the journal.
 func (w *writer) writeStep(sum *stepSummary) error {
 	w.manifest.Selected = append(w.manifest.Selected, sum.step)
+	if w.resume != nil {
+		if files, ok := w.resume.durable[sum.step]; ok {
+			for _, jf := range files {
+				w.manifest.Files = append(w.manifest.Files, ManifestFile{
+					Step: sum.step, Var: jf.Var, Path: jf.Path, Bytes: jf.Bytes,
+				})
+			}
+			return nil
+		}
+	}
+	rec := &JournalRecord{Kind: KindSelect, Step: sum.step}
 	for k, part := range sum.parts {
 		name := fmt.Sprintf("step%04d_%s", sum.step, sanitize(w.vars[k]))
 		var path string
-		var n int64
-		var err error
+		var body func(io.Writer) (int64, error)
 		switch p := part.(type) {
 		case *selection.BitmapSummary:
 			path = filepath.Join(w.dir, name+".isbm")
-			n, err = writeFile(path, func(f *os.File) (int64, error) {
-				return store.WriteIndex(f, p.X)
-			})
+			body = func(f io.Writer) (int64, error) { return store.WriteIndex(f, p.X) }
 		case *selection.DataSummary:
 			path = filepath.Join(w.dir, name+".israw")
-			n, err = writeFile(path, func(f *os.File) (int64, error) {
-				return store.WriteRaw(f, p.Data)
-			})
+			body = func(f io.Writer) (int64, error) { return store.WriteRaw(f, p.Data) }
 		default:
 			return fmt.Errorf("insitu: cannot persist summary type %T", part)
 		}
+		n, crc, err := w.atomicWrite(path, body)
 		if err != nil {
 			return err
 		}
 		w.manifest.Files = append(w.manifest.Files, ManifestFile{
 			Step: sum.step, Var: w.vars[k], Path: filepath.Base(path), Bytes: n,
 		})
+		rec.Files = append(rec.Files, JournalFile{
+			Var: w.vars[k], Path: filepath.Base(path), Bytes: n, CRC: crc,
+		})
 	}
-	return nil
+	return w.jnl.append(rec)
 }
 
-func writeFile(path string, write func(*os.File) (int64, error)) (int64, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return 0, err
-	}
-	n, err := write(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return n, err
+// atomicWrite stages one artifact through store.AtomicWrite, retrying
+// transient store errors with the configured backoff. A crash error is not
+// transient, so an injected kill aborts immediately.
+func (w *writer) atomicWrite(path string, body func(io.Writer) (int64, error)) (n int64, crc uint32, err error) {
+	err = iosim.Retry(w.ctx, w.retry, func() error {
+		var werr error
+		n, crc, werr = store.AtomicWrite(w.fs, path, body)
+		return werr
+	})
+	return n, crc, err
 }
 
-// finish writes the manifest.
+// recordScore journals one step's selection score. Nil-safe: runs without
+// an output directory keep no journal. The score is durable before the
+// interval logic can act on it, so a resumed run replays the selection
+// exactly instead of recomputing it.
+func (w *writer) recordScore(t int, score float64) error {
+	if w == nil {
+		return nil
+	}
+	return w.jnl.append(&JournalRecord{Kind: KindScore, Step: t, Score: score})
+}
+
+// finish commits the manifest atomically, then seals the run with the
+// journal's end record — in that order, so an end record on disk implies a
+// durable manifest.
 func (w *writer) finish() error {
 	data, err := json.MarshalIndent(&w.manifest, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(w.dir, ManifestName), data, 0o644)
+	path := filepath.Join(w.dir, ManifestName)
+	if err := iosim.Retry(w.ctx, w.retry, func() error {
+		_, werr := store.AtomicWriteBytes(w.fs, path, data)
+		return werr
+	}); err != nil {
+		return err
+	}
+	if err := w.jnl.append(&JournalRecord{Kind: KindEnd, Selected: w.manifest.Selected}); err != nil {
+		return err
+	}
+	return w.jnl.close()
+}
+
+// close releases the journal handle without sealing the run (error paths).
+func (w *writer) close() {
+	if w == nil {
+		return
+	}
+	w.jnl.close()
+	w.jnl = nil
 }
 
 // sanitize maps a variable name to a file-name-safe token.

@@ -9,6 +9,7 @@
 package insitu
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -103,6 +104,42 @@ type Config struct {
 	// telemetry.Default; the phase breakdown is always measured either way
 	// because each run traces into its own tracer.
 	Telemetry *telemetry.Registry
+
+	// Ctx, when set, cancels the run: both strategies stop between steps
+	// (and the separate-cores producer unblocks from a full queue) once the
+	// context is done. Nil means context.Background().
+	Ctx context.Context
+
+	// FS is the filesystem the run's durable artifacts (step files,
+	// manifest, journal) go through. Nil means the real filesystem
+	// (iosim.OS); tests inject an iosim.FaultFS here to rehearse crashes
+	// and transient store errors.
+	FS iosim.FS
+
+	// Retry is the backoff policy applied to transient store errors while
+	// persisting artifacts. The zero value gets iosim.Retry's defaults
+	// (4 attempts, 1ms base, 100ms cap). Crashes are never retried.
+	Retry iosim.Backoff
+
+	// resume carries the replay state Resume derived from the run journal;
+	// nil for a fresh run.
+	resume *resumeState
+}
+
+// context returns the run's context, defaulting to Background.
+func (c *Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// fsys returns the run's filesystem, defaulting to the real one.
+func (c *Config) fsys() iosim.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return iosim.OS
 }
 
 func (c *Config) validate() error {
@@ -218,19 +255,23 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := newWriter(cfg)
+	rt := newRunTelemetry(cfg)
+	w, err := newWriter(cfg, rt)
 	if err != nil {
 		return nil, err
 	}
 	sel := newSelector(cfg)
 	sel.w = w
-	sel.rt = newRunTelemetry(cfg)
+	sel.rt = rt
 	res, err := strategy.run(cfg, red, sel)
-	if err != nil {
-		return nil, err
+	if err == nil && sel.err != nil {
+		err = sel.err
 	}
-	if sel.err != nil {
-		return nil, sel.err
+	if err != nil {
+		// Abort without sealing: the journal keeps its last durable record
+		// and Resume can pick the run up from there.
+		w.close()
+		return nil, err
 	}
 	if w != nil {
 		if err := w.finish(); err != nil {
@@ -347,6 +388,12 @@ type stepSummary struct {
 	// linearly" with cores, §5.1). Scores are accumulated in variable
 	// order, so the result is deterministic regardless of core count.
 	cores int
+	// replay marks a stub standing in for a step whose reduction a resumed
+	// run skipped because its score (and possibly its artifacts) are
+	// already durable in the journal. A stub has no parts and must never be
+	// scored or persisted afresh — the resume planner guarantees every step
+	// that could still be scored against or written is fully re-reduced.
+	replay bool
 }
 
 func (s *stepSummary) weight(k int) float64 {
@@ -439,7 +486,10 @@ func newSelector(cfg Config) *selector {
 
 // offer consumes step t's summary in order; metric evaluation is recorded
 // as a "select" span and committed writes as "write" spans, which is where
-// the run report's Select phase and WriteTime come from.
+// the run report's Select phase and WriteTime come from. On a resumed run,
+// steps whose score is already journaled skip the metric evaluation and
+// replay the recorded score instead — exact, because Go's float64 JSON
+// round-trips bit-for-bit — so the selection unfolds identically.
 func (s *selector) offer(t int, sum *stepSummary) {
 	sum.step = t
 	s.sumBytes += sum.memBytes
@@ -451,12 +501,29 @@ func (s *selector) offer(t int, sum *stepSummary) {
 		s.write(sum)
 		return
 	}
+	if rs := s.cfg.resume; rs != nil {
+		if score, ok := rs.scores[t]; ok {
+			s.rt.stepsRecovered.Inc()
+			s.applyScore(t, sum, score)
+			return
+		}
+	}
 	sp := s.rt.root.Child(SpanSelect)
 	start := time.Now()
 	score := sum.Dissimilarity(s.prev, s.cfg.Metric)
 	elapsed := time.Since(start)
 	sp.End()
+	// The score is durable before the interval logic can commit on it, so a
+	// crash between here and the commit resumes with the selection intact.
+	if err := s.w.recordScore(t, score); err != nil && s.err == nil {
+		s.err = err
+	}
 	s.recordSelect(t, sum, score, elapsed)
+	s.applyScore(t, sum, score)
+}
+
+// applyScore runs the streaming interval logic for one scored step.
+func (s *selector) applyScore(t int, sum *stepSummary, score float64) {
 	if s.ivPos < len(s.intervals) {
 		iv := s.intervals[s.ivPos]
 		if t >= iv[0] && t < iv[1] {

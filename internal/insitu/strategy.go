@@ -15,6 +15,36 @@ type Strategy interface {
 	Describe() string
 }
 
+// runStep advances the simulator one step with panic capture: a panicking
+// simulator worker becomes an error (and a telemetry count), not a dead
+// process with a half-written output directory.
+func runStep(cfg Config, rt *runTelemetry, t, workers int) (fields []sim.Field, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.workerPanics.Inc()
+			err = fmt.Errorf("insitu: simulator panic at step %d: %v", t, r)
+		}
+	}()
+	return cfg.Sim.Step(workers), nil
+}
+
+// runReduce summarizes one step with the same panic capture. On a resumed
+// run, steps whose outcome the journal already fixes are not re-reduced —
+// a cheap replay stub carries the step number through the selector, which
+// scores it from the journal.
+func runReduce(cfg Config, red *reducer, rt *runTelemetry, fields []sim.Field, workers, t int) (sum *stepSummary, err error) {
+	if rs := cfg.resume; rs != nil && !rs.needsReduce(t) {
+		return rs.stub(t), nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rt.workerPanics.Inc()
+			err = fmt.Errorf("insitu: reduction panic at step %d: %v", t, r)
+		}
+	}()
+	return red.reduce(fields, workers)
+}
+
 // SharedCores assigns all cores to simulation, then all cores to reduction,
 // alternating per time-step — the paper's first strategy.
 type SharedCores struct{}
@@ -25,18 +55,29 @@ func (SharedCores) Describe() string { return "c_all" }
 func (SharedCores) run(cfg Config, red *reducer, sel *selector) (*Result, error) {
 	res := &Result{}
 	rt := sel.rt
+	ctx := cfg.context()
 	wallStart := time.Now()
 	for t := 0; t < cfg.Steps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("insitu: run cancelled at step %d: %w", t, err)
+		}
 		sp := rt.root.Child(SpanSimulate)
-		fields := cfg.Sim.Step(cfg.Cores)
+		fields, err := runStep(cfg, rt, t, cfg.Cores)
 		sp.End()
+		if err != nil {
+			return nil, err
+		}
 		sp = rt.root.Child(SpanReduce)
-		summary, err := red.reduce(fields, cfg.Cores)
+		summary, err := runReduce(cfg, red, rt, fields, cfg.Cores, t)
 		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		sel.offer(t, summary)
+		if sel.err != nil {
+			// Persistence failed; later steps could compute but never land.
+			return nil, sel.err
+		}
 	}
 	res.Wall = time.Since(wallStart)
 	finishResult(cfg, sel, res)
@@ -77,8 +118,10 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 	type queued struct {
 		step   int
 		fields []sim.Field
+		err    error
 	}
 	rt := sel.rt
+	ctx := cfg.context()
 	queue := make(chan queued, qcap)
 	simDone := make(chan struct{})
 
@@ -86,40 +129,67 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 	// this goroutine; the tracer aggregates them with the consumer's spans.
 	// The queue gauge counts a step as queued from the moment it is
 	// produced, so a producer blocked on a full queue reads as
-	// depth == cap+1 — the backpressure signal.
+	// depth == cap+1 — the backpressure signal. A simulator panic travels
+	// through the queue as an error; cancellation unblocks a full-queue
+	// send so the producer can exit.
 	go func() {
 		defer close(simDone)
+		defer close(queue)
 		for t := 0; t < cfg.Steps; t++ {
+			if ctx.Err() != nil {
+				return
+			}
 			sp := rt.root.Child(SpanSimulate)
-			fields := cfg.Sim.Step(s.SimCores)
+			fields, err := runStep(cfg, rt, t, s.SimCores)
 			sp.End()
 			rt.enqueued()
-			queue <- queued{step: t, fields: fields}
+			select {
+			case queue <- queued{step: t, fields: fields, err: err}:
+			case <-ctx.Done():
+				rt.dequeued()
+				return
+			}
+			if err != nil {
+				return
+			}
 		}
-		close(queue)
 	}()
 
 	// Consumer: reduction + streaming selection own the other set. A single
 	// consumer preserves step order (selection is order-dependent); the
 	// parallelism is inside the per-step reduction.
+	drain := func() {
+		for range queue {
+			rt.dequeued()
+		}
+		<-simDone
+	}
 	res := &Result{}
 	wallStart := time.Now()
 	for q := range queue {
 		rt.dequeued()
+		if q.err != nil {
+			drain()
+			return nil, q.err
+		}
 		sp := rt.root.Child(SpanReduce)
-		summary, err := red.reduce(q.fields, s.ReduceCores)
+		summary, err := runReduce(cfg, red, rt, q.fields, s.ReduceCores, q.step)
 		sp.End()
 		if err != nil {
 			// Drain so the producer can finish; first error wins.
-			for range queue {
-				rt.dequeued()
-			}
-			<-simDone
+			drain()
 			return nil, err
 		}
 		sel.offer(q.step, summary)
+		if sel.err != nil {
+			drain()
+			return nil, sel.err
+		}
 	}
 	<-simDone
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("insitu: run cancelled: %w", err)
+	}
 	res.Wall = time.Since(wallStart)
 	finishResult(cfg, sel, res)
 	return res, nil

@@ -31,8 +31,14 @@ type runTelemetry struct {
 	// for live introspection; depth/peak are the run-local truth.
 	queueDepth *telemetry.Gauge
 	stepsDone  *telemetry.Counter
-	depth      atomic.Int64
-	peak       atomic.Int64
+	// Robustness counters: transient store errors retried, pipeline worker
+	// panics converted to errors, and steps a resumed run replayed from the
+	// journal instead of recomputing.
+	storeRetries   *telemetry.Counter
+	workerPanics   *telemetry.Counter
+	stepsRecovered *telemetry.Counter
+	depth          atomic.Int64
+	peak           atomic.Int64
 }
 
 // newRunTelemetry attaches a fresh tracer to the registry (cfg.Telemetry,
@@ -47,6 +53,9 @@ func newRunTelemetry(cfg Config) *runTelemetry {
 	rt.root = rt.tr.Start(SpanRun)
 	rt.queueDepth = reg.Gauge("insitu.queue_depth")
 	rt.stepsDone = reg.Counter("insitu.steps_processed")
+	rt.storeRetries = reg.Counter("store.retries")
+	rt.workerPanics = reg.Counter("insitu.worker_panics")
+	rt.stepsRecovered = reg.Counter("insitu.steps_recovered")
 	return rt
 }
 

@@ -1,0 +1,372 @@
+// Fault injection: a failpoint layer over the storage path. A FaultPlan is
+// a deterministic, seeded schedule of injected storage faults — transient
+// errors, short writes, and a crash-at-byte-N kill after which every
+// subsequent operation fails, emulating a process or node death mid-write.
+// FaultWriter applies a plan to a single io.Writer; FaultFS applies it to a
+// whole filesystem (creates, appends, renames, syncs), which is how the
+// in-situ pipeline's crash-point suite kills a run at every write boundary
+// and then proves Resume recovers the directory.
+package iosim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// ErrTransient marks an injected (or real) storage error that a retry may
+// clear. The pipeline's bounded-backoff retry only retries errors that
+// match it via errors.Is.
+var ErrTransient = errors.New("iosim: transient storage error")
+
+// ErrCrashed marks the simulated kill: once a plan crashes, every further
+// operation through it fails with this error. It is deliberately not
+// transient — nothing recovers inside the dead process; recovery is the
+// next process's Resume.
+var ErrCrashed = errors.New("iosim: simulated crash")
+
+// IsTransient reports whether err should be retried.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// FaultPlan is a deterministic fault schedule shared by every writer and
+// file derived from it. The zero value injects nothing. Safe for concurrent
+// use.
+type FaultPlan struct {
+	// CrashAtByte kills the plan when cumulative payload bytes reach this
+	// offset: the write that would cross it lands only the prefix up to the
+	// offset, returns ErrCrashed, and every later operation fails. <= 0
+	// disables the kill.
+	CrashAtByte int64
+	// TransientErrs fails the first N write operations with ErrTransient
+	// (writing nothing) before letting writes through — the deterministic
+	// way to exercise the retry path.
+	TransientErrs int
+	// TransientProb additionally fails each write with this probability,
+	// drawn from the seeded schedule rng (deterministic per Seed).
+	TransientProb float64
+	// ShortWrites makes injected transient errors land half the buffer
+	// first, exercising short-write handling in every accounting layer.
+	ShortWrites bool
+	// Seed drives the probabilistic schedule; same seed, same schedule.
+	Seed int64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+	ops     int64
+	bounds  []int64 // cumulative byte offset after each successful write op
+	crashed bool
+	errs    int // transient errors injected so far
+}
+
+// Crashed reports whether the plan's kill already fired.
+func (p *FaultPlan) Crashed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
+// BytesWritten is the total payload bytes that landed before any kill.
+func (p *FaultPlan) BytesWritten() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.written
+}
+
+// WriteBoundaries returns the cumulative byte offset after every write
+// operation observed so far. A recording pass over a fault-free plan yields
+// the kill schedule for a crash-point suite: crashing at each boundary (and
+// between boundaries) covers every write edge of the run.
+func (p *FaultPlan) WriteBoundaries() []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int64(nil), p.bounds...)
+}
+
+// apply consults the schedule for one write of len(p) bytes and returns how
+// many bytes the underlying writer should accept plus the injected error
+// (nil to pass the write through untouched).
+func (p *FaultPlan) apply(n int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return 0, ErrCrashed
+	}
+	p.ops++
+	inject := false
+	if p.errs < p.TransientErrs {
+		p.errs++
+		inject = true
+	} else if p.TransientProb > 0 {
+		if p.rng == nil {
+			p.rng = rand.New(rand.NewSource(p.Seed))
+		}
+		if p.rng.Float64() < p.TransientProb {
+			p.errs++
+			inject = true
+		}
+	}
+	if inject {
+		k := 0
+		if p.ShortWrites {
+			k = n / 2
+		}
+		p.written += int64(k)
+		return k, fmt.Errorf("iosim: injected fault on write op %d: %w", p.ops, ErrTransient)
+	}
+	if p.CrashAtByte > 0 && p.written+int64(n) > p.CrashAtByte {
+		k := int(p.CrashAtByte - p.written)
+		if k < 0 {
+			k = 0
+		}
+		p.written += int64(k)
+		p.crashed = true
+		return k, fmt.Errorf("iosim: killed at byte %d: %w", p.CrashAtByte, ErrCrashed)
+	}
+	p.written += int64(n)
+	p.bounds = append(p.bounds, p.written)
+	return n, nil
+}
+
+// op gates a non-write operation (sync, rename, create): after the kill,
+// everything fails.
+func (p *FaultPlan) op() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// FaultWriter applies a FaultPlan to one io.Writer.
+type FaultWriter struct {
+	W    io.Writer
+	Plan *FaultPlan
+}
+
+// Write implements io.Writer under the plan's schedule. Injected short
+// writes and kills forward only the allowed prefix to the underlying
+// writer, so the bytes past the fault genuinely never land.
+func (f *FaultWriter) Write(p []byte) (int, error) {
+	k, ferr := f.Plan.apply(len(p))
+	n := 0
+	var err error
+	if k > 0 {
+		n, err = f.W.Write(p[:k])
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	if err != nil {
+		return n, err
+	}
+	if n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+// FS is the slim filesystem surface the durable writers go through, so a
+// fault plan can intercept every operation a crash could interrupt.
+type FS interface {
+	// Create truncates/creates the file for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens the file for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// SyncDir fsyncs a directory, making renames within it durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable-file surface of FS.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// NewFaultFS wraps an FS so every file write consults plan and every
+// metadata operation fails once the plan has crashed.
+func NewFaultFS(base FS, plan *FaultPlan) *FaultFS {
+	return &FaultFS{base: base, plan: plan}
+}
+
+// FaultFS injects a FaultPlan into a whole filesystem.
+type FaultFS struct {
+	base FS
+	plan *FaultPlan
+}
+
+// Plan returns the plan the FS injects.
+func (f *FaultFS) Plan() *FaultPlan { return f.plan }
+
+// Create implements FS.
+func (f *FaultFS) Create(path string) (File, error) {
+	if err := f.plan.op(); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, w: FaultWriter{W: file, Plan: f.plan}, plan: f.plan}, nil
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	if err := f.plan.op(); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, w: FaultWriter{W: file, Plan: f.plan}, plan: f.plan}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.plan.op(); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error {
+	if err := f.plan.op(); err != nil {
+		return err
+	}
+	return f.base.Remove(path)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.plan.op(); err != nil {
+		return err
+	}
+	return f.base.SyncDir(dir)
+}
+
+type faultFile struct {
+	File
+	w    FaultWriter
+	plan *FaultPlan
+}
+
+func (f *faultFile) Write(p []byte) (int, error) { return f.w.Write(p) }
+
+func (f *faultFile) Sync() error {
+	if err := f.plan.op(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// Close always closes the real file (a dead process's descriptors close
+// too) but reports the crash so callers don't mistake it for durability.
+func (f *faultFile) Close() error {
+	err := f.File.Close()
+	if perr := f.plan.op(); perr != nil {
+		return perr
+	}
+	return err
+}
+
+// Backoff is a bounded exponential-backoff retry policy with jitter for
+// transient store errors. The zero value of any field takes the default.
+type Backoff struct {
+	Tries int           // total attempts, default 4
+	Base  time.Duration // first delay, default 1ms
+	Max   time.Duration // delay ceiling, default 100ms
+	Seed  int64         // jitter seed, default 1 (deterministic tests)
+	// OnRetry, if set, observes each retry (attempt index from 1, the
+	// error being retried) — the hook the telemetry counters hang off.
+	OnRetry func(attempt int, err error)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Tries <= 0 {
+		b.Tries = 4
+	}
+	if b.Base <= 0 {
+		b.Base = time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 100 * time.Millisecond
+	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+	return b
+}
+
+// Retry runs op, retrying transient errors (IsTransient) up to b.Tries
+// attempts with exponential backoff and full jitter. Non-transient errors,
+// context cancellation, and exhausted budgets return immediately with the
+// last error.
+func Retry(ctx context.Context, b Backoff, op func() error) error {
+	b = b.withDefaults()
+	rng := rand.New(rand.NewSource(b.Seed))
+	delay := b.Base
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= b.Tries {
+			return fmt.Errorf("iosim: giving up after %d attempts: %w", attempt, err)
+		}
+		if b.OnRetry != nil {
+			b.OnRetry(attempt, err)
+		}
+		// Full jitter: sleep a uniform fraction of the current ceiling so
+		// concurrent writers don't thunder in lockstep.
+		sleep := time.Duration(rng.Int63n(int64(delay) + 1))
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return fmt.Errorf("iosim: retry cancelled: %w", ctx.Err())
+		}
+		if delay *= 2; delay > b.Max {
+			delay = b.Max
+		}
+	}
+}

@@ -42,16 +42,21 @@ func NewStoreWriter(bandwidthMBps float64, sink io.Writer) (*Store, error) {
 }
 
 // Write implements io.Writer, accounting (and optionally forwarding) p.
+// With a sink attached, only the bytes the sink actually accepted are
+// accounted: a short write must not inflate the modelled transfer volume.
 func (s *Store) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	sink := s.sink
-	s.bytes += int64(len(p))
+	s.mu.Unlock()
+	n, err := len(p), error(nil)
+	if sink != nil {
+		n, err = sink.Write(p)
+	}
+	s.mu.Lock()
+	s.bytes += int64(n)
 	s.writes++
 	s.mu.Unlock()
-	if sink != nil {
-		return sink.Write(p)
-	}
-	return len(p), nil
+	return n, err
 }
 
 // Account records n bytes without materializing them — used when the

@@ -35,7 +35,10 @@ type Simulator interface {
 
 // ParallelFor splits [0, n) into one contiguous span per worker and runs fn
 // on each span concurrently; it is the slab decomposition used by all
-// simulators and the bitmap generators.
+// simulators and the bitmap generators. A panic in any worker is re-raised
+// on the calling goroutine (first panic wins), so callers can recover it —
+// a worker goroutine panicking directly would kill the whole process with
+// no chance of recovery.
 func ParallelFor(n, workers int, fn func(lo, hi int)) {
 	if workers < 1 {
 		workers = 1
@@ -49,7 +52,11 @@ func ParallelFor(n, workers int, fn func(lo, hi int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
 	chunk := n / workers
 	extra := n % workers
 	lo := 0
@@ -61,9 +68,17 @@ func ParallelFor(n, workers int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
 			fn(lo, hi)
 		}(lo, hi)
 		lo = hi
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"insitubits/internal/iosim"
+)
+
+// TempSuffix is appended to a file's name while AtomicWrite stages it. A
+// crash can strand such a file; fsck and Resume quarantine strays by this
+// suffix, and no committed artifact ever carries it.
+const TempSuffix = ".tmp"
+
+// AtomicWrite makes path either absent/old or complete/new, never torn:
+// the content is staged in a temp file in the same directory, fsynced,
+// renamed over path, and the directory fsynced so the rename itself is
+// durable. fsys nil means the real filesystem. It returns the exact bytes
+// written and their whole-file CRC32C — the pair the run journal records
+// per artifact so fsck can verify files without parsing them.
+//
+// On any error the temp file is removed (best effort) and path is
+// untouched, so a failed or crashed write never leaves a half-written
+// artifact under the committed name.
+func AtomicWrite(fsys iosim.FS, path string, write func(io.Writer) (int64, error)) (int64, uint32, error) {
+	if fsys == nil {
+		fsys = iosim.OS
+	}
+	tmp := path + TempSuffix
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: staging %s: %w", path, err)
+	}
+	cw := &sumWriter{w: f}
+	if _, err := write(cw); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return cw.n, cw.file, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return cw.n, cw.file, fmt.Errorf("store: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return cw.n, cw.file, fmt.Errorf("store: closing %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return cw.n, cw.file, fmt.Errorf("store: committing %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return cw.n, cw.file, fmt.Errorf("store: syncing dir of %s: %w", path, err)
+	}
+	return cw.n, cw.file, nil
+}
+
+// AtomicWriteBytes is AtomicWrite for a prepared buffer (the manifest
+// path), returning the content's CRC32C.
+func AtomicWriteBytes(fsys iosim.FS, path string, data []byte) (uint32, error) {
+	_, crc, err := AtomicWrite(fsys, path, func(w io.Writer) (int64, error) {
+		n, err := w.Write(data)
+		return int64(n), err
+	})
+	return crc, err
+}

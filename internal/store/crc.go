@@ -1,0 +1,56 @@
+package store
+
+import (
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// The v3 containers checksum with CRC32C (the Castagnoli polynomial —
+// hardware-accelerated on amd64/arm64 and the checksum the Roaring/Parquet
+// lineage of formats settled on).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum marks a parsed file whose bytes disagree with a stored
+// CRC32C — flipped bits rather than truncation. fsck classifies on it via
+// errors.Is.
+var ErrChecksum = errors.New("store: checksum mismatch")
+
+// CRC32C returns the Castagnoli CRC of data — the whole-file checksum the
+// run journal records per artifact and fsck re-derives.
+func CRC32C(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// sumWriter tracks two running CRC32C digests over everything written: the
+// whole-stream digest (the v3 footer checksum) and a resettable section
+// digest (the per-bin checksum). It also counts bytes so writers can report
+// exact on-disk sizes.
+type sumWriter struct {
+	w    io.Writer
+	file uint32
+	sect uint32
+	n    int64
+}
+
+func (s *sumWriter) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	s.file = crc32.Update(s.file, castagnoli, p[:n])
+	s.sect = crc32.Update(s.sect, castagnoli, p[:n])
+	s.n += int64(n)
+	return n, err
+}
+
+// sumReader mirrors sumWriter on the read side: the digests cover exactly
+// the bytes consumed, so a reader positioned after the last bin record
+// holds the digest the writer stored in the footer.
+type sumReader struct {
+	r    io.Reader
+	file uint32
+	sect uint32
+}
+
+func (s *sumReader) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	s.file = crc32.Update(s.file, castagnoli, p[:n])
+	s.sect = crc32.Update(s.sect, castagnoli, p[:n])
+	return n, err
+}

@@ -96,7 +96,7 @@ func TestReadIndexCorruptionTable(t *testing.T) {
 			return d
 		}),
 		"unsupported version": mutate(func(d []byte) []byte {
-			binary.LittleEndian.PutUint32(d[4:], 3)
+			binary.LittleEndian.PutUint32(d[4:], 4)
 			return d
 		}),
 		"zero bins": mutate(func(d []byte) []byte {
