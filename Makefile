@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench bench-json overhead fuzz-smoke crash-matrix ci
+.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead fuzz-smoke crash-matrix ci
 
 all: build
 
@@ -31,6 +31,20 @@ bench-json:
 	$(GO) test -run xxx -bench . -benchmem ./internal/... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y%m%d).json
 	@echo wrote BENCH_$$(date +%Y%m%d).json
 
+# Benchmark-trend regression gate over the archived BENCH_*.json snapshots:
+# latest vs the previous snapshot (or -baseline), 10% noise threshold on
+# ns/op. Warn-only so organic drift never blocks CI, but malformed or
+# missing snapshots still hard-fail — a damaged archive must not read as
+# "no regressions".
+bench-check:
+	$(GO) run ./cmd/benchtrend -warn-only
+
+# Trace-export roundtrip smoke: the identity-tracing e2e acceptance (slow
+# query → trace ID in the slow log → span tree from /debug/traces, Chrome
+# export parsed independently) plus both exporter roundtrips.
+trace-smoke:
+	$(GO) test -run 'TestSlowQueryTraceEndToEnd|TestChromeTraceRoundtrip|TestOTLPJSONRoundtrip' . ./internal/telemetry/
+
 # Timing guards for the < 2% observability budgets (docs/OBSERVABILITY.md):
 # the telemetry hooks on the bitvec append hot loop, and the slow-log gate +
 # codec counters on the plain query path with ANALYZE disabled. Gated behind
@@ -53,4 +67,4 @@ fuzz-smoke:
 crash-matrix:
 	$(GO) test -race -run 'TestCrashMatrix|TestResume|TestTransient|TestWorkerPanic|TestFsck' -v ./internal/insitu/
 
-ci: vet build race-hot race overhead crash-matrix fuzz-smoke
+ci: vet build race-hot race trace-smoke bench-check overhead crash-matrix fuzz-smoke

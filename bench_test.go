@@ -8,6 +8,7 @@
 package insitubits_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -524,7 +525,7 @@ func BenchmarkQueryAggregation(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := insitubits.SubsetSum(x, sub); err != nil {
+		if _, err := insitubits.SubsetSum(context.Background(), x, sub); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -537,7 +538,7 @@ func BenchmarkCorrelationQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := insitubits.CorrelationQuery(xt, xs, sub, sub); err != nil {
+		if _, err := insitubits.CorrelationQuery(context.Background(), xt, xs, sub, sub); err != nil {
 			b.Fatal(err)
 		}
 	}

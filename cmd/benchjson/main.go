@@ -1,88 +1,26 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // machine-readable JSON document on stdout, so benchmark runs can be
 // archived and diffed across commits (the Makefile `bench-json` target
-// writes BENCH_<date>.json this way).
+// writes BENCH_<date>.json this way; `benchtrend` compares the archived
+// snapshots).
 //
 //	go test -run xxx -bench . -benchmem ./... | benchjson > BENCH_20260806.json
 //
 // Lines that are not benchmark results (PASS, ok, coverage, test logs) are
 // ignored, so the full `go test` stream can be piped through unfiltered.
+// The parsing and the snapshot schema live in internal/benchfmt.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"insitubits/internal/benchfmt"
 )
 
-// Result is one benchmark line, annotated with the package it ran in.
-type Result struct {
-	Pkg  string `json:"pkg,omitempty"`
-	Name string `json:"name"`
-	Runs int64  `json:"runs"`
-	// Metrics maps the benchmark's reported units to values: "ns/op",
-	// "B/op", "allocs/op", "MB/s", and any custom b.ReportMetric units.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Report is the whole run: the environment header go test prints plus
-// every benchmark result that followed it.
-type Report struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
-
-func parse(lines *bufio.Scanner) (Report, error) {
-	var rep Report
-	pkg := ""
-	for lines.Scan() {
-		line := strings.TrimSpace(lines.Text())
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			rep.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			fields := strings.Fields(line)
-			// Name, iteration count, then value/unit pairs.
-			if len(fields) < 4 || len(fields)%2 != 0 {
-				continue
-			}
-			runs, err := strconv.ParseInt(fields[1], 10, 64)
-			if err != nil {
-				continue
-			}
-			r := Result{Pkg: pkg, Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
-			ok := true
-			for i := 2; i+1 < len(fields); i += 2 {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					ok = false
-					break
-				}
-				r.Metrics[fields[i+1]] = v
-			}
-			if ok {
-				rep.Benchmarks = append(rep.Benchmarks, r)
-			}
-		}
-	}
-	return rep, lines.Err()
-}
-
 func main() {
-	in := bufio.NewScanner(os.Stdin)
-	in.Buffer(make([]byte, 1<<20), 1<<20)
-	rep, err := parse(in)
+	rep, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,122 @@
+// Command benchtrend is the benchmark-trend regression gate: it compares
+// the newest archived BENCH_*.json snapshot (written by `make bench-json`)
+// against a baseline and fails when a benchmark moved past the noise
+// threshold in the wrong direction.
+//
+//	benchtrend -dir .                       # newest vs second-newest
+//	benchtrend -baseline BENCH_20260801.json
+//	benchtrend -metric MB/s -threshold 0.05
+//	benchtrend -warn-only                   # report but exit 0 on regressions
+//	benchtrend -json                        # machine-readable comparison
+//
+// Exit status: 0 when the latest snapshot is within the threshold of the
+// baseline (or when there is only one snapshot — nothing to compare yet);
+// 1 on regressions (unless -warn-only) and always on missing or malformed
+// snapshots — a damaged archive must never read as "no regressions".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"insitubits/internal/benchfmt"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_*.json snapshots")
+	metric := flag.String("metric", "ns/op", "metric to compare")
+	threshold := flag.Float64("threshold", 0.10, "relative noise threshold (0.10 = 10%)")
+	baseline := flag.String("baseline", "", "explicit baseline snapshot (default: second-newest in -dir)")
+	warnOnly := flag.Bool("warn-only", false, "report regressions but exit 0 (malformed snapshots still fail)")
+	asJSON := flag.Bool("json", false, "emit the comparison as JSON")
+	flag.Parse()
+
+	if err := run(*dir, *metric, *threshold, *baseline, *warnOnly, *asJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run returns an error only for conditions that must fail the gate.
+func run(dir, metric string, threshold float64, baseline string, warnOnly, asJSON bool) error {
+	if threshold <= 0 {
+		return fmt.Errorf("threshold must be positive, got %g", threshold)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(snaps) // BENCH_YYYYMMDD[...] sorts chronologically
+	if len(snaps) == 0 {
+		return fmt.Errorf("no BENCH_*.json snapshots in %s (run `make bench-json` first)", dir)
+	}
+	latestPath := snaps[len(snaps)-1]
+	basePath := baseline
+	if basePath == "" {
+		if len(snaps) < 2 {
+			fmt.Printf("benchtrend: only one snapshot (%s) — nothing to compare yet\n",
+				filepath.Base(latestPath))
+			return nil
+		}
+		basePath = snaps[len(snaps)-2]
+	}
+	// Malformed or missing snapshots are a hard failure even under
+	// -warn-only: the gate must not pass because its inputs are broken.
+	base, err := benchfmt.LoadFile(basePath)
+	if err != nil {
+		return err
+	}
+	latest, err := benchfmt.LoadFile(latestPath)
+	if err != nil {
+		return err
+	}
+	cmp := benchfmt.Compare(base, latest, metric, threshold)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			return err
+		}
+	} else {
+		render(os.Stdout, filepath.Base(basePath), filepath.Base(latestPath), cmp)
+	}
+	if len(cmp.Regressions) > 0 {
+		if warnOnly {
+			fmt.Printf("benchtrend: %d regression(s) past %.0f%% — warn-only, not failing\n",
+				len(cmp.Regressions), threshold*100)
+			return nil
+		}
+		return fmt.Errorf("%d benchmark(s) regressed past %.0f%% on %s",
+			len(cmp.Regressions), threshold*100, metric)
+	}
+	return nil
+}
+
+func render(w *os.File, baseName, latestName string, cmp *benchfmt.Comparison) {
+	fmt.Fprintf(w, "benchtrend: %s vs %s, metric %s, threshold %.0f%%\n",
+		latestName, baseName, cmp.Metric, cmp.Threshold*100)
+	section := func(title string, ds []benchfmt.Delta) {
+		if len(ds) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%s:\n", title)
+		for _, d := range ds {
+			fmt.Fprintf(w, "  %-50s %12.4g -> %-12.4g %+6.1f%%\n",
+				d.Pkg+"."+d.Name, d.Base, d.Latest, d.Change*100)
+		}
+	}
+	section("regressions", cmp.Regressions)
+	section("improvements", cmp.Improvements)
+	if len(cmp.OnlyInBase) > 0 {
+		fmt.Fprintf(w, "no longer present: %d benchmark(s)\n", len(cmp.OnlyInBase))
+	}
+	if len(cmp.OnlyInLatest) > 0 {
+		fmt.Fprintf(w, "new since baseline: %d benchmark(s)\n", len(cmp.OnlyInLatest))
+	}
+	fmt.Fprintf(w, "%d stable, %d improved, %d regressed\n",
+		len(cmp.Stable), len(cmp.Improvements), len(cmp.Regressions))
+}

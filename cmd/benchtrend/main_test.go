@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const baseSnap = `{"benchmarks":[{"name":"BenchmarkA-8","runs":10,"metrics":{"ns/op":100}}]}`
+
+func TestRunGate(t *testing.T) {
+	t.Run("no snapshots", func(t *testing.T) {
+		if err := run(t.TempDir(), "ns/op", 0.10, "", false, false); err == nil {
+			t.Error("empty dir passed the gate")
+		}
+	})
+	t.Run("single snapshot is not a failure", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, "BENCH_20260801.json", baseSnap)
+		if err := run(dir, "ns/op", 0.10, "", false, false); err != nil {
+			t.Errorf("single snapshot failed: %v", err)
+		}
+	})
+	t.Run("within threshold passes", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, "BENCH_20260801.json", baseSnap)
+		write(t, dir, "BENCH_20260802.json",
+			`{"benchmarks":[{"name":"BenchmarkA-8","runs":10,"metrics":{"ns/op":105}}]}`)
+		if err := run(dir, "ns/op", 0.10, "", false, false); err != nil {
+			t.Errorf("5%% drift failed a 10%% gate: %v", err)
+		}
+	})
+	t.Run("regression fails", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, "BENCH_20260801.json", baseSnap)
+		write(t, dir, "BENCH_20260802.json",
+			`{"benchmarks":[{"name":"BenchmarkA-8","runs":10,"metrics":{"ns/op":150}}]}`)
+		if err := run(dir, "ns/op", 0.10, "", false, false); err == nil {
+			t.Error("50% regression passed a 10% gate")
+		}
+		if err := run(dir, "ns/op", 0.10, "", true, false); err != nil {
+			t.Errorf("warn-only still failed: %v", err)
+		}
+	})
+	t.Run("malformed snapshot always fails", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, "BENCH_20260801.json", baseSnap)
+		write(t, dir, "BENCH_20260802.json", `{"benchmarks":[{"name":`)
+		if err := run(dir, "ns/op", 0.10, "", true, false); err == nil {
+			t.Error("malformed latest snapshot passed under -warn-only")
+		}
+	})
+	t.Run("explicit baseline", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, "BENCH_20260802.json", baseSnap)
+		base := filepath.Join(dir, "pinned.json")
+		if err := os.WriteFile(base,
+			[]byte(`{"benchmarks":[{"name":"BenchmarkA-8","runs":10,"metrics":{"ns/op":50}}]}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(dir, "ns/op", 0.10, base, false, false); err == nil {
+			t.Error("2x regression vs pinned baseline passed")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -192,7 +193,7 @@ func cmdSubgroup(args []string) error {
 	if err != nil {
 		return err
 	}
-	globalMean, err := insitubits.SubsetMean(xt, insitubits.QuerySubset{})
+	globalMean, err := insitubits.SubsetMean(context.Background(), xt, insitubits.QuerySubset{})
 	if err != nil {
 		return err
 	}
@@ -296,7 +297,7 @@ func cmdAggregate(args []string) error {
 		return err
 	}
 	s := insitubits.QuerySubset{ValueLo: *lo, ValueHi: *hi, SpatialLo: *slo, SpatialHi: *shi}
-	sum, err := insitubits.SubsetSum(x, s)
+	sum, err := insitubits.SubsetSum(context.Background(), x, s)
 	if err != nil {
 		return err
 	}
@@ -304,7 +305,7 @@ func cmdAggregate(args []string) error {
 		fmt.Println("empty subset")
 		return nil
 	}
-	mean, err := insitubits.SubsetMean(x, s)
+	mean, err := insitubits.SubsetMean(context.Background(), x, s)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,7 +46,7 @@ func cmdExplain(args []string) error {
 		if err != nil {
 			return err
 		}
-		_, prof, err := insitubits.CorrelationAnalyze(x, xb, s, s)
+		_, prof, err := insitubits.CorrelationAnalyze(context.Background(), x, xb, s, s)
 		if err != nil {
 			return err
 		}
@@ -63,17 +64,17 @@ func cmdExplain(args []string) error {
 	var prof *insitubits.QueryProfile
 	switch op {
 	case insitubits.QueryOpBits:
-		_, prof, err = insitubits.SubsetBitsAnalyze(x, s)
+		_, prof, err = insitubits.SubsetBitsAnalyze(context.Background(), x, s)
 	case insitubits.QueryOpCount:
-		_, prof, err = insitubits.SubsetCountAnalyze(x, s)
+		_, prof, err = insitubits.SubsetCountAnalyze(context.Background(), x, s)
 	case insitubits.QueryOpSum:
-		_, prof, err = insitubits.SubsetSumAnalyze(x, s)
+		_, prof, err = insitubits.SubsetSumAnalyze(context.Background(), x, s)
 	case insitubits.QueryOpMean:
-		_, prof, err = insitubits.SubsetMeanAnalyze(x, s)
+		_, prof, err = insitubits.SubsetMeanAnalyze(context.Background(), x, s)
 	case insitubits.QueryOpQuantile:
-		_, prof, err = insitubits.SubsetQuantileAnalyze(x, s, *q)
+		_, prof, err = insitubits.SubsetQuantileAnalyze(context.Background(), x, s, *q)
 	case insitubits.QueryOpMinMax:
-		_, _, prof, err = insitubits.SubsetMinMaxAnalyze(x, s)
+		_, _, prof, err = insitubits.SubsetMinMaxAnalyze(context.Background(), x, s)
 	default:
 		return fmt.Errorf("unsupported operator %q", op)
 	}

@@ -12,6 +12,7 @@
 //	bitmapctl mi a.isbm b.isbm
 //	bitmapctl emd a.isbm b.isbm
 //	bitmapctl fsck [-repair] [-json] outdir/
+//	bitmapctl top -addr localhost:6060 [-interval 1s] [-once]
 //
 // Raw input files use the .israw format (WriteRawFile); `bitmapctl genraw`
 // produces a demo file from the Heat3D workload.
@@ -90,6 +91,8 @@ func main() {
 		err = cmdManifest(args)
 	case "fsck":
 		err = cmdFsck(args)
+	case "top":
+		err = cmdTop(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -101,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"insitubits"
+)
+
+// cmdTop renders a live terminal view of the pipeline run published at a
+// debug server's /debug/run endpoint (see docs/OBSERVABILITY.md):
+//
+//	bitmapctl top -addr localhost:6060
+//	bitmapctl top -addr localhost:6060 -once   # one snapshot, no refresh
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:6060", "debug server address (host:port)")
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval < 100*time.Millisecond {
+		*interval = 100 * time.Millisecond
+	}
+	url := fmt.Sprintf("http://%s/debug/run", *addr)
+	for {
+		st, err := fetchRunStatus(url)
+		if err != nil {
+			if *once {
+				return err
+			}
+			// Transient between runs or while the server restarts: show it
+			// and keep polling.
+			fmt.Printf("\033[H\033[2Jbitmapctl top: %v (retrying every %s)\n", err, *interval)
+		} else {
+			out := renderTop(st)
+			if *once {
+				fmt.Print(out)
+				return nil
+			}
+			// Home + clear-to-end keeps the repaint flicker-free.
+			fmt.Print("\033[H\033[2J" + out)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchRunStatus GETs and decodes one /debug/run snapshot.
+func fetchRunStatus(url string) (insitubits.RunStatus, error) {
+	var st insitubits.RunStatus
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("%s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("decoding run status: %w", err)
+	}
+	return st, nil
+}
+
+// renderTop formats one run-status snapshot as a terminal screen. Pure —
+// the refresh loop and the tests share it.
+func renderTop(st insitubits.RunStatus) string {
+	var b strings.Builder
+	state := "running"
+	if st.Done {
+		state = "done"
+	}
+	fmt.Fprintf(&b, "insitubits run  %s  method=%s", state, st.Method)
+	if st.Strategy != "" {
+		fmt.Fprintf(&b, "  strategy=%s", st.Strategy)
+	}
+	fmt.Fprintf(&b, "  workload=%s\n", st.Workload)
+
+	done := st.StepsDone
+	if st.Steps > 0 && done > st.Steps {
+		done = st.Steps
+	}
+	fmt.Fprintf(&b, "steps     %s %d/%d", progressBar(done, st.Steps, 30), done, st.Steps)
+	if st.CurrentStep >= 0 {
+		fmt.Fprintf(&b, "  (current %d)", st.CurrentStep)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "selected  %d steps, %s written\n", st.Selected, fmtBytes(st.BytesWritten))
+	fmt.Fprintf(&b, "queue     depth %d, peak %d\n", st.QueueDepth, st.QueuePeak)
+	fmt.Fprintf(&b, "elapsed   %s\n", time.Duration(st.ElapsedNs).Round(time.Millisecond))
+
+	if len(st.Phases) > 0 {
+		names := make([]string, 0, len(st.Phases))
+		for name := range st.Phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("phases    ")
+		for i, name := range names {
+			p := st.Phases[name]
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%s %s/%d", name, time.Duration(p.TotalNs).Round(time.Millisecond), p.Count)
+		}
+		b.WriteByte('\n')
+	}
+	if len(st.CodecBins) > 0 {
+		parts := make([]string, 0, len(st.CodecBins))
+		for _, id := range []string{"wah", "bbc", "dense", "other"} {
+			if n := st.CodecBins[id]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", id, n))
+			}
+		}
+		fmt.Fprintf(&b, "codecs    %s (bins reduced)\n", strings.Join(parts, " "))
+	}
+	if st.TraceID != "" {
+		fmt.Fprintf(&b, "trace     %s (GET /debug/traces?id=%s)\n", st.TraceID, st.TraceID)
+	}
+	return b.String()
+}
+
+// progressBar renders done/total as a fixed-width bar.
+func progressBar(done, total, width int) string {
+	if total <= 0 {
+		return "[" + strings.Repeat("-", width) + "]"
+	}
+	filled := done * width / total
+	if filled > width {
+		filled = width
+	}
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", width-filled) + "]"
+}
+
+// fmtBytes renders a byte count human-readably.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -150,7 +151,7 @@ func figVerify() error {
 	for _, v := range raw[0] {
 		trueSum += v
 	}
-	agg, err := insitubits.SubsetSum(indices[0], insitubits.QuerySubset{})
+	agg, err := insitubits.SubsetSum(context.Background(), indices[0], insitubits.QuerySubset{})
 	if err != nil {
 		return err
 	}

@@ -15,13 +15,23 @@
 //
 // Observability (see docs/OBSERVABILITY.md): -debug-addr starts a debug
 // HTTP server with live expvar counters, Prometheus /metrics, the pipeline
-// span tree and pprof; -telemetry dumps the full telemetry snapshot as JSON
-// after the run; -slowlog/-slowlog-threshold emit every query slower than
-// the threshold as a JSON line with its full ANALYZE profile; -hold keeps
-// the process (and debug server) alive until SIGINT/SIGTERM.
+// span tree, the live /debug/run dashboard and pprof; -telemetry dumps the
+// full telemetry snapshot as JSON after the run; -slowlog/-slowlog-threshold
+// emit every query slower than the threshold as a JSON line with its full
+// ANALYZE profile; -hold keeps the process (and debug server) alive until
+// SIGINT/SIGTERM.
+//
+// Identity tracing: -trace records one TraceID'd span tree per pipeline
+// step, browsable at /debug/traces (plain, Chrome trace-event, or OTLP
+// JSON). -trace-sample keeps 1 of every N step traces, -trace-slow always
+// keeps steps slower than the given duration regardless of sampling,
+// -trace-ring sizes the in-memory ring of kept traces, and -trace-otlp
+// additionally appends every kept trace to a file as OTLP JSON lines.
 //
 //	insitu-run -sim heat3d -debug-addr :6060 -steps 200 -select 50 -hold
 //	insitu-run -sim heat3d -slowlog slow.jsonl -slowlog-threshold 5ms
+//	insitu-run -sim heat3d -trace -trace-sample 10 -trace-slow 50ms \
+//	    -trace-otlp traces.jsonl -debug-addr :6060
 package main
 
 import (
@@ -60,8 +70,43 @@ func main() {
 	telemetryDump := flag.Bool("telemetry", false, "print the telemetry snapshot as JSON after the run")
 	slowLog := flag.String("slowlog", "", `slow-query log destination: "stderr" or a file path (JSON lines)`)
 	slowLogThreshold := flag.Duration("slowlog-threshold", 10*time.Millisecond, "log queries slower than this (with -slowlog)")
+	trace := flag.Bool("trace", false, "record identity traces (one per pipeline step), served at /debug/traces")
+	traceSample := flag.Int("trace-sample", 1, "keep 1 of every N traces (head sampling; 1 keeps all)")
+	traceSlow := flag.Duration("trace-slow", 0, "always keep traces slower than this, regardless of sampling")
+	traceRing := flag.Int("trace-ring", 256, "completed traces held in memory")
+	traceOTLP := flag.String("trace-otlp", "", "append kept traces to this file as OTLP JSON lines (implies -trace)")
 	hold := flag.Bool("hold", false, "keep the process (and debug server) alive after the report; ctrl-C shuts down cleanly")
 	flag.Parse()
+
+	var otlpErr func() error
+	if *trace || *traceOTLP != "" {
+		rec := insitubits.NewTraceRecorder(insitubits.TraceConfig{
+			Capacity:      *traceRing,
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+		if *traceOTLP != "" {
+			f, err := os.OpenFile(*traceOTLP, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			var sink func(*insitubits.Trace)
+			sink, otlpErr = insitubits.NewOTLPFileSink(f)
+			rec.SetSink(sink)
+		}
+		insitubits.SetTraceRecorder(rec)
+		defer func() {
+			st := rec.Stats()
+			fmt.Printf("traces:         %d started, %d kept (%d slow), %d dropped\n",
+				st.Started, st.Kept, st.KeptSlow, st.Dropped)
+			if otlpErr != nil {
+				if err := otlpErr(); err != nil {
+					log.Printf("trace export: %v", err)
+				}
+			}
+		}()
+	}
 
 	var dbg *insitubits.TelemetryDebugServer
 	if *debugAddr != "" {

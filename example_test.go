@@ -1,6 +1,7 @@
 package insitubits_test
 
 import (
+	"context"
 	"fmt"
 
 	"insitubits"
@@ -71,7 +72,7 @@ func ExampleSubsetSum() {
 		panic(err)
 	}
 	x := insitubits.BuildIndex(data, m)
-	agg, err := insitubits.SubsetSum(x, insitubits.QuerySubset{})
+	agg, err := insitubits.SubsetSum(context.Background(), x, insitubits.QuerySubset{})
 	if err != nil {
 		panic(err)
 	}
@@ -181,7 +182,7 @@ func ExampleSubsetQuantile() {
 		panic(err)
 	}
 	x := insitubits.BuildIndex(data, m)
-	med, err := insitubits.SubsetQuantile(x, insitubits.QuerySubset{}, 0.5)
+	med, err := insitubits.SubsetQuantile(context.Background(), x, insitubits.QuerySubset{}, 0.5)
 	if err != nil {
 		panic(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -69,11 +70,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hot, err := insitubits.SubsetCount(x, insitubits.QuerySubset{ValueLo: 80, ValueHi: 200})
+	hot, err := insitubits.SubsetCount(context.Background(), x, insitubits.QuerySubset{ValueLo: 80, ValueHi: 200})
 	if err != nil {
 		log.Fatal(err)
 	}
-	med, err := insitubits.SubsetQuantile(x, insitubits.QuerySubset{}, 0.5)
+	med, err := insitubits.SubsetQuantile(context.Background(), x, insitubits.QuerySubset{}, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}

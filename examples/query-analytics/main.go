@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 
 	// 1. Subset counting is exact.
 	warm := insitubits.QuerySubset{ValueLo: 15, ValueHi: 100}
-	c, err := insitubits.SubsetCount(xt, warm)
+	c, err := insitubits.SubsetCount(context.Background(), xt, warm)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,13 +46,13 @@ func main() {
 
 	// 2. Aggregation is approximate but rigorously bounded.
 	upper := insitubits.QuerySubset{SpatialLo: 0, SpatialHi: n / 4} // first quarter of the Z-curve
-	mean, err := insitubits.SubsetMean(xt, upper)
+	mean, err := insitubits.SubsetMean(context.Background(), xt, upper)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("mean temperature over first curve quarter: %.3f C (true value in [%.3f, %.3f])\n",
 		mean.Estimate, mean.Lo, mean.Hi)
-	min, max, err := insitubits.SubsetMinMax(xt, insitubits.QuerySubset{})
+	min, max, err := insitubits.SubsetMinMax(context.Background(), xt, insitubits.QuerySubset{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,12 +74,12 @@ func main() {
 		}
 	}
 	sub := insitubits.QuerySubset{SpatialLo: lo, SpatialHi: hi}
-	inCur, err := insitubits.CorrelationQuery(xt, xs, sub, sub)
+	inCur, err := insitubits.CorrelationQuery(context.Background(), xt, xs, sub, sub)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ref := insitubits.QuerySubset{SpatialLo: 0, SpatialHi: hi - lo}
-	outCur, err := insitubits.CorrelationQuery(xt, xs, ref, ref)
+	outCur, err := insitubits.CorrelationQuery(context.Background(), xt, xs, ref, ref)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mAgg, err := masked.Sum(insitubits.QuerySubset{})
+	mAgg, err := masked.Sum(context.Background(), insitubits.QuerySubset{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	globalMean, _ := insitubits.SubsetMean(xo, insitubits.QuerySubset{})
+	globalMean, _ := insitubits.SubsetMean(context.Background(), xo, insitubits.QuerySubset{})
 	fmt.Printf("subgroups with anomalous oxygen (global mean %.3f):\n", globalMean.Estimate)
 	for i, sg := range sgs {
 		fmt.Printf("  %d. %s  -> mean %.3f over %d cells (quality %.3f)\n",

@@ -84,6 +84,48 @@ var (
 // per-run span tracer under.
 const PipelineTracerName = insitu.TracerName
 
+// --- Identity tracing (internal/telemetry) ---
+
+// TraceRecorder collects identity-carrying request traces: each traced
+// query or pipeline step gets a TraceID/SpanID span tree, head-sampled and
+// kept in a fixed-size ring, fetchable from /debug/traces as plain JSON,
+// Chrome trace-event JSON, or OTLP-shaped JSON. Distinct from the aggregate
+// TelemetryTracer, which only keeps per-phase totals.
+type (
+	TraceRecorder = telemetry.TraceRecorder
+	TraceConfig   = telemetry.TraceConfig
+	Trace         = telemetry.Trace
+	TraceSpan     = telemetry.TraceSpan
+	TraceStats    = telemetry.TraceStats
+	ActiveSpan    = telemetry.ActiveSpan
+)
+
+// SetTraceRecorder installs (or, with nil, removes) the process-wide trace
+// recorder the context-free entry points start traces on; StartSpan is how
+// callers open (or join) a trace, and TraceIDOf reads the trace identity a
+// context carries.
+var (
+	NewTraceRecorder     = telemetry.NewTraceRecorder
+	SetTraceRecorder     = telemetry.SetTraceRecorder
+	DefaultTraceRecorder = telemetry.DefaultTraceRecorder
+	StartSpan            = telemetry.StartSpan
+	SpanFromContext      = telemetry.SpanFromContext
+	ContextWithSpan      = telemetry.ContextWithSpan
+	TraceIDOf            = telemetry.TraceIDOf
+	NewOTLPFileSink      = telemetry.NewOTLPFileSink
+)
+
+// RunStatus is the live pipeline snapshot published while a run is in
+// flight, served as JSON at /debug/run and rendered by `bitmapctl top`.
+type (
+	RunStatus      = insitu.RunStatus
+	RunPhaseStatus = insitu.PhaseStatus
+)
+
+// PipelineRunStatusName is the registry status key the live RunStatus is
+// published under.
+const PipelineRunStatusName = insitu.RunStatusName
+
 // --- Compressed bitvectors (internal/bitvec, internal/codec) ---
 
 // Bitmap is the codec-independent compressed bitmap interface every
@@ -528,9 +570,16 @@ var (
 	WriteRawFile     = store.WriteRaw
 	ReadRawFile      = store.ReadRaw
 	RawFileSize      = store.RawSize
-	NewDatasetFile   = store.NewDataset
-	WriteDatasetFile = store.WriteDataset
-	ReadDatasetFile  = store.ReadDataset
+	// Ctx variants record a store.* child span when the context carries an
+	// identity-trace span (see TraceRecorder); otherwise they cost one
+	// context lookup and delegate to the plain functions.
+	WriteIndexFileCtx = store.WriteIndexCtx
+	ReadIndexFileCtx  = store.ReadIndexCtx
+	WriteRawFileCtx   = store.WriteRawCtx
+	ReadRawFileCtx    = store.ReadRawCtx
+	NewDatasetFile    = store.NewDataset
+	WriteDatasetFile  = store.WriteDataset
+	ReadDatasetFile   = store.ReadDataset
 )
 
 // --- Durability and fault injection (internal/store, internal/iosim) ---

@@ -3,6 +3,7 @@
 package insitubits_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -196,7 +197,7 @@ func TestMiningQuerySubgroupOnOcean(t *testing.T) {
 		}
 	}
 	sub := insitubits.QuerySubset{SpatialLo: best.Begin, SpatialHi: best.End}
-	in, err := insitubits.CorrelationQuery(xt, xs, sub, sub)
+	in, err := insitubits.CorrelationQuery(context.Background(), xt, xs, sub, sub)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestQueryAggregationAgainstSimulation(t *testing.T) {
 			t.Fatal(err)
 		}
 		x := insitubits.BuildIndex(f.Data, m)
-		agg, err := insitubits.SubsetSum(x, insitubits.QuerySubset{})
+		agg, err := insitubits.SubsetSum(context.Background(), x, insitubits.QuerySubset{})
 		if err != nil {
 			t.Fatal(err)
 		}

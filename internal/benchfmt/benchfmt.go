@@ -1,0 +1,225 @@
+// Package benchfmt parses `go test -bench` output into a machine-readable
+// report and compares reports across runs. It is shared by cmd/benchjson
+// (text → JSON archival, the `make bench-json` target) and cmd/benchtrend
+// (the latest-vs-baseline regression gate over archived BENCH_*.json
+// snapshots, the `make bench-check` target).
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, annotated with the package it ran in.
+type Result struct {
+	Pkg  string `json:"pkg,omitempty"`
+	Name string `json:"name"`
+	Runs int64  `json:"runs"`
+	// Metrics maps the benchmark's reported units to values: "ns/op",
+	// "B/op", "allocs/op", "MB/s", and any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Key identifies a benchmark across runs (package-qualified name).
+func (r Result) Key() string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// Report is one whole run: the environment header go test prints plus
+// every benchmark result that followed it.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` text output. Lines that are not benchmark
+// results (PASS, ok, coverage, test logs) are ignored, so the full
+// `go test` stream can be piped through unfiltered.
+func Parse(r io.Reader) (*Report, error) {
+	lines := bufio.NewScanner(r)
+	lines.Buffer(make([]byte, 1<<20), 1<<20)
+	var rep Report
+	pkg := ""
+	for lines.Scan() {
+		line := strings.TrimSpace(lines.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			fields := strings.Fields(line)
+			// Name, iteration count, then value/unit pairs.
+			if len(fields) < 4 || len(fields)%2 != 0 {
+				continue
+			}
+			runs, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				continue
+			}
+			res := Result{Pkg: pkg, Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+			ok := true
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					ok = false
+					break
+				}
+				res.Metrics[fields[i+1]] = v
+			}
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	return &rep, lines.Err()
+}
+
+// ParseJSON decodes an archived report (a BENCH_*.json snapshot). Unlike
+// Parse it is strict: malformed JSON or a report without benchmarks is an
+// error, because the trend gate must hard-fail on damaged snapshots rather
+// than silently compare nothing.
+func ParseJSON(data []byte) (*Report, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchfmt: malformed report: %w", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: report has no benchmarks")
+	}
+	for i, b := range rep.Benchmarks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("benchfmt: benchmark %d has no name", i)
+		}
+	}
+	return &rep, nil
+}
+
+// LoadFile reads and strictly parses one archived snapshot.
+func LoadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ParseJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Delta is one benchmark's movement between two reports.
+type Delta struct {
+	Pkg  string `json:"pkg,omitempty"`
+	Name string `json:"name"`
+	// Base and Latest are the metric values being compared.
+	Base   float64 `json:"base"`
+	Latest float64 `json:"latest"`
+	// Change is the relative movement (Latest-Base)/Base; positive means
+	// the metric grew.
+	Change float64 `json:"change"`
+}
+
+// Comparison is the outcome of comparing two reports on one metric.
+type Comparison struct {
+	Metric    string  `json:"metric"`
+	Threshold float64 `json:"threshold"`
+	// Regressions moved past the threshold in the bad direction (slower
+	// for ns/op-style metrics, lower for MB/s-style throughput metrics);
+	// Improvements moved past it in the good direction; Stable is
+	// everything within the noise band. Each list is sorted by |Change|,
+	// largest first.
+	Regressions  []Delta `json:"regressions,omitempty"`
+	Improvements []Delta `json:"improvements,omitempty"`
+	Stable       []Delta `json:"stable,omitempty"`
+	// OnlyInBase/OnlyInLatest name benchmarks present in one report but
+	// not the other (renamed, added, or removed since the baseline).
+	OnlyInBase   []string `json:"only_in_base,omitempty"`
+	OnlyInLatest []string `json:"only_in_latest,omitempty"`
+}
+
+// higherIsBetter reports whether a metric improves upward (throughput)
+// rather than downward (time, bytes, allocations).
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/s") || strings.HasSuffix(metric, "/sec")
+}
+
+// Compare diffs latest against base on one metric with a relative noise
+// threshold (0.10 = 10%). Benchmarks missing the metric in either report
+// are skipped; benchmarks missing from one report entirely are listed in
+// OnlyInBase/OnlyInLatest.
+func Compare(base, latest *Report, metric string, threshold float64) *Comparison {
+	cmp := &Comparison{Metric: metric, Threshold: threshold}
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Key()] = b
+	}
+	latestKeys := make(map[string]bool, len(latest.Benchmarks))
+	for _, l := range latest.Benchmarks {
+		latestKeys[l.Key()] = true
+		b, ok := baseBy[l.Key()]
+		if !ok {
+			cmp.OnlyInLatest = append(cmp.OnlyInLatest, l.Key())
+			continue
+		}
+		bv, bok := b.Metrics[metric]
+		lv, lok := l.Metrics[metric]
+		if !bok || !lok || bv == 0 {
+			continue
+		}
+		d := Delta{Pkg: l.Pkg, Name: l.Name, Base: bv, Latest: lv, Change: (lv - bv) / bv}
+		worse := d.Change > threshold
+		better := d.Change < -threshold
+		if higherIsBetter(metric) {
+			worse, better = better, worse
+		}
+		switch {
+		case worse:
+			cmp.Regressions = append(cmp.Regressions, d)
+		case better:
+			cmp.Improvements = append(cmp.Improvements, d)
+		default:
+			cmp.Stable = append(cmp.Stable, d)
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if !latestKeys[b.Key()] {
+			cmp.OnlyInBase = append(cmp.OnlyInBase, b.Key())
+		}
+	}
+	byMagnitude := func(ds []Delta) {
+		sort.Slice(ds, func(i, j int) bool {
+			ci, cj := ds[i].Change, ds[j].Change
+			if ci < 0 {
+				ci = -ci
+			}
+			if cj < 0 {
+				cj = -cj
+			}
+			return ci > cj
+		})
+	}
+	byMagnitude(cmp.Regressions)
+	byMagnitude(cmp.Improvements)
+	byMagnitude(cmp.Stable)
+	sort.Strings(cmp.OnlyInBase)
+	sort.Strings(cmp.OnlyInLatest)
+	return cmp
+}

@@ -1,0 +1,113 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const sample = `goos: linux
+goarch: amd64
+pkg: insitubits/internal/telemetry
+cpu: Example CPU @ 3.00GHz
+BenchmarkNoopCounter-8   	1000000000	         0.2500 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSpan-8          	 5000000	       240.0 ns/op
+PASS
+ok  	insitubits/internal/telemetry	2.150s
+pkg: insitubits/internal/bitvec
+BenchmarkAppend-8        	  120000	      9800 ns/op	     132 B/op	       2 allocs/op
+some stray log line
+PASS
+`
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU == "" {
+		t.Errorf("header not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b := rep.Benchmarks[0]
+	if b.Pkg != "insitubits/internal/telemetry" || b.Name != "BenchmarkNoopCounter-8" ||
+		b.Runs != 1000000000 || b.Metrics["ns/op"] != 0.25 || b.Metrics["allocs/op"] != 0 {
+		t.Errorf("first benchmark mis-parsed: %+v", b)
+	}
+	if got := rep.Benchmarks[2]; got.Pkg != "insitubits/internal/bitvec" || got.Metrics["B/op"] != 132 {
+		t.Errorf("pkg tracking broken: %+v", got)
+	}
+}
+
+func TestParseJSONStrict(t *testing.T) {
+	good := `{"goos":"linux","benchmarks":[{"name":"BenchmarkA-8","runs":10,"metrics":{"ns/op":100}}]}`
+	rep, err := ParseJSON([]byte(good))
+	if err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Metrics["ns/op"] != 100 {
+		t.Errorf("mis-parsed: %+v", rep)
+	}
+	for name, bad := range map[string]string{
+		"truncated":     `{"benchmarks":[{"name":"B"`,
+		"empty":         `{}`,
+		"no-benchmarks": `{"benchmarks":[]}`,
+		"nameless":      `{"benchmarks":[{"runs":1,"metrics":{}}]}`,
+		"not-json":      `go test output, not json`,
+	} {
+		if _, err := ParseJSON([]byte(bad)); err == nil {
+			t.Errorf("%s snapshot accepted", name)
+		}
+	}
+}
+
+func rep(metric string, vals map[string]float64) *Report {
+	r := &Report{}
+	for name, v := range vals {
+		r.Benchmarks = append(r.Benchmarks, Result{
+			Pkg: "p", Name: name, Runs: 1, Metrics: map[string]float64{metric: v},
+		})
+	}
+	return r
+}
+
+func TestCompare(t *testing.T) {
+	base := rep("ns/op", map[string]float64{
+		"BenchmarkFast-8": 100, "BenchmarkSlow-8": 100, "BenchmarkSame-8": 100, "BenchmarkGone-8": 7,
+	})
+	latest := rep("ns/op", map[string]float64{
+		"BenchmarkFast-8": 80, "BenchmarkSlow-8": 130, "BenchmarkSame-8": 104, "BenchmarkNew-8": 9,
+	})
+	cmp := Compare(base, latest, "ns/op", 0.10)
+	if len(cmp.Regressions) != 1 || cmp.Regressions[0].Name != "BenchmarkSlow-8" {
+		t.Errorf("regressions: %+v", cmp.Regressions)
+	}
+	if got := cmp.Regressions[0].Change; got < 0.29 || got > 0.31 {
+		t.Errorf("regression change = %g, want ~0.30", got)
+	}
+	if len(cmp.Improvements) != 1 || cmp.Improvements[0].Name != "BenchmarkFast-8" {
+		t.Errorf("improvements: %+v", cmp.Improvements)
+	}
+	if len(cmp.Stable) != 1 || cmp.Stable[0].Name != "BenchmarkSame-8" {
+		t.Errorf("stable: %+v", cmp.Stable)
+	}
+	if len(cmp.OnlyInBase) != 1 || cmp.OnlyInBase[0] != "p.BenchmarkGone-8" {
+		t.Errorf("only-in-base: %v", cmp.OnlyInBase)
+	}
+	if len(cmp.OnlyInLatest) != 1 || cmp.OnlyInLatest[0] != "p.BenchmarkNew-8" {
+		t.Errorf("only-in-latest: %v", cmp.OnlyInLatest)
+	}
+}
+
+func TestCompareThroughputDirection(t *testing.T) {
+	base := rep("MB/s", map[string]float64{"BenchmarkIO-8": 100})
+	latest := rep("MB/s", map[string]float64{"BenchmarkIO-8": 50})
+	cmp := Compare(base, latest, "MB/s", 0.10)
+	if len(cmp.Regressions) != 1 {
+		t.Fatalf("halved throughput not flagged as regression: %+v", cmp)
+	}
+	cmp = Compare(latest, base, "MB/s", 0.10)
+	if len(cmp.Improvements) != 1 {
+		t.Fatalf("doubled throughput not an improvement: %+v", cmp)
+	}
+}

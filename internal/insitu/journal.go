@@ -79,6 +79,12 @@ type JournalRecord struct {
 	Step int `json:"step,omitempty"`
 	// Score is the step's dissimilarity vs the previously selected step.
 	Score float64 `json:"score,omitempty"`
+	// TraceID links a score/select record to the identity trace of the
+	// pipeline step that produced it (see internal/telemetry). Empty — and
+	// absent from the JSON — when tracing is disabled, so journals stay
+	// byte-identical with pre-tracing runs and across traced/untraced
+	// replays of the same configuration.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// Select: the step's durable artifacts.
 	Files []JournalFile `json:"files,omitempty"`

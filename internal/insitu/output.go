@@ -11,6 +11,7 @@ import (
 	"insitubits/internal/iosim"
 	"insitubits/internal/selection"
 	"insitubits/internal/store"
+	"insitubits/internal/telemetry"
 )
 
 // Manifest records what a pipeline run persisted, one entry per selected
@@ -107,8 +108,10 @@ func newWriter(cfg Config, rt *runTelemetry) (*writer, error) {
 // writeStep persists one selected step's per-variable summaries, then seals
 // the step with a journal select record. Steps the resume state already
 // verified as durable are not rewritten — their manifest entries are copied
-// from the journal.
-func (w *writer) writeStep(sum *stepSummary) error {
+// from the journal. When ctx carries an identity-trace span, each artifact
+// write records a store.* child span and the select record is stamped with
+// the step's trace ID.
+func (w *writer) writeStep(ctx context.Context, sum *stepSummary) error {
 	w.manifest.Selected = append(w.manifest.Selected, sum.step)
 	if w.resume != nil {
 		if files, ok := w.resume.durable[sum.step]; ok {
@@ -120,7 +123,7 @@ func (w *writer) writeStep(sum *stepSummary) error {
 			return nil
 		}
 	}
-	rec := &JournalRecord{Kind: KindSelect, Step: sum.step}
+	rec := &JournalRecord{Kind: KindSelect, Step: sum.step, TraceID: telemetry.TraceIDOf(ctx)}
 	for k, part := range sum.parts {
 		name := fmt.Sprintf("step%04d_%s", sum.step, sanitize(w.vars[k]))
 		var path string
@@ -128,10 +131,10 @@ func (w *writer) writeStep(sum *stepSummary) error {
 		switch p := part.(type) {
 		case *selection.BitmapSummary:
 			path = filepath.Join(w.dir, name+".isbm")
-			body = func(f io.Writer) (int64, error) { return store.WriteIndex(f, p.X) }
+			body = func(f io.Writer) (int64, error) { return store.WriteIndexCtx(ctx, f, p.X) }
 		case *selection.DataSummary:
 			path = filepath.Join(w.dir, name+".israw")
-			body = func(f io.Writer) (int64, error) { return store.WriteRaw(f, p.Data) }
+			body = func(f io.Writer) (int64, error) { return store.WriteRawCtx(ctx, f, p.Data) }
 		default:
 			return fmt.Errorf("insitu: cannot persist summary type %T", part)
 		}
@@ -164,12 +167,13 @@ func (w *writer) atomicWrite(path string, body func(io.Writer) (int64, error)) (
 // recordScore journals one step's selection score. Nil-safe: runs without
 // an output directory keep no journal. The score is durable before the
 // interval logic can act on it, so a resumed run replays the selection
-// exactly instead of recomputing it.
-func (w *writer) recordScore(t int, score float64) error {
+// exactly instead of recomputing it. traceID (empty when tracing is off)
+// links the record to the step's identity trace.
+func (w *writer) recordScore(t int, score float64, traceID string) error {
 	if w == nil {
 		return nil
 	}
-	return w.jnl.append(&JournalRecord{Kind: KindScore, Step: t, Score: score})
+	return w.jnl.append(&JournalRecord{Kind: KindScore, Step: t, Score: score, TraceID: traceID})
 }
 
 // finish commits the manifest atomically, then seals the run with the

@@ -256,6 +256,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	rt := newRunTelemetry(cfg)
+	rt.strategyDesc = strategy.Describe()
 	w, err := newWriter(cfg, rt)
 	if err != nil {
 		return nil, err
@@ -486,44 +487,51 @@ func newSelector(cfg Config) *selector {
 
 // offer consumes step t's summary in order; metric evaluation is recorded
 // as a "select" span and committed writes as "write" spans, which is where
-// the run report's Select phase and WriteTime come from. On a resumed run,
-// steps whose score is already journaled skip the metric evaluation and
-// replay the recorded score instead — exact, because Go's float64 JSON
+// the run report's Select phase and WriteTime come from. When ctx carries
+// the step's identity-trace span (the strategies open one per step while a
+// trace recorder is installed) the same phases appear as child spans of
+// that trace and the journaled score carries its trace ID. On a resumed
+// run, steps whose score is already journaled skip the metric evaluation
+// and replay the recorded score instead — exact, because Go's float64 JSON
 // round-trips bit-for-bit — so the selection unfolds identically.
-func (s *selector) offer(t int, sum *stepSummary) {
+func (s *selector) offer(ctx context.Context, t int, sum *stepSummary) {
 	sum.step = t
 	s.sumBytes += sum.memBytes
 	s.nSeen++
 	s.rt.stepsDone.Inc()
+	s.rt.observeStep(ctx, t, sum)
 	if t == 0 { // step 0 is always selected (paper Figure 3)
 		s.prev = sum
 		s.selected = append(s.selected, 0)
-		s.write(sum)
+		s.write(ctx, sum)
 		return
 	}
 	if rs := s.cfg.resume; rs != nil {
 		if score, ok := rs.scores[t]; ok {
 			s.rt.stepsRecovered.Inc()
-			s.applyScore(t, sum, score)
+			s.applyScore(ctx, t, sum, score)
 			return
 		}
 	}
 	sp := s.rt.root.Child(SpanSelect)
+	tsp := telemetry.SpanFromContext(ctx).Child(SpanSelect)
 	start := time.Now()
 	score := sum.Dissimilarity(s.prev, s.cfg.Metric)
 	elapsed := time.Since(start)
+	tsp.SetAttrInt("vs_step", int64(s.prev.step))
+	tsp.End()
 	sp.End()
 	// The score is durable before the interval logic can commit on it, so a
 	// crash between here and the commit resumes with the selection intact.
-	if err := s.w.recordScore(t, score); err != nil && s.err == nil {
+	if err := s.w.recordScore(t, score, telemetry.TraceIDOf(ctx)); err != nil && s.err == nil {
 		s.err = err
 	}
-	s.recordSelect(t, sum, score, elapsed)
-	s.applyScore(t, sum, score)
+	s.recordSelect(ctx, t, sum, score, elapsed)
+	s.applyScore(ctx, t, sum, score)
 }
 
 // applyScore runs the streaming interval logic for one scored step.
-func (s *selector) applyScore(t int, sum *stepSummary, score float64) {
+func (s *selector) applyScore(ctx context.Context, t int, sum *stepSummary, score float64) {
 	if s.ivPos < len(s.intervals) {
 		iv := s.intervals[s.ivPos]
 		if t >= iv[0] && t < iv[1] {
@@ -533,7 +541,7 @@ func (s *selector) applyScore(t int, sum *stepSummary, score float64) {
 			if t == iv[1]-1 { // interval complete: commit the winner
 				s.selected = append(s.selected, s.best.step)
 				s.prev = s.best
-				s.write(s.best)
+				s.write(ctx, s.best)
 				s.best = nil
 				s.ivPos++
 			}
@@ -546,7 +554,7 @@ func (s *selector) applyScore(t int, sum *stepSummary, score float64) {
 // per-variable nodes carry only O(bins) metadata reads (bin count, codec,
 // encoded words/bytes) — no bitmap is decoded, so the profile costs far
 // less than the scoring it describes.
-func (s *selector) recordSelect(t int, sum *stepSummary, score float64, elapsed time.Duration) {
+func (s *selector) recordSelect(ctx context.Context, t int, sum *stepSummary, score float64, elapsed time.Duration) {
 	root := &query.Node{Op: "dissimilarity", Bin: -1}
 	for k, part := range sum.parts {
 		bs, ok := part.(*selection.BitmapSummary)
@@ -579,21 +587,28 @@ func (s *selector) recordSelect(t int, sum *stepSummary, score float64, elapsed 
 		Mode:      query.ModeAnalyze,
 		Detail:    fmt.Sprintf("step %d vs selected step %d, metric %s, score %g", t, s.prev.step, s.cfg.Metric, score),
 		ElapsedNs: elapsed.Nanoseconds(),
+		TraceID:   telemetry.TraceIDOf(ctx),
 		Root:      root,
 	}
 	s.slow.Offer(p)
 	query.LogSlow(p)
 }
 
-func (s *selector) write(sum *stepSummary) {
+func (s *selector) write(ctx context.Context, sum *stepSummary) {
 	sp := s.rt.root.Child(SpanWrite)
 	defer sp.End()
+	wsp := telemetry.SpanFromContext(ctx).Child(SpanWrite)
+	wsp.SetAttrInt("step", int64(sum.step))
+	wsp.SetAttrInt("bytes", sum.outBytes)
+	defer wsp.End()
+	ctx = telemetry.ContextWithSpan(ctx, wsp)
 	s.written += sum.outBytes
+	s.rt.wroteStep(sum.outBytes)
 	if s.cfg.Store != nil {
 		s.cfg.Store.Account(sum.outBytes)
 	}
 	if s.w != nil && s.err == nil {
-		s.err = s.w.writeStep(sum)
+		s.err = s.w.writeStep(ctx, sum)
 	}
 }
 

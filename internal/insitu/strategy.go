@@ -1,10 +1,12 @@
 package insitu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"insitubits/internal/sim"
+	"insitubits/internal/telemetry"
 )
 
 // Strategy is a core-allocation policy for running the pipeline (§2.3).
@@ -61,19 +63,31 @@ func (SharedCores) run(cfg Config, red *reducer, sel *selector) (*Result, error)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("insitu: run cancelled at step %d: %w", t, err)
 		}
+		// Identity trace: one trace per step when a recorder is installed
+		// (no-op context otherwise), with simulate/reduce/select/write
+		// child spans mirroring the aggregate phase tree.
+		stepCtx, st := telemetry.StartSpan(ctx, SpanStep)
+		st.SetAttrInt("step", int64(t))
 		sp := rt.root.Child(SpanSimulate)
+		ssp := st.Child(SpanSimulate)
 		fields, err := runStep(cfg, rt, t, cfg.Cores)
+		ssp.End()
 		sp.End()
 		if err != nil {
+			st.End()
 			return nil, err
 		}
 		sp = rt.root.Child(SpanReduce)
+		rsp := st.Child(SpanReduce)
 		summary, err := runReduce(cfg, red, rt, fields, cfg.Cores, t)
+		rsp.End()
 		sp.End()
 		if err != nil {
+			st.End()
 			return nil, err
 		}
-		sel.offer(t, summary)
+		sel.offer(stepCtx, t, summary)
+		st.End()
 		if sel.err != nil {
 			// Persistence failed; later steps could compute but never land.
 			return nil, sel.err
@@ -119,6 +133,10 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 		step   int
 		fields []sim.Field
 		err    error
+		// ctx/span carry the step's identity trace from the producer to the
+		// consumer; both are no-ops when no trace recorder is installed.
+		ctx  context.Context
+		span *telemetry.ActiveSpan
 	}
 	rt := sel.rt
 	ctx := cfg.context()
@@ -139,14 +157,19 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 			if ctx.Err() != nil {
 				return
 			}
+			stepCtx, st := telemetry.StartSpan(ctx, SpanStep)
+			st.SetAttrInt("step", int64(t))
 			sp := rt.root.Child(SpanSimulate)
+			ssp := st.Child(SpanSimulate)
 			fields, err := runStep(cfg, rt, t, s.SimCores)
+			ssp.End()
 			sp.End()
 			rt.enqueued()
 			select {
-			case queue <- queued{step: t, fields: fields, err: err}:
+			case queue <- queued{step: t, fields: fields, err: err, ctx: stepCtx, span: st}:
 			case <-ctx.Done():
 				rt.dequeued()
+				st.End()
 				return
 			}
 			if err != nil {
@@ -159,8 +182,9 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 	// consumer preserves step order (selection is order-dependent); the
 	// parallelism is inside the per-step reduction.
 	drain := func() {
-		for range queue {
+		for q := range queue {
 			rt.dequeued()
+			q.span.End()
 		}
 		<-simDone
 	}
@@ -169,18 +193,23 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 	for q := range queue {
 		rt.dequeued()
 		if q.err != nil {
+			q.span.End()
 			drain()
 			return nil, q.err
 		}
 		sp := rt.root.Child(SpanReduce)
+		rsp := q.span.Child(SpanReduce)
 		summary, err := runReduce(cfg, red, rt, q.fields, s.ReduceCores, q.step)
+		rsp.End()
 		sp.End()
 		if err != nil {
 			// Drain so the producer can finish; first error wins.
+			q.span.End()
 			drain()
 			return nil, err
 		}
-		sel.offer(q.step, summary)
+		sel.offer(q.ctx, q.step, summary)
+		q.span.End()
 		if sel.err != nil {
 			drain()
 			return nil, sel.err

@@ -1,6 +1,9 @@
 package insitu
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"insitubits/internal/telemetry"
@@ -134,4 +137,107 @@ func TestQueueBackpressure(t *testing.T) {
 	if g := reg.Gauge("insitu.queue_depth"); g.Value() != 0 {
 		t.Errorf("queue depth %d after the run, want 0 (drained)", g.Value())
 	}
+}
+
+// TestRunPublishesStatus asserts the live-status provider the run registers
+// under the "run" name (the payload /debug/run and `bitmapctl top` consume)
+// reflects the finished run.
+func TestRunPublishesStatus(t *testing.T) {
+	cfg := heatConfig(t, Bitmaps)
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := reg.StatusValue(RunStatusName)
+	if !ok {
+		t.Fatalf("no %q status provider registered", RunStatusName)
+	}
+	st, ok := v.(RunStatus)
+	if !ok {
+		t.Fatalf("status value is %T, want RunStatus", v)
+	}
+	if !st.Done {
+		t.Error("finished run not marked done")
+	}
+	if st.Workload != "heat3d" || st.Method != "bitmaps" || st.Strategy != "c_all" {
+		t.Errorf("run identity: %+v", st)
+	}
+	if st.Steps != cfg.Steps || st.StepsDone != cfg.Steps || st.CurrentStep != cfg.Steps-1 {
+		t.Errorf("progress: %d/%d current %d", st.StepsDone, st.Steps, st.CurrentStep)
+	}
+	if st.Selected != cfg.Select {
+		t.Errorf("selected %d, want %d", st.Selected, cfg.Select)
+	}
+	if st.BytesWritten != res.BytesWritten {
+		t.Errorf("bytes written %d != result %d", st.BytesWritten, res.BytesWritten)
+	}
+	var codecTotal int64
+	for _, n := range st.CodecBins {
+		codecTotal += n
+	}
+	if codecTotal == 0 {
+		t.Errorf("no codec mix tallied: %+v", st.CodecBins)
+	}
+	if st.Phases[SpanSimulate].Count != int64(cfg.Steps) {
+		t.Errorf("simulate phase count %d, want %d", st.Phases[SpanSimulate].Count, cfg.Steps)
+	}
+	if st.ElapsedNs <= 0 {
+		t.Errorf("elapsed %d", st.ElapsedNs)
+	}
+}
+
+// TestJournalTraceIDs asserts the crash-safety compatibility contract of
+// trace stamping: with an identity recorder installed, score and select
+// journal records link to the step traces that produced them; with tracing
+// off, the field is absent from the journal bytes entirely, so traced and
+// untraced runs of the same configuration stay journal-compatible.
+func TestJournalTraceIDs(t *testing.T) {
+	t.Run("enabled", func(t *testing.T) {
+		telemetry.SetTraceRecorder(telemetry.NewTraceRecorder(telemetry.TraceConfig{Capacity: 64}))
+		defer telemetry.SetTraceRecorder(nil)
+		cfg := heatConfig(t, Bitmaps)
+		cfg.OutputDir = t.TempDir()
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		recs, _, err := ReadJournal(cfg.OutputDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scored, selected := 0, 0
+		for _, rec := range recs {
+			switch rec.Kind {
+			case KindScore:
+				scored++
+			case KindSelect:
+				selected++
+			default:
+				continue
+			}
+			if len(rec.TraceID) != 32 {
+				t.Errorf("%s record for step %d has trace_id %q, want 32-hex ID",
+					rec.Kind, rec.Step, rec.TraceID)
+			}
+		}
+		if scored == 0 || selected == 0 {
+			t.Fatalf("journal has %d score / %d select records", scored, selected)
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		telemetry.SetTraceRecorder(nil)
+		cfg := heatConfig(t, Bitmaps)
+		cfg.OutputDir = t.TempDir()
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(cfg.OutputDir, JournalName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(raw, []byte("trace_id")) {
+			t.Error("untraced run wrote trace_id fields into the journal")
+		}
+	})
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"insitubits/internal/codec"
 	"insitubits/internal/index"
 	"insitubits/internal/metrics"
+	"insitubits/internal/telemetry"
 )
 
 // Op names a profileable query entry point for Explain.
@@ -50,13 +52,16 @@ func (s Subset) describe() string {
 
 // newAnalyze opens an ANALYZE profile whose root node collects the query's
 // operators; finish stamps the wall time, records the error, and submits
-// the profile to the slow-query log.
-func newAnalyze(query, detail string) (*Profile, func(error)) {
+// the profile to the slow-query log. The profile carries the trace ID from
+// ctx (when the caller runs under a trace) so slow-log records are
+// cross-referenceable against /debug/traces.
+func newAnalyze(ctx context.Context, query, detail string) (*Profile, func(error)) {
 	p := &Profile{
-		Query:  query,
-		Mode:   ModeAnalyze,
-		Detail: detail,
-		Root:   &Node{Op: query, Bin: -1},
+		Query:   query,
+		Mode:    ModeAnalyze,
+		Detail:  detail,
+		TraceID: telemetry.TraceIDOf(ctx),
+		Root:    &Node{Op: query, Bin: -1},
 	}
 	start := time.Now()
 	return p, func(err error) {
@@ -95,6 +100,24 @@ func (ct *codecTally) flush() {
 	}
 }
 
+// addOperandSpans emits one zero-duration marker child span per codec
+// class with the number of encoded operands that class contributed — the
+// bounded trace-side view of "which codecs did this operator consume"
+// (one span per codec, never one per bin). Nil-safe.
+func addOperandSpans(sp *telemetry.ActiveSpan, ct codecTally) {
+	if sp == nil {
+		return
+	}
+	for id, n := range ct {
+		if n == 0 {
+			continue
+		}
+		c := sp.Child("operand." + codec.ID(id).String())
+		c.SetAttrInt("operands", n)
+		c.End()
+	}
+}
+
 // countPairOperands counts both operands of a binary bitmap op and returns
 // 1 when their codecs differ (a fallback merge), else 0.
 func countPairOperands(a, b bitvec.Bitmap) int64 {
@@ -116,19 +139,23 @@ func countPairOperands(a, b bitvec.Bitmap) int64 {
 // Profiled implementations. Each xxxImpl is the single execution path for
 // its query: the exported plain entry points call it with prof == nil
 // (every profiling hook no-ops), the Analyze variants pass the profile
-// root. ANALYZE accounting convention: an operator is charged one full
-// scan of each encoded operand it consumes (bitvec's kernels are not
-// instrumented — that would tax the hot loops the <2% overhead budget
-// protects; the physical composition of the operands is the same number,
-// read after the fact via Stats).
+// root. The sp parameter is the caller's identity-trace span (nil when the
+// request is untraced — every trace hook is nil-safe); operators record
+// bounded child spans under it, one per operator plus one marker span per
+// codec class consumed. ANALYZE accounting convention: an operator is
+// charged one full scan of each encoded operand it consumes (bitvec's
+// kernels are not instrumented — that would tax the hot loops the <2%
+// overhead budget protects; the physical composition of the operands is
+// the same number, read after the fact via Stats).
 
-func bitsImpl(x *index.Index, s Subset, prof *Node) (bitvec.Bitmap, error) {
+func bitsImpl(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (bitvec.Bitmap, error) {
 	if err := s.validate(x.N()); err != nil {
 		return nil, err
 	}
 	var v bitvec.Bitmap
 	if s.hasValue() {
 		n := prof.child("or-merge", fmt.Sprintf("value=[%g,%g)", s.ValueLo, s.ValueHi))
+		osp := sp.Child("or-merge")
 		touched := 0
 		var ct codecTally
 		for b := 0; b < x.Bins(); b++ {
@@ -143,6 +170,9 @@ func bitsImpl(x *index.Index, s Subset, prof *Node) (bitvec.Bitmap, error) {
 		n.addCost(Cost{BinsTouched: touched})
 		v = x.Query(s.ValueLo, s.ValueHi)
 		n.setOut(v)
+		osp.SetAttrInt("bins", int64(touched))
+		addOperandSpans(osp, ct)
+		osp.End()
 	} else {
 		n := prof.child("ones", "no value predicate")
 		v = onesVector(x.N())
@@ -150,12 +180,15 @@ func bitsImpl(x *index.Index, s Subset, prof *Node) (bitvec.Bitmap, error) {
 	}
 	if s.hasSpatial() {
 		n := prof.child("and-range", fmt.Sprintf("spatial=[%d,%d)", s.SpatialLo, s.SpatialHi))
+		asp := sp.Child("and-range")
 		r := rangeVector(x.N(), s.SpatialLo, s.SpatialHi)
 		n.scanOperand(v)
 		n.scanOperand(r)
 		n.markFallback(countPairOperands(v, r))
 		v = v.And(r)
 		n.setOut(v)
+		asp.SetAttr("codec", codecName(v))
+		asp.End()
 	}
 	if prof != nil {
 		prof.setRows(v.Count())
@@ -168,8 +201,10 @@ func bitsImpl(x *index.Index, s Subset, prof *Node) (bitvec.Bitmap, error) {
 // per-bin cardinality when there is no spatial restriction (no bitmap is
 // touched), else by scanning the bin's bitmap over the element range.
 // visit receives every selected bin with its count.
-func binCounts(x *index.Index, s Subset, prof *Node, visit func(b, c int)) {
+func binCounts(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan, visit func(b, c int)) {
 	lo, hi := s.spatialBounds(x.N())
+	bsp := sp.Child("bin-counts")
+	cached, scanned := 0, 0
 	var ct codecTally
 	for b := 0; b < x.Bins(); b++ {
 		if !s.binSelected(x, b) {
@@ -177,6 +212,7 @@ func binCounts(x *index.Index, s Subset, prof *Node, visit func(b, c int)) {
 		}
 		var c int
 		if !s.hasSpatial() {
+			cached++
 			c = x.Count(b)
 			n := prof.child("cached-count", "")
 			if n != nil {
@@ -185,6 +221,7 @@ func binCounts(x *index.Index, s Subset, prof *Node, visit func(b, c int)) {
 				n.setRows(c)
 			}
 		} else {
+			scanned++
 			ct.bin(x, b)
 			c = x.Bitmap(b).CountRange(lo, hi)
 			prof.binChild("count-range", x, b).setRows(c)
@@ -192,15 +229,21 @@ func binCounts(x *index.Index, s Subset, prof *Node, visit func(b, c int)) {
 		visit(b, c)
 	}
 	ct.flush()
+	if bsp != nil {
+		bsp.SetAttrInt("cached_counts", int64(cached))
+		bsp.SetAttrInt("scanned_bins", int64(scanned))
+		addOperandSpans(bsp, ct)
+		bsp.End()
+	}
 }
 
-func countImpl(x *index.Index, s Subset, prof *Node) (int, error) {
+func countImpl(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (int, error) {
 	if err := s.validate(x.N()); err != nil {
 		return 0, err
 	}
 	total := 0
 	bins := 0
-	binCounts(x, s, prof, func(b, c int) {
+	binCounts(x, s, prof, sp, func(b, c int) {
 		total += c
 		bins++
 	})
@@ -209,13 +252,13 @@ func countImpl(x *index.Index, s Subset, prof *Node) (int, error) {
 	return total, nil
 }
 
-func sumImpl(x *index.Index, s Subset, prof *Node) (Aggregate, error) {
+func sumImpl(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (Aggregate, error) {
 	if err := s.validate(x.N()); err != nil {
 		return Aggregate{}, err
 	}
 	var agg Aggregate
 	bins := 0
-	binCounts(x, s, prof, func(b, c int) {
+	binCounts(x, s, prof, sp, func(b, c int) {
 		bins++
 		if c == 0 {
 			return
@@ -231,8 +274,8 @@ func sumImpl(x *index.Index, s Subset, prof *Node) (Aggregate, error) {
 	return agg, nil
 }
 
-func meanImpl(x *index.Index, s Subset, prof *Node) (Aggregate, error) {
-	sum, err := sumImpl(x, s, prof.child("sum", s.describe()))
+func meanImpl(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (Aggregate, error) {
+	sum, err := sumImpl(x, s, prof.child("sum", s.describe()), sp)
 	if err != nil || sum.Count == 0 {
 		return Aggregate{}, err
 	}
@@ -241,7 +284,7 @@ func meanImpl(x *index.Index, s Subset, prof *Node) (Aggregate, error) {
 	return Aggregate{Count: sum.Count, Estimate: sum.Estimate / n, Lo: sum.Lo / n, Hi: sum.Hi / n}, nil
 }
 
-func quantileImpl(x *index.Index, s Subset, q float64, prof *Node) (Aggregate, error) {
+func quantileImpl(x *index.Index, s Subset, q float64, prof *Node, sp *telemetry.ActiveSpan) (Aggregate, error) {
 	if q < 0 || q > 1 {
 		return Aggregate{}, fmt.Errorf("query: quantile %g out of [0,1]", q)
 	}
@@ -251,7 +294,7 @@ func quantileImpl(x *index.Index, s Subset, q float64, prof *Node) (Aggregate, e
 	counts := make([]int, x.Bins())
 	total := 0
 	bins := 0
-	binCounts(x, s, prof, func(b, c int) {
+	binCounts(x, s, prof, sp, func(b, c int) {
 		counts[b] = c
 		total += c
 		bins++
@@ -278,14 +321,14 @@ func quantileImpl(x *index.Index, s Subset, q float64, prof *Node) (Aggregate, e
 	return Aggregate{}, fmt.Errorf("query: internal: rank %d beyond %d elements", rank, total)
 }
 
-func minMaxImpl(x *index.Index, s Subset, prof *Node) (min, max Aggregate, err error) {
+func minMaxImpl(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (min, max Aggregate, err error) {
 	if err := s.validate(x.N()); err != nil {
 		return Aggregate{}, Aggregate{}, err
 	}
 	first, last := -1, -1
 	total := 0
 	bins := 0
-	binCounts(x, s, prof, func(b, c int) {
+	binCounts(x, s, prof, sp, func(b, c int) {
 		bins++
 		if c == 0 {
 			return
@@ -307,10 +350,12 @@ func minMaxImpl(x *index.Index, s Subset, prof *Node) (min, max Aggregate, err e
 	return min, max, nil
 }
 
-func sumMaskedImpl(x *index.Index, mask bitvec.Bitmap, prof *Node) (Aggregate, error) {
+func sumMaskedImpl(x *index.Index, mask bitvec.Bitmap, prof *Node, sp *telemetry.ActiveSpan) (Aggregate, error) {
 	if mask.Len() != x.N() {
 		return Aggregate{}, fmt.Errorf("query: mask covers %d bits for %d elements", mask.Len(), x.N())
 	}
+	msp := sp.Child("and-count-mask")
+	var ops codecTally
 	var agg Aggregate
 	bins := 0
 	for b := 0; b < x.Bins(); b++ {
@@ -318,6 +363,7 @@ func sumMaskedImpl(x *index.Index, mask bitvec.Bitmap, prof *Node) (Aggregate, e
 			continue
 		}
 		bins++
+		ops.bin(x, b)
 		n := prof.binChild("and-count-mask", x, b)
 		n.scanOperand(mask)
 		n.markFallback(countPairOperands(x.Bitmap(b), mask))
@@ -334,10 +380,15 @@ func sumMaskedImpl(x *index.Index, mask bitvec.Bitmap, prof *Node) (Aggregate, e
 	}
 	prof.addCost(Cost{BinsTouched: bins})
 	prof.setRows(agg.Count)
+	if msp != nil {
+		msp.SetAttrInt("bins", int64(bins))
+		addOperandSpans(msp, ops)
+		msp.End()
+	}
 	return agg, nil
 }
 
-func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node) (metrics.Pair, error) {
+func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node, sp *telemetry.ActiveSpan) (metrics.Pair, error) {
 	if xa.N() != xb.N() {
 		return metrics.Pair{}, fmt.Errorf("query: indices over %d and %d elements", xa.N(), xb.N())
 	}
@@ -351,11 +402,15 @@ func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node) (metrics.Pa
 		return metrics.Pair{}, fmt.Errorf("query: correlation needs one common spatial range, got [%d,%d) vs [%d,%d)",
 			sa.SpatialLo, sa.SpatialHi, sb.SpatialLo, sb.SpatialHi)
 	}
-	maskA, err := bitsImpl(xa, sa, prof.child("bits-a", sa.describe()))
+	aSpan := sp.Child("bits-a")
+	maskA, err := bitsImpl(xa, sa, prof.child("bits-a", sa.describe()), aSpan)
+	aSpan.End()
 	if err != nil {
 		return metrics.Pair{}, err
 	}
-	maskB, err := bitsImpl(xb, sb, prof.child("bits-b", sb.describe()))
+	bSpan := sp.Child("bits-b")
+	maskB, err := bitsImpl(xb, sb, prof.child("bits-b", sb.describe()), bSpan)
+	bSpan.End()
 	if err != nil {
 		return metrics.Pair{}, err
 	}
@@ -382,12 +437,15 @@ func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node) (metrics.Pa
 	// would explode the tree quadratically.
 	restrictedA := make([]bitvec.Bitmap, xa.Bins())
 	an := prof.child("restrict-a", "per-bin AND with subset mask")
+	rsp := sp.Child("restrict-a")
+	var opsA codecTally
 	binsA := 0
 	for i := 0; i < xa.Bins(); i++ {
 		if xa.Count(i) == 0 {
 			continue
 		}
 		binsA++
+		opsA.bin(xa, i)
 		bn := an.binChild("and-mask", xa, i)
 		bn.scanOperand(mask)
 		bn.markFallback(countPairOperands(xa.Bitmap(i), mask))
@@ -396,7 +454,13 @@ func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node) (metrics.Pa
 		bn.setRows(ha[i])
 	}
 	an.addCost(Cost{BinsTouched: binsA})
+	if rsp != nil {
+		rsp.SetAttrInt("bins", int64(binsA))
+		addOperandSpans(rsp, opsA)
+		rsp.End()
+	}
 	jn := prof.child("joint", "B-bin restriction + per-pair AndCount row")
+	jsp := sp.Child("joint")
 	binsB := 0
 	for j := 0; j < xb.Bins(); j++ {
 		if xb.Count(j) == 0 {
@@ -423,6 +487,10 @@ func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node) (metrics.Pa
 		}
 	}
 	jn.addCost(Cost{BinsTouched: binsB})
+	if jsp != nil {
+		jsp.SetAttrInt("bins", int64(binsB))
+		jsp.End()
+	}
 	ea := metrics.Entropy(ha, n)
 	eb := metrics.Entropy(hb, n)
 	mi := metrics.MutualInformation(joint, ha, hb, n)
@@ -433,11 +501,13 @@ func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node) (metrics.Pa
 	}, nil
 }
 
-func maskedSumImpl(m *Masked, s Subset, prof *Node) (Aggregate, error) {
+func maskedSumImpl(m *Masked, s Subset, prof *Node, sp *telemetry.ActiveSpan) (Aggregate, error) {
 	if err := s.validate(m.X.N()); err != nil {
 		return Aggregate{}, err
 	}
 	lo, hi := s.spatialBounds(m.X.N())
+	vsp := sp.Child("and-valid")
+	var ops codecTally
 	var agg Aggregate
 	bins := 0
 	for b := 0; b < m.X.Bins(); b++ {
@@ -445,6 +515,7 @@ func maskedSumImpl(m *Masked, s Subset, prof *Node) (Aggregate, error) {
 			continue
 		}
 		bins++
+		ops.bin(m.X, b)
 		n := prof.binChild("and-valid", m.X, b)
 		n.scanOperand(m.Valid)
 		n.markFallback(countPairOperands(m.X.Bitmap(b), m.Valid))
@@ -463,6 +534,11 @@ func maskedSumImpl(m *Masked, s Subset, prof *Node) (Aggregate, error) {
 	}
 	prof.addCost(Cost{BinsTouched: bins})
 	prof.setRows(agg.Count)
+	if vsp != nil {
+		vsp.SetAttrInt("bins", int64(bins))
+		addOperandSpans(vsp, ops)
+		vsp.End()
+	}
 	return agg, nil
 }
 
@@ -472,118 +548,136 @@ func maskedSumImpl(m *Masked, s Subset, prof *Node) (Aggregate, error) {
 // slow-query log (SetSlowLog).
 
 // BitsAnalyze is Bits with a measured profile.
-func BitsAnalyze(x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
+func BitsAnalyze(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
 	defer observe(tel.bits)()
-	return bitsAnalyze(x, s)
+	ctx, sp := telemetry.StartSpan(ctx, "query.bits")
+	defer sp.End()
+	return bitsAnalyze(ctx, x, s)
 }
 
-func bitsAnalyze(x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
-	p, finish := newAnalyze(string(OpBits), s.describe())
-	v, err := bitsImpl(x, s, p.Root)
+func bitsAnalyze(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpBits), s.describe())
+	v, err := bitsImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return v, p, err
 }
 
 // CountAnalyze is Count with a measured profile.
-func CountAnalyze(x *index.Index, s Subset) (int, *Profile, error) {
+func CountAnalyze(ctx context.Context, x *index.Index, s Subset) (int, *Profile, error) {
 	defer observe(tel.count)()
-	return countAnalyze(x, s)
+	ctx, sp := telemetry.StartSpan(ctx, "query.count")
+	defer sp.End()
+	return countAnalyze(ctx, x, s)
 }
 
-func countAnalyze(x *index.Index, s Subset) (int, *Profile, error) {
-	p, finish := newAnalyze(string(OpCount), s.describe())
-	n, err := countImpl(x, s, p.Root)
+func countAnalyze(ctx context.Context, x *index.Index, s Subset) (int, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpCount), s.describe())
+	n, err := countImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return n, p, err
 }
 
 // SumAnalyze is Sum with a measured profile.
-func SumAnalyze(x *index.Index, s Subset) (Aggregate, *Profile, error) {
+func SumAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Profile, error) {
 	defer observe(tel.sum)()
-	return sumAnalyze(x, s)
+	ctx, sp := telemetry.StartSpan(ctx, "query.sum")
+	defer sp.End()
+	return sumAnalyze(ctx, x, s)
 }
 
-func sumAnalyze(x *index.Index, s Subset) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze(string(OpSum), s.describe())
-	agg, err := sumImpl(x, s, p.Root)
+func sumAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpSum), s.describe())
+	agg, err := sumImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return agg, p, err
 }
 
 // MeanAnalyze is Mean with a measured profile.
-func MeanAnalyze(x *index.Index, s Subset) (Aggregate, *Profile, error) {
+func MeanAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Profile, error) {
 	defer observe(tel.sum)()
-	return meanAnalyze(x, s)
+	ctx, sp := telemetry.StartSpan(ctx, "query.mean")
+	defer sp.End()
+	return meanAnalyze(ctx, x, s)
 }
 
-func meanAnalyze(x *index.Index, s Subset) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze(string(OpMean), s.describe())
-	agg, err := meanImpl(x, s, p.Root)
+func meanAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpMean), s.describe())
+	agg, err := meanImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return agg, p, err
 }
 
 // QuantileAnalyze is Quantile with a measured profile.
-func QuantileAnalyze(x *index.Index, s Subset, q float64) (Aggregate, *Profile, error) {
+func QuantileAnalyze(ctx context.Context, x *index.Index, s Subset, q float64) (Aggregate, *Profile, error) {
 	defer observe(tel.quantile)()
-	return quantileAnalyze(x, s, q)
+	ctx, sp := telemetry.StartSpan(ctx, "query.quantile")
+	defer sp.End()
+	return quantileAnalyze(ctx, x, s, q)
 }
 
-func quantileAnalyze(x *index.Index, s Subset, q float64) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze(string(OpQuantile), fmt.Sprintf("q=%g %s", q, s.describe()))
-	agg, err := quantileImpl(x, s, q, p.Root)
+func quantileAnalyze(ctx context.Context, x *index.Index, s Subset, q float64) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpQuantile), fmt.Sprintf("q=%g %s", q, s.describe()))
+	agg, err := quantileImpl(x, s, q, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return agg, p, err
 }
 
 // MinMaxAnalyze is MinMax with a measured profile.
-func MinMaxAnalyze(x *index.Index, s Subset) (min, max Aggregate, p *Profile, err error) {
+func MinMaxAnalyze(ctx context.Context, x *index.Index, s Subset) (min, max Aggregate, p *Profile, err error) {
 	defer observe(tel.minmax)()
-	return minMaxAnalyze(x, s)
+	ctx, sp := telemetry.StartSpan(ctx, "query.minmax")
+	defer sp.End()
+	return minMaxAnalyze(ctx, x, s)
 }
 
-func minMaxAnalyze(x *index.Index, s Subset) (min, max Aggregate, p *Profile, err error) {
-	p, finish := newAnalyze(string(OpMinMax), s.describe())
-	min, max, err = minMaxImpl(x, s, p.Root)
+func minMaxAnalyze(ctx context.Context, x *index.Index, s Subset) (min, max Aggregate, p *Profile, err error) {
+	p, finish := newAnalyze(ctx, string(OpMinMax), s.describe())
+	min, max, err = minMaxImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return min, max, p, err
 }
 
 // SumMaskedAnalyze is SumMasked with a measured profile.
-func SumMaskedAnalyze(x *index.Index, mask bitvec.Bitmap) (Aggregate, *Profile, error) {
+func SumMaskedAnalyze(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggregate, *Profile, error) {
 	defer observe(tel.masked)()
-	return sumMaskedAnalyze(x, mask)
+	ctx, sp := telemetry.StartSpan(ctx, "query.sum-masked")
+	defer sp.End()
+	return sumMaskedAnalyze(ctx, x, mask)
 }
 
-func sumMaskedAnalyze(x *index.Index, mask bitvec.Bitmap) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze("sum-masked", fmt.Sprintf("mask rows=%d", mask.Count()))
-	agg, err := sumMaskedImpl(x, mask, p.Root)
+func sumMaskedAnalyze(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, "sum-masked", fmt.Sprintf("mask rows=%d", mask.Count()))
+	agg, err := sumMaskedImpl(x, mask, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return agg, p, err
 }
 
 // CorrelationAnalyze is Correlation with a measured profile.
-func CorrelationAnalyze(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
+func CorrelationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
 	defer observe(tel.correlation)()
-	return correlationAnalyze(xa, xb, sa, sb)
+	ctx, sp := telemetry.StartSpan(ctx, "query.correlation")
+	defer sp.End()
+	return correlationAnalyze(ctx, xa, xb, sa, sb)
 }
 
-func correlationAnalyze(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
-	p, finish := newAnalyze("correlation", fmt.Sprintf("a: %s | b: %s", sa.describe(), sb.describe()))
-	pair, err := correlationImpl(xa, xb, sa, sb, p.Root)
+func correlationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
+	p, finish := newAnalyze(ctx, "correlation", fmt.Sprintf("a: %s | b: %s", sa.describe(), sb.describe()))
+	pair, err := correlationImpl(xa, xb, sa, sb, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return pair, p, err
 }
 
 // SumAnalyze is Masked.Sum with a measured profile.
-func (m *Masked) SumAnalyze(s Subset) (Aggregate, *Profile, error) {
+func (m *Masked) SumAnalyze(ctx context.Context, s Subset) (Aggregate, *Profile, error) {
 	defer observe(tel.masked)()
-	return m.sumAnalyze(s)
+	ctx, sp := telemetry.StartSpan(ctx, "query.masked-sum")
+	defer sp.End()
+	return m.sumAnalyze(ctx, s)
 }
 
-func (m *Masked) sumAnalyze(s Subset) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze("masked-sum", s.describe())
-	agg, err := maskedSumImpl(m, s, p.Root)
+func (m *Masked) sumAnalyze(ctx context.Context, s Subset) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, "masked-sum", s.describe())
+	agg, err := maskedSumImpl(m, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return agg, p, err
 }

@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"strings"
@@ -111,11 +112,11 @@ func TestAnalyzeMatchesEncodedComposition(t *testing.T) {
 			x := explainTestIndex(t, id)
 			// Spatial restriction forces the bitmap-scanning count path.
 			s := Subset{ValueLo: 0, ValueHi: 8, SpatialLo: 0, SpatialHi: x.N()}
-			got, p, err := CountAnalyze(x, s)
+			got, p, err := CountAnalyze(context.Background(), x, s)
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := Count(x, s)
+			want, err := Count(context.Background(), x, s)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -145,7 +146,7 @@ func TestAnalyzeMatchesEncodedComposition(t *testing.T) {
 			}
 
 			// Same differential check on the OR-merge operands of Bits.
-			_, bp, err := BitsAnalyze(x, Subset{ValueLo: 2, ValueHi: 6})
+			_, bp, err := BitsAnalyze(context.Background(), x, Subset{ValueLo: 2, ValueHi: 6})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -186,43 +187,43 @@ func TestAnalyzeMatchesPlainResults(t *testing.T) {
 		x := explainTestIndex(t, id)
 		for _, s := range subsets {
 			name := id.String() + "/" + s.describe()
-			c1, err1 := Count(x, s)
-			c2, p, err2 := CountAnalyze(x, s)
+			c1, err1 := Count(context.Background(), x, s)
+			c2, p, err2 := CountAnalyze(context.Background(), x, s)
 			if err1 != nil || err2 != nil || c1 != c2 {
 				t.Fatalf("%s: count %d/%v vs analyze %d/%v", name, c1, err1, c2, err2)
 			}
 			if p == nil || p.Mode != ModeAnalyze || p.ElapsedNs <= 0 {
 				t.Fatalf("%s: malformed profile %+v", name, p)
 			}
-			a1, _ := Sum(x, s)
-			a2, _, _ := SumAnalyze(x, s)
+			a1, _ := Sum(context.Background(), x, s)
+			a2, _, _ := SumAnalyze(context.Background(), x, s)
 			if a1 != a2 {
 				t.Errorf("%s: sum %+v != analyzed %+v", name, a1, a2)
 			}
-			m1, _ := Mean(x, s)
-			m2, _, _ := MeanAnalyze(x, s)
+			m1, _ := Mean(context.Background(), x, s)
+			m2, _, _ := MeanAnalyze(context.Background(), x, s)
 			if m1 != m2 {
 				t.Errorf("%s: mean %+v != analyzed %+v", name, m1, m2)
 			}
-			q1, _ := Quantile(x, s, 0.5)
-			q2, _, _ := QuantileAnalyze(x, s, 0.5)
+			q1, _ := Quantile(context.Background(), x, s, 0.5)
+			q2, _, _ := QuantileAnalyze(context.Background(), x, s, 0.5)
 			if q1 != q2 {
 				t.Errorf("%s: quantile %+v != analyzed %+v", name, q1, q2)
 			}
-			lo1, hi1, _ := MinMax(x, s)
-			lo2, hi2, _, _ := MinMaxAnalyze(x, s)
+			lo1, hi1, _ := MinMax(context.Background(), x, s)
+			lo2, hi2, _, _ := MinMaxAnalyze(context.Background(), x, s)
 			if lo1 != lo2 || hi1 != hi2 {
 				t.Errorf("%s: minmax (%+v,%+v) != analyzed (%+v,%+v)", name, lo1, hi1, lo2, hi2)
 			}
-			v1, _ := Bits(x, s)
-			v2, _, _ := BitsAnalyze(x, s)
+			v1, _ := Bits(context.Background(), x, s)
+			v2, _, _ := BitsAnalyze(context.Background(), x, s)
 			if v1.Count() != v2.Count() || !bitvec.ToVector(v1).Equal(v2) {
 				t.Errorf("%s: bits differ between plain and analyze", name)
 			}
 		}
 		sb := Subset{ValueLo: 2, ValueHi: 7}
-		pr1, err1 := Correlation(x, x, subsets[0], sb)
-		pr2, p, err2 := CorrelationAnalyze(x, x, subsets[0], sb)
+		pr1, err1 := Correlation(context.Background(), x, x, subsets[0], sb)
+		pr2, p, err2 := CorrelationAnalyze(context.Background(), x, x, subsets[0], sb)
 		if err1 != nil || err2 != nil || pr1 != pr2 {
 			t.Fatalf("%s: correlation %+v/%v vs analyze %+v/%v", id, pr1, err1, pr2, err2)
 		}
@@ -258,17 +259,17 @@ func TestExplainWithinFactorOfAnalyze(t *testing.T) {
 			var prof *Profile
 			switch op {
 			case OpBits:
-				_, prof, err = BitsAnalyze(x, s)
+				_, prof, err = BitsAnalyze(context.Background(), x, s)
 			case OpCount:
-				_, prof, err = CountAnalyze(x, s)
+				_, prof, err = CountAnalyze(context.Background(), x, s)
 			case OpSum:
-				_, prof, err = SumAnalyze(x, s)
+				_, prof, err = SumAnalyze(context.Background(), x, s)
 			case OpMean:
-				_, prof, err = MeanAnalyze(x, s)
+				_, prof, err = MeanAnalyze(context.Background(), x, s)
 			case OpQuantile:
-				_, prof, err = QuantileAnalyze(x, s, 0.5)
+				_, prof, err = QuantileAnalyze(context.Background(), x, s, 0.5)
 			case OpMinMax:
-				_, _, prof, err = MinMaxAnalyze(x, s)
+				_, _, prof, err = MinMaxAnalyze(context.Background(), x, s)
 			}
 			if err != nil {
 				t.Fatal(err)
@@ -298,7 +299,7 @@ func TestExplainCorrelationEstimates(t *testing.T) {
 	if est.Mode != ModeExplain {
 		t.Fatalf("mode = %q", est.Mode)
 	}
-	_, prof, err := CorrelationAnalyze(x, x, Subset{ValueLo: 1, ValueHi: 6}, Subset{})
+	_, prof, err := CorrelationAnalyze(context.Background(), x, x, Subset{ValueLo: 1, ValueHi: 6}, Subset{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestSlowQueryLog(t *testing.T) {
 	var buf bytes.Buffer
 	SetSlowLog(slog.New(slog.NewJSONHandler(&buf, nil)), 0)
 	defer SetSlowLog(nil, 0)
-	if _, err := Count(x, s); err != nil {
+	if _, err := Count(context.Background(), x, s); err != nil {
 		t.Fatal(err)
 	}
 	line := strings.TrimSpace(buf.String())
@@ -352,7 +353,7 @@ func TestSlowQueryLog(t *testing.T) {
 
 	buf.Reset()
 	SetSlowLog(slog.New(slog.NewJSONHandler(&buf, nil)), time.Hour)
-	if _, err := Count(x, s); err != nil {
+	if _, err := Count(context.Background(), x, s); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() != 0 {
@@ -361,7 +362,7 @@ func TestSlowQueryLog(t *testing.T) {
 
 	buf.Reset()
 	SetSlowLog(nil, 0)
-	if _, err := Count(x, s); err != nil {
+	if _, err := Count(context.Background(), x, s); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() != 0 {

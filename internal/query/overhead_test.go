@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"os"
 	"testing"
 	"time"
@@ -15,21 +16,22 @@ import (
 // the selection and mining layers issue in bulk.
 func queryWorkload(x *index.Index) {
 	s := Subset{ValueLo: 0, ValueHi: 8, SpatialLo: 31, SpatialHi: x.N() - 31}
-	if _, err := Count(x, s); err != nil {
+	if _, err := Count(context.Background(), x, s); err != nil {
 		panic(err)
 	}
-	if _, err := Sum(x, Subset{ValueLo: 1, ValueHi: 7}); err != nil {
+	if _, err := Sum(context.Background(), x, Subset{ValueLo: 1, ValueHi: 7}); err != nil {
 		panic(err)
 	}
 }
 
 // TestAnalyzeOverheadDisabled guards the EXPLAIN/ANALYZE budget: with no
-// slow-query log installed and ANALYZE not requested, the plain query path
-// (which still carries the slow-log gate and the always-on per-codec
-// operand counters) must stay within 2% of the fully-uninstrumented path.
-// Gated like the bitvec guard: wall-clock assertions flap on loaded CI
-// hosts, so it only engages under TELEMETRY_OVERHEAD_GUARD=1 (the Makefile
-// `overhead` target sets it).
+// slow-query log installed, ANALYZE not requested, and no trace recorder
+// installed, the plain query path (which still carries the slow-log gate,
+// the always-on per-codec operand counters, and the identity-tracing
+// StartSpan gate on every entry point) must stay within 2% of the
+// fully-uninstrumented path. Gated like the bitvec guard: wall-clock
+// assertions flap on loaded CI hosts, so it only engages under
+// TELEMETRY_OVERHEAD_GUARD=1 (the Makefile `overhead` target sets it).
 func TestAnalyzeOverheadDisabled(t *testing.T) {
 	if os.Getenv("TELEMETRY_OVERHEAD_GUARD") == "" {
 		t.Skip("set TELEMETRY_OVERHEAD_GUARD=1 to run the timing guard (make overhead)")
@@ -37,6 +39,9 @@ func TestAnalyzeOverheadDisabled(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing guard skipped in -short mode")
 	}
+	// Pin identity tracing off so the guard certifies the tracing-disabled
+	// path: StartSpan must cost one atomic pointer load and nothing else.
+	telemetry.SetTraceRecorder(nil)
 	x := explainTestIndex(t, codec.Auto)
 	measure := func(enabled bool) time.Duration {
 		if enabled {

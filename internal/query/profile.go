@@ -164,6 +164,9 @@ type Profile struct {
 	ElapsedNs int64 `json:"elapsed_ns,omitempty"`
 	// Err records the query error, if it failed.
 	Err string `json:"error,omitempty"`
+	// TraceID cross-references the identity trace this query ran under
+	// (fetchable from /debug/traces while it stays in the ring), or "".
+	TraceID string `json:"trace_id,omitempty"`
 	// Root is the operator tree.
 	Root *Node `json:"plan"`
 }

@@ -8,12 +8,14 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"insitubits/internal/bitvec"
 	"insitubits/internal/index"
 	"insitubits/internal/metrics"
+	"insitubits/internal/telemetry"
 )
 
 // Subset selects elements by value range and/or element (spatial) range.
@@ -47,13 +49,21 @@ func (s Subset) spatialBounds(n int) (lo, hi int) {
 }
 
 // Bits materializes the subset as a bitvector over the index's elements.
-func Bits(x *index.Index, s Subset) (bitvec.Bitmap, error) {
+//
+// Like every query entry point, Bits takes a context: when it carries a
+// trace span (or a process-wide trace recorder is installed), the query
+// records an identity-carrying span tree retrievable from /debug/traces.
+// Pass context.Background() when tracing is irrelevant — the disabled
+// path is a single atomic load, covered by the gated overhead guard.
+func Bits(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, error) {
 	defer observe(tel.bits)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.bits")
+	defer sp.End()
 	if slowLogEnabled() {
-		v, _, err := bitsAnalyze(x, s)
+		v, _, err := bitsAnalyze(ctx, x, s)
 		return v, err
 	}
-	return bitsImpl(x, s, nil)
+	return bitsImpl(x, s, nil, sp)
 }
 
 func onesVector(n int) *bitvec.Vector {
@@ -116,13 +126,15 @@ type Aggregate struct {
 
 // Count returns the exact number of subset elements (counting is exact on
 // bitmaps; only value reconstruction is approximate).
-func Count(x *index.Index, s Subset) (int, error) {
+func Count(ctx context.Context, x *index.Index, s Subset) (int, error) {
 	defer observe(tel.count)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.count")
+	defer sp.End()
 	if slowLogEnabled() {
-		n, _, err := countAnalyze(x, s)
+		n, _, err := countAnalyze(ctx, x, s)
 		return n, err
 	}
-	return countImpl(x, s, nil)
+	return countImpl(x, s, nil, sp)
 }
 
 // binSelected reports whether bin b overlaps the value range.
@@ -134,30 +146,34 @@ func (s Subset) binSelected(x *index.Index, b int) bool {
 }
 
 // Sum estimates the subset's value sum.
-func Sum(x *index.Index, s Subset) (Aggregate, error) {
+func Sum(ctx context.Context, x *index.Index, s Subset) (Aggregate, error) {
 	defer observe(tel.sum)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.sum")
+	defer sp.End()
 	if slowLogEnabled() {
-		agg, _, err := sumAnalyze(x, s)
+		agg, _, err := sumAnalyze(ctx, x, s)
 		return agg, err
 	}
-	return sumImpl(x, s, nil)
+	return sumImpl(x, s, nil, sp)
 }
 
 // SumMasked aggregates the values of the elements selected by an arbitrary
 // bitvector mask — the building block for analyses whose selections are
 // produced by bitwise combinations (subgroup discovery, incomplete data).
-func SumMasked(x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
+func SumMasked(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
 	defer observe(tel.masked)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.sum-masked")
+	defer sp.End()
 	if slowLogEnabled() {
-		agg, _, err := sumMaskedAnalyze(x, mask)
+		agg, _, err := sumMaskedAnalyze(ctx, x, mask)
 		return agg, err
 	}
-	return sumMaskedImpl(x, mask, nil)
+	return sumMaskedImpl(x, mask, nil, sp)
 }
 
 // MeanMasked is SumMasked divided by the selected count.
-func MeanMasked(x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
-	sum, err := SumMasked(x, mask)
+func MeanMasked(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
+	sum, err := SumMasked(ctx, x, mask)
 	if err != nil || sum.Count == 0 {
 		return Aggregate{}, err
 	}
@@ -166,50 +182,58 @@ func MeanMasked(x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
 }
 
 // Mean estimates the subset's average value.
-func Mean(x *index.Index, s Subset) (Aggregate, error) {
+func Mean(ctx context.Context, x *index.Index, s Subset) (Aggregate, error) {
 	defer observe(tel.sum)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.mean")
+	defer sp.End()
 	if slowLogEnabled() {
-		agg, _, err := meanAnalyze(x, s)
+		agg, _, err := meanAnalyze(ctx, x, s)
 		return agg, err
 	}
-	return meanImpl(x, s, nil)
+	return meanImpl(x, s, nil, sp)
 }
 
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the subset's values,
 // bounded by the edges of the bin the quantile falls into: the true
 // quantile of the discarded data is guaranteed inside [Lo, Hi].
-func Quantile(x *index.Index, s Subset, q float64) (Aggregate, error) {
+func Quantile(ctx context.Context, x *index.Index, s Subset, q float64) (Aggregate, error) {
 	defer observe(tel.quantile)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.quantile")
+	defer sp.End()
 	if slowLogEnabled() {
-		agg, _, err := quantileAnalyze(x, s, q)
+		agg, _, err := quantileAnalyze(ctx, x, s, q)
 		return agg, err
 	}
-	return quantileImpl(x, s, q, nil)
+	return quantileImpl(x, s, q, nil, sp)
 }
 
 // MinMax returns bin-edge bounds on the subset's extreme values: the true
 // minimum lies in [Aggregate.Lo, Aggregate.Estimate] of min (and similarly
 // for max), where Estimate is the midpoint of the extreme occupied bin.
-func MinMax(x *index.Index, s Subset) (min, max Aggregate, err error) {
+func MinMax(ctx context.Context, x *index.Index, s Subset) (min, max Aggregate, err error) {
 	defer observe(tel.minmax)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.minmax")
+	defer sp.End()
 	if slowLogEnabled() {
-		min, max, _, err := minMaxAnalyze(x, s)
+		min, max, _, err := minMaxAnalyze(ctx, x, s)
 		return min, max, err
 	}
-	return minMaxImpl(x, s, nil)
+	return minMaxImpl(x, s, nil, sp)
 }
 
 // Correlation answers the paper's §4.1 interactive correlation query: the
 // mutual information (and related metrics) between two variables restricted
 // to a subset — value ranges apply per variable, the spatial range applies
 // to both. It touches only bitmaps.
-func Correlation(xa, xb *index.Index, sa, sb Subset) (metrics.Pair, error) {
+func Correlation(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metrics.Pair, error) {
 	defer observe(tel.correlation)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.correlation")
+	defer sp.End()
 	if slowLogEnabled() {
-		pair, _, err := correlationAnalyze(xa, xb, sa, sb)
+		pair, _, err := correlationAnalyze(ctx, xa, xb, sa, sb)
 		return pair, err
 	}
-	return correlationImpl(xa, xb, sa, sb, nil)
+	return correlationImpl(xa, xb, sa, sb, nil, sp)
 }
 
 // Masked wraps an index together with a validity bitvector for
@@ -232,13 +256,15 @@ func NewMasked(x *index.Index, valid bitvec.Bitmap) (*Masked, error) {
 func (m *Masked) Missing() int { return m.X.N() - m.Valid.Count() }
 
 // Sum aggregates over valid elements only.
-func (m *Masked) Sum(s Subset) (Aggregate, error) {
+func (m *Masked) Sum(ctx context.Context, s Subset) (Aggregate, error) {
 	defer observe(tel.masked)()
+	ctx, sp := telemetry.StartSpan(ctx, "query.masked-sum")
+	defer sp.End()
 	if slowLogEnabled() {
-		agg, _, err := m.sumAnalyze(s)
+		agg, _, err := m.sumAnalyze(ctx, s)
 		return agg, err
 	}
-	return maskedSumImpl(m, s, nil)
+	return maskedSumImpl(m, s, nil, sp)
 }
 
 // Impute estimates missing values from the valid value distribution inside

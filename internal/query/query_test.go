@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -65,14 +66,14 @@ func TestCountExactAndSumBounded(t *testing.T) {
 	}
 	for i, s := range subsets {
 		wantCount, wantSum := naive(x, data, s)
-		c, err := Count(x, s)
+		c, err := Count(context.Background(), x, s)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if c != wantCount {
 			t.Fatalf("subset %d: Count=%d want %d", i, c, wantCount)
 		}
-		agg, err := Sum(x, s)
+		agg, err := Sum(context.Background(), x, s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestMeanBounds(t *testing.T) {
 	s := Subset{SpatialLo: 200, SpatialHi: 2500}
 	cnt, sum := naive(x, data, s)
 	trueMean := sum / float64(cnt)
-	agg, err := Mean(x, s)
+	agg, err := Mean(context.Background(), x, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestMeanBounds(t *testing.T) {
 		t.Fatalf("mean bound gap %g exceeds one bin width", agg.Hi-agg.Lo)
 	}
 	// Empty subset.
-	empty, err := Mean(x, Subset{ValueLo: 100, ValueHi: 200})
+	empty, err := Mean(context.Background(), x, Subset{ValueLo: 100, ValueHi: 200})
 	if err != nil || empty.Count != 0 {
 		t.Fatalf("empty mean: %+v, %v", empty, err)
 	}
@@ -126,7 +127,7 @@ func TestMinMaxBounds(t *testing.T) {
 		trueMin = math.Min(trueMin, data[i])
 		trueMax = math.Max(trueMax, data[i])
 	}
-	min, max, err := MinMax(x, s)
+	min, max, err := MinMax(context.Background(), x, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestMinMaxBounds(t *testing.T) {
 		t.Fatalf("true max %g outside bin [%g, %g]", trueMax, max.Lo, max.Hi)
 	}
 	// Empty subset yields zero aggregates.
-	min, max, err = MinMax(x, Subset{ValueLo: 50, ValueHi: 60})
+	min, max, err = MinMax(context.Background(), x, Subset{ValueLo: 50, ValueHi: 60})
 	if err != nil || min.Count != 0 || max.Count != 0 {
 		t.Fatalf("empty MinMax: %+v %+v %v", min, max, err)
 	}
@@ -149,7 +150,7 @@ func TestSubsetValidation(t *testing.T) {
 		{SpatialLo: -1, SpatialHi: 10},
 		{SpatialLo: 0, SpatialHi: 101},
 	} {
-		if _, err := Count(x, s); err == nil {
+		if _, err := Count(context.Background(), x, s); err == nil {
 			t.Errorf("subset %+v accepted", s)
 		}
 	}
@@ -165,7 +166,7 @@ func TestBitsMatchesNaive(t *testing.T) {
 		vlo := r.Float64() * 10
 		vhi := vlo + r.Float64()*(10-vlo)
 		s := Subset{ValueLo: vlo, ValueHi: vhi, SpatialLo: lo, SpatialHi: hi}
-		v, err := Bits(x, s)
+		v, err := Bits(context.Background(), x, s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestCorrelationSubsetMatchesFullData(t *testing.T) {
 	// Spatial subset covering the correlated window: MI from the query
 	// must equal the full-data MI over the same elements.
 	s := Subset{SpatialLo: 1000, SpatialHi: 2000}
-	got, err := Correlation(xa, xb, s, s)
+	got, err := Correlation(context.Background(), xa, xb, s, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestCorrelationSubsetMatchesFullData(t *testing.T) {
 	}
 	// Inside the window the variables are identical => high MI; outside
 	// they are independent => low MI.
-	out, err := Correlation(xa, xb, Subset{SpatialLo: 2500, SpatialHi: 3500}, Subset{SpatialLo: 2500, SpatialHi: 3500})
+	out, err := Correlation(context.Background(), xa, xb, Subset{SpatialLo: 2500, SpatialHi: 3500}, Subset{SpatialLo: 2500, SpatialHi: 3500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,14 +238,14 @@ func TestCorrelationSubsetMatchesFullData(t *testing.T) {
 func TestCorrelationValidation(t *testing.T) {
 	x := build(t, make([]float64, 100), 4)
 	y := build(t, make([]float64, 50), 4)
-	if _, err := Correlation(x, y, Subset{}, Subset{}); err == nil {
+	if _, err := Correlation(context.Background(), x, y, Subset{}, Subset{}); err == nil {
 		t.Error("mismatched indices accepted")
 	}
-	if _, err := Correlation(x, x, Subset{SpatialLo: 0, SpatialHi: 10}, Subset{SpatialLo: 5, SpatialHi: 10}); err == nil {
+	if _, err := Correlation(context.Background(), x, x, Subset{SpatialLo: 0, SpatialHi: 10}, Subset{SpatialLo: 5, SpatialHi: 10}); err == nil {
 		t.Error("different spatial ranges accepted")
 	}
 	// Empty intersection returns zeros without error.
-	p, err := Correlation(x, x, Subset{ValueLo: 50, ValueHi: 60}, Subset{})
+	p, err := Correlation(context.Background(), x, x, Subset{ValueLo: 50, ValueHi: 60}, Subset{})
 	if err != nil || p.MI != 0 {
 		t.Errorf("empty correlation: %+v, %v", p, err)
 	}
@@ -266,7 +267,7 @@ func TestMaskedAggregation(t *testing.T) {
 	if m.Missing() != len(data)-mask.Count() {
 		t.Fatalf("Missing=%d", m.Missing())
 	}
-	agg, err := m.Sum(Subset{})
+	agg, err := m.Sum(context.Background(), Subset{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestQuantileBoundsHoldTruth(t *testing.T) {
 	sortedAll := append([]float64(nil), data...)
 	sort.Float64s(sortedAll)
 	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
-		agg, err := Quantile(x, Subset{}, q)
+		agg, err := Quantile(context.Background(), x, Subset{}, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -367,7 +368,7 @@ func TestQuantileBoundsHoldTruth(t *testing.T) {
 	sub := Subset{SpatialLo: 500, SpatialHi: 2500}
 	sortedSub := append([]float64(nil), data[500:2500]...)
 	sort.Float64s(sortedSub)
-	agg, err := Quantile(x, sub, 0.5)
+	agg, err := Quantile(context.Background(), x, sub, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,14 +380,14 @@ func TestQuantileBoundsHoldTruth(t *testing.T) {
 
 func TestQuantileValidation(t *testing.T) {
 	x := build(t, make([]float64, 100), 4)
-	if _, err := Quantile(x, Subset{}, -0.1); err == nil {
+	if _, err := Quantile(context.Background(), x, Subset{}, -0.1); err == nil {
 		t.Error("negative quantile accepted")
 	}
-	if _, err := Quantile(x, Subset{}, 1.1); err == nil {
+	if _, err := Quantile(context.Background(), x, Subset{}, 1.1); err == nil {
 		t.Error("quantile > 1 accepted")
 	}
 	// Empty subset yields zero aggregate.
-	agg, err := Quantile(x, Subset{ValueLo: 50, ValueHi: 60}, 0.5)
+	agg, err := Quantile(context.Background(), x, Subset{ValueLo: 50, ValueHi: 60}, 0.5)
 	if err != nil || agg.Count != 0 {
 		t.Errorf("empty quantile: %+v, %v", agg, err)
 	}

@@ -54,10 +54,14 @@ func LogSlow(p *Profile) {
 		return
 	}
 	tel.slowQueries.Inc()
-	sink.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query",
+	attrs := []slog.Attr{
 		slog.String("query", p.Query),
 		slog.String("detail", p.Detail),
 		slog.Duration("elapsed", p.Elapsed()),
-		slog.Any("profile", json.RawMessage(p.JSON())),
-	)
+	}
+	if p.TraceID != "" {
+		attrs = append(attrs, slog.String("trace_id", p.TraceID))
+	}
+	attrs = append(attrs, slog.Any("profile", json.RawMessage(p.JSON())))
+	sink.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
 }

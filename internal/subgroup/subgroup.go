@@ -11,6 +11,7 @@
 package subgroup
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -182,7 +183,7 @@ func evaluate(conds []Condition, extent bitvec.Bitmap, target *index.Index, glob
 		}
 		return conds[i].BinLo < conds[j].BinLo
 	})
-	agg, err := query.MeanMasked(target, extent)
+	agg, err := query.MeanMasked(context.Background(), target, extent)
 	if err != nil || agg.Count < cfg.MinCount {
 		return Subgroup{}, false
 	}

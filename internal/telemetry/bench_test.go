@@ -1,6 +1,9 @@
 package telemetry
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The disabled path must be no-op cheap: every instrument method on a nil
 // handle is a nil-check and a return, so instrumented code paths cost a
@@ -86,4 +89,28 @@ func BenchmarkGaugeAdd(b *testing.B) {
 		g.Add(1)
 		g.Add(-1)
 	}
+}
+
+// BenchmarkTraceStartSpanDisabled is the identity-tracing disabled path:
+// no recorder installed, StartSpan must reduce to one atomic pointer load.
+func BenchmarkTraceStartSpanDisabled(b *testing.B) {
+	SetTraceRecorder(nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "q")
+		sp.End()
+	}
+}
+
+// BenchmarkTraceChildEnd is one identity child span open/close inside an
+// already-traced request (the per-operator cost when tracing is on).
+func BenchmarkTraceChildEnd(b *testing.B) {
+	rec := NewTraceRecorder(TraceConfig{MaxSpans: 8})
+	_, root := rec.StartTrace(context.Background(), "request")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root.Child("op").End()
+	}
+	root.End()
 }

@@ -2,11 +2,15 @@ package telemetry
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
 )
 
 // DebugServer is the live-introspection HTTP endpoint the CLIs start
@@ -14,6 +18,9 @@ import (
 //
 //	/telemetry     the registry snapshot as JSON
 //	/metrics       the snapshot in Prometheus text exposition format
+//	/healthz       liveness: {"status":"ok",...}
+//	/debug/traces  recent kept traces; ?id= fetches one (&format=chrome|otlp|json)
+//	/debug/run     the "run" live-status provider (the in-situ pipeline)
 //	/debug/vars    expvar (includes the "telemetry" var)
 //	/debug/pprof/  the standard pprof profiles
 type DebugServer struct {
@@ -44,6 +51,21 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w) //nolint:errcheck // best-effort over HTTP
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": int64(time.Since(processStart).Seconds()),
+		})
+	})
+	mux.HandleFunc("/debug/traces", handleTraces)
+	mux.HandleFunc("/debug/run", func(w http.ResponseWriter, _ *http.Request) {
+		v, ok := r.StatusValue("run")
+		if !ok {
+			http.Error(w, "no run status published", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, v)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -55,8 +77,9 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/metrics\n/healthz\n/debug/traces\n/debug/run\n/debug/vars\n/debug/pprof/\n")
 	})
+	r.ensureBuildInfo()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug server: %w", err)
@@ -73,6 +96,101 @@ func (d *DebugServer) Close() error {
 		return nil
 	}
 	return d.srv.Close()
+}
+
+// processStart anchors /healthz uptime.
+var processStart = time.Now()
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data) //nolint:errcheck // best-effort over HTTP
+}
+
+// ensureBuildInfo fills in default build-identity labels (go version, vcs
+// revision when embedded, module version) without overriding labels the
+// program already set.
+func (r *Registry) ensureBuildInfo() {
+	defaults := map[string]string{"goversion": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			defaults["version"] = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				defaults["revision"] = s.Value
+			}
+		}
+	}
+	for k := range r.BuildInfo() {
+		delete(defaults, k)
+	}
+	r.SetBuildInfo(defaults)
+}
+
+// handleTraces serves /debug/traces off the process-wide trace recorder:
+// with no query parameters, a JSON listing of kept traces (newest first)
+// plus recorder stats; with ?id=, the full trace in the requested
+// &format= — "json" (native, default), "chrome" (trace-event JSON for
+// Perfetto / chrome://tracing), or "otlp" (OTLP-shaped JSON).
+func handleTraces(w http.ResponseWriter, req *http.Request) {
+	rec := DefaultTraceRecorder()
+	if rec == nil {
+		http.Error(w, "tracing disabled (no trace recorder installed)", http.StatusNotFound)
+		return
+	}
+	id := req.URL.Query().Get("id")
+	if id == "" {
+		traces := rec.Traces()
+		type summary struct {
+			TraceID string `json:"trace_id"`
+			Name    string `json:"name"`
+			StartNs int64  `json:"start_unix_nano"`
+			DurNs   int64  `json:"duration_ns"`
+			Slow    bool   `json:"slow"`
+			Spans   int    `json:"spans"`
+		}
+		out := struct {
+			Stats  TraceStats `json:"stats"`
+			Traces []summary  `json:"traces"`
+		}{Stats: rec.Stats(), Traces: make([]summary, 0, len(traces))}
+		for _, t := range traces {
+			out.Traces = append(out.Traces, summary{
+				TraceID: t.TraceID, Name: t.Name, StartNs: t.StartNs,
+				DurNs: t.DurNs, Slow: t.Slow, Spans: len(t.Spans),
+			})
+		}
+		writeJSON(w, out)
+		return
+	}
+	t := rec.Get(id)
+	if t == nil {
+		http.Error(w, "trace not found (evicted or never kept)", http.StatusNotFound)
+		return
+	}
+	var data []byte
+	var err error
+	switch format := req.URL.Query().Get("format"); format {
+	case "", "json":
+		data, err = json.Marshal(t)
+	case "chrome":
+		data, err = t.ChromeTrace()
+	case "otlp":
+		data, err = t.OTLPJSON()
+	default:
+		http.Error(w, "unknown format "+format+" (want json, chrome, or otlp)", http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // best-effort over HTTP
 }
 
 // Shutdown stops accepting new connections, waits for in-flight requests

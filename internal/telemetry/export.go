@@ -19,6 +19,7 @@ type Snapshot struct {
 	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Spans      map[string][]SpanSnapshot    `json:"spans"`
+	BuildInfo  map[string]string            `json:"build_info,omitempty"`
 }
 
 // Snapshot captures the registry's current state. Nil-safe: a nil registry
@@ -63,6 +64,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, t := range tracers {
 		snap.Spans[name] = t.Snapshot()
 	}
+	snap.BuildInfo = r.BuildInfo()
 	return snap
 }
 

@@ -58,7 +58,7 @@ func bucketOf(v int64) int {
 		}
 		return int(v)
 	}
-	b := bits.Len64(uint64(v))                // ≥ 5 here
+	b := bits.Len64(uint64(v))                           // ≥ 5 here
 	sub := int(v>>(uint(b)-1-subBits)) &^ (1 << subBits) // top subBits bits below the leading 1
 	return exactLimit + (b-1-subBits)*subBuckets + sub
 }

@@ -53,6 +53,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // WritePrometheus renders the snapshot in text exposition format.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	bw := &errWriter{w: w}
+	if len(s.BuildInfo) > 0 {
+		m := promPrefix + "build_info"
+		labels := make([]string, 0, len(s.BuildInfo))
+		for _, k := range names(s.BuildInfo) {
+			labels = append(labels, fmt.Sprintf("%s=\"%s\"", promName(k)[len(promPrefix):], promLabel(s.BuildInfo[k])))
+		}
+		bw.printf("# TYPE %s gauge\n%s{%s} 1\n", m, m, strings.Join(labels, ","))
+	}
 	for _, name := range names(s.Counters) {
 		m := promName(name) + "_total"
 		bw.printf("# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])

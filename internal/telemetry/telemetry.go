@@ -33,11 +33,13 @@ import (
 // not usable; call NewRegistry. A nil *Registry is a valid "disabled"
 // registry: every lookup returns a nil (no-op) handle.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	tracers  map[string]*Tracer
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	tracers   map[string]*Tracer
+	status    map[string]func() any
+	buildInfo map[string]string
 }
 
 // Default is the process-wide registry the instrumented packages (bitvec,
@@ -136,6 +138,74 @@ func (r *Registry) Tracer(name string) *Tracer {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.tracers[name]
+}
+
+// PublishStatus registers (or replaces) a named live-status provider: a
+// function returning a JSON-marshalable value, called on demand by the
+// debug server's /debug/run endpoint. The in-situ pipeline publishes its
+// run status under "run". Nil-safe; a nil fn unregisters the name.
+func (r *Registry) PublishStatus(name string, fn func() any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fn == nil {
+		delete(r.status, name)
+		return
+	}
+	if r.status == nil {
+		r.status = make(map[string]func() any)
+	}
+	r.status[name] = fn
+}
+
+// StatusValue evaluates the named status provider. Nil-safe.
+func (r *Registry) StatusValue(name string) (any, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	fn := r.status[name]
+	r.mu.RUnlock()
+	if fn == nil {
+		return nil, false
+	}
+	return fn(), true
+}
+
+// SetBuildInfo merges static build-identity labels (version, go version,
+// codec set, ...) exported as the insitubits_build_info gauge and in the
+// JSON snapshot. Nil-safe.
+func (r *Registry) SetBuildInfo(labels map[string]string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buildInfo == nil {
+		r.buildInfo = make(map[string]string, len(labels))
+	}
+	for k, v := range labels {
+		r.buildInfo[k] = v
+	}
+}
+
+// BuildInfo returns a copy of the build-identity labels. Nil-safe.
+func (r *Registry) BuildInfo() map[string]string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.buildInfo) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(r.buildInfo))
+	for k, v := range r.buildInfo {
+		out[k] = v
+	}
+	return out
 }
 
 // names returns the sorted keys of a map, for deterministic export.

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Trace exporters. Two stdlib-only wire formats:
+//
+//   - Chrome trace-event JSON ("X" complete events, microsecond
+//     timestamps), loadable in Perfetto or chrome://tracing for a visual
+//     flame view of one trace.
+//   - OTLP-shaped JSON (the proto3 JSON mapping of an OTLP
+//     ExportTraceServiceRequest), one object per trace, suitable for
+//     newline-delimited log shipping into an OTLP-speaking collector.
+//
+// Both are produced from the immutable *Trace snapshot, so they need no
+// locks and are safe on a trace fetched from the ring.
+
+// chromeEvent is one entry in the Chrome trace-event "traceEvents" array.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the trace as Chrome trace-event JSON. Timestamps are
+// microseconds relative to the trace start, so the view opens at zero.
+func (t *Trace) ChromeTrace() ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("telemetry: ChromeTrace on nil trace")
+	}
+	doc := chromeDoc{
+		TraceEvents:     make([]chromeEvent, 0, len(t.Spans)+1),
+		DisplayTimeUnit: "ms",
+	}
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  1,
+		Tid:  1,
+		Args: map[string]string{"name": "insitubits trace " + t.TraceID},
+	})
+	for _, sp := range t.Spans {
+		args := map[string]string{
+			"trace_id": t.TraceID,
+			"span_id":  sp.SpanID,
+		}
+		if sp.ParentID != "" {
+			args["parent_id"] = sp.ParentID
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  "insitubits",
+			Ph:   "X",
+			Ts:   float64(sp.StartNs-t.StartNs) / 1e3,
+			Dur:  float64(sp.DurNs) / 1e3,
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	return json.Marshal(doc)
+}
+
+// OTLP-shaped JSON: the proto3 JSON field names and scalar encodings of
+// opentelemetry.proto.collector.trace.v1.ExportTraceServiceRequest —
+// fixed64 nanosecond timestamps are decimal strings, span kind 1 is
+// SPAN_KIND_INTERNAL.
+type otlpDoc struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"`
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpAnyValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+// OTLPJSON renders the trace as one OTLP-shaped JSON object (no trailing
+// newline), ready for JSONL shipping.
+func (t *Trace) OTLPJSON() ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("telemetry: OTLPJSON on nil trace")
+	}
+	spans := make([]otlpSpan, 0, len(t.Spans))
+	for _, sp := range t.Spans {
+		o := otlpSpan{
+			TraceID:           t.TraceID,
+			SpanID:            sp.SpanID,
+			ParentSpanID:      sp.ParentID,
+			Name:              sp.Name,
+			Kind:              1, // SPAN_KIND_INTERNAL
+			StartTimeUnixNano: fmt.Sprintf("%d", sp.StartNs),
+			EndTimeUnixNano:   fmt.Sprintf("%d", sp.StartNs+sp.DurNs),
+		}
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				o.Attributes = append(o.Attributes, otlpKeyValue{
+					Key:   k,
+					Value: otlpAnyValue{StringValue: sp.Attrs[k]},
+				})
+			}
+		}
+		spans = append(spans, o)
+	}
+	doc := otlpDoc{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKeyValue{{
+			Key:   "service.name",
+			Value: otlpAnyValue{StringValue: "insitubits"},
+		}}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "insitubits/internal/telemetry"},
+			Spans: spans,
+		}},
+	}}}
+	return json.Marshal(doc)
+}
+
+// NewOTLPFileSink returns a recorder sink that appends each kept trace as
+// one OTLP-shaped JSON line to w, serializing concurrent finalizations.
+// Install with TraceRecorder.SetSink. Write errors are silently dropped
+// after the first (tracing must never take down the pipeline); the
+// returned error func reports the first one for end-of-run logging.
+func NewOTLPFileSink(w io.Writer) (sink func(*Trace), firstErr func() error) {
+	var mu sync.Mutex
+	var err error
+	sink = func(t *Trace) {
+		data, merr := t.OTLPJSON()
+		if merr != nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			return
+		}
+		if _, werr := w.Write(append(data, '\n')); werr != nil {
+			err = werr
+		}
+	}
+	firstErr = func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return err
+	}
+	return sink, firstErr
+}

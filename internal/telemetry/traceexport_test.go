@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// makeTrace records one three-span trace (request → query → io) through the
+// real recorder so exports are tested against genuinely recorded data.
+func makeTrace(t *testing.T) *Trace {
+	t.Helper()
+	rec := NewTraceRecorder(TraceConfig{})
+	ctx, root := rec.StartTrace(context.Background(), "request")
+	q := SpanFromContext(ctx).Child("query.count")
+	q.SetAttrInt("bins", 16)
+	io := q.Child("store.read_index")
+	time.Sleep(time.Millisecond)
+	io.End()
+	q.End()
+	root.End()
+	tr := rec.Get(root.TraceID())
+	if tr == nil {
+		t.Fatal("trace not kept")
+	}
+	return tr
+}
+
+// The Chrome roundtrip parses the export with independently declared
+// structs — no types from traceexport.go — so a silent schema drift in the
+// exporter fails here rather than in chrome://tracing.
+func TestChromeTraceRoundtrip(t *testing.T) {
+	tr := makeTrace(t)
+	data, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("independent parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			names[ev.Name] = true
+			if ev.Args["trace_id"] != tr.TraceID {
+				t.Errorf("event %s carries trace_id %q, want %q", ev.Name, ev.Args["trace_id"], tr.TraceID)
+			}
+			if ev.Args["span_id"] == "" {
+				t.Errorf("event %s has no span_id", ev.Name)
+			}
+			if ev.Ts < 0 {
+				t.Errorf("event %s starts before the trace: ts=%g", ev.Name, ev.Ts)
+			}
+			if ev.Pid != 1 || ev.Tid != 1 {
+				t.Errorf("event %s pid/tid = %d/%d", ev.Name, ev.Pid, ev.Tid)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 1 {
+		t.Errorf("%d metadata events, want 1", meta)
+	}
+	if complete != len(tr.Spans) {
+		t.Errorf("%d complete events for %d spans", complete, len(tr.Spans))
+	}
+	for _, want := range []string{"request", "query.count", "store.read_index"} {
+		if !names[want] {
+			t.Errorf("span %q missing from export", want)
+		}
+	}
+	// Attrs survive into args.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "query.count" && ev.Args["bins"] == "16" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("span attribute lost in Chrome export")
+	}
+}
+
+// The OTLP roundtrip likewise re-declares the proto3 JSON shape locally and
+// checks the scalar encodings OTLP collectors are strict about: hex ID
+// lengths, fixed64 timestamps as decimal strings, kind, resource service
+// name, and parent links.
+func TestOTLPJSONRoundtrip(t *testing.T) {
+	tr := makeTrace(t)
+	data, err := tr.OTLPJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type kv struct {
+		Key   string `json:"key"`
+		Value struct {
+			StringValue string `json:"stringValue"`
+		} `json:"value"`
+	}
+	var doc struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []kv `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Scope struct {
+					Name string `json:"name"`
+				} `json:"scope"`
+				Spans []struct {
+					TraceID           string `json:"traceId"`
+					SpanID            string `json:"spanId"`
+					ParentSpanID      string `json:"parentSpanId"`
+					Name              string `json:"name"`
+					Kind              int    `json:"kind"`
+					StartTimeUnixNano string `json:"startTimeUnixNano"`
+					EndTimeUnixNano   string `json:"endTimeUnixNano"`
+					Attributes        []kv   `json:"attributes"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("independent parse: %v", err)
+	}
+	if len(doc.ResourceSpans) != 1 || len(doc.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("unexpected nesting: %s", data)
+	}
+	service := ""
+	for _, a := range doc.ResourceSpans[0].Resource.Attributes {
+		if a.Key == "service.name" {
+			service = a.Value.StringValue
+		}
+	}
+	if service != "insitubits" {
+		t.Errorf("service.name = %q", service)
+	}
+	spans := doc.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != len(tr.Spans) {
+		t.Fatalf("%d spans exported for %d recorded", len(spans), len(tr.Spans))
+	}
+	ids := map[string]bool{}
+	for _, sp := range spans {
+		ids[sp.SpanID] = true
+	}
+	for _, sp := range spans {
+		if sp.TraceID != tr.TraceID || len(sp.TraceID) != 32 {
+			t.Errorf("span %s traceId %q", sp.Name, sp.TraceID)
+		}
+		if len(sp.SpanID) != 16 {
+			t.Errorf("span %s spanId %q", sp.Name, sp.SpanID)
+		}
+		if sp.Kind != 1 {
+			t.Errorf("span %s kind %d, want 1 (INTERNAL)", sp.Name, sp.Kind)
+		}
+		start, err1 := strconv.ParseInt(sp.StartTimeUnixNano, 10, 64)
+		end, err2 := strconv.ParseInt(sp.EndTimeUnixNano, 10, 64)
+		if err1 != nil || err2 != nil || end < start {
+			t.Errorf("span %s timestamps %q..%q", sp.Name, sp.StartTimeUnixNano, sp.EndTimeUnixNano)
+		}
+		if sp.ParentSpanID != "" && !ids[sp.ParentSpanID] {
+			t.Errorf("span %s parent %q not in trace", sp.Name, sp.ParentSpanID)
+		}
+	}
+	if spans[0].Name != "request" || spans[0].ParentSpanID != "" {
+		t.Errorf("root span not first: %+v", spans[0])
+	}
+	attr := ""
+	for _, sp := range spans {
+		if sp.Name == "query.count" {
+			for _, a := range sp.Attributes {
+				if a.Key == "bins" {
+					attr = a.Value.StringValue
+				}
+			}
+		}
+	}
+	if attr != "16" {
+		t.Errorf("span attribute lost in OTLP export: %q", attr)
+	}
+}
+
+func TestOTLPFileSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink, firstErr := NewOTLPFileSink(&buf)
+	rec := NewTraceRecorder(TraceConfig{})
+	rec.SetSink(sink)
+	for i := 0; i < 3; i++ {
+		_, sp := rec.StartTrace(context.Background(), "q")
+		sp.Child("c").End()
+		sp.End()
+	}
+	if err := firstErr(); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var doc map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &doc); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if _, ok := doc["resourceSpans"]; !ok {
+			t.Fatalf("line %d missing resourceSpans", lines)
+		}
+	}
+	if lines != 3 {
+		t.Errorf("%d JSONL lines for 3 kept traces", lines)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errSink
+}
+
+var errSink = &json.UnsupportedValueError{Str: "disk full"}
+
+func TestOTLPFileSinkLatchesFirstError(t *testing.T) {
+	w := &failWriter{}
+	sink, firstErr := NewOTLPFileSink(w)
+	rec := NewTraceRecorder(TraceConfig{})
+	rec.SetSink(sink)
+	for i := 0; i < 5; i++ {
+		_, sp := rec.StartTrace(context.Background(), "q")
+		sp.End()
+	}
+	if firstErr() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if w.n != 1 {
+		t.Errorf("sink kept writing after the first error (%d writes)", w.n)
+	}
+}
