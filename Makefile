@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead fuzz-smoke crash-matrix ci
+.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead fuzz-smoke crash-matrix plan-diff ci
 
 all: build
 
@@ -60,6 +60,14 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzReadIndex$$' -fuzztime 10s ./internal/store/
 	$(GO) test -run xxx -fuzz 'FuzzParseJournal$$' -fuzztime 10s ./internal/insitu/
 
+# Planner-vs-naive differential smoke (DESIGN.md "Query planning & caching"):
+# every query entry point through the cost-based planner — cache cold and
+# warm — must be byte-identical to the fixed-order naive path across codecs,
+# including the randomized fuzz sweep and the generation-invalidation and
+# mining scan-reduction acceptance checks.
+plan-diff:
+	$(GO) test -run 'TestPlanned|TestPlanDiffFuzz|TestCacheGenerationInvalidationMidStream|TestMineCache' -v ./internal/query/ ./internal/mining/
+
 # The crash-safety acceptance suite (docs/ROBUSTNESS.md): kill a run at
 # every recorded write boundary and every mid-write offset, resume, and
 # require a byte-identical directory plus a clean fsck — under the race
@@ -67,4 +75,4 @@ fuzz-smoke:
 crash-matrix:
 	$(GO) test -race -run 'TestCrashMatrix|TestResume|TestTransient|TestWorkerPanic|TestFsck' -v ./internal/insitu/
 
-ci: vet build race-hot race trace-smoke bench-check overhead crash-matrix fuzz-smoke
+ci: vet build race-hot race plan-diff trace-smoke bench-check overhead crash-matrix fuzz-smoke

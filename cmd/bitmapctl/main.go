@@ -36,12 +36,16 @@ func main() {
 	global := flag.NewFlagSet("bitmapctl", flag.ExitOnError)
 	global.Usage = func() { usage() }
 	debugAddr := global.String("debug-addr", "", "serve live telemetry, expvar and pprof on this address (e.g. :6060)")
+	cacheMB := global.Int("cache-mb", 0, "install a materialized-bitmap cache of this many MB for the command (0 = off)")
 	global.Parse(os.Args[1:]) // stops at the subcommand (first non-flag)
 	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
 	cmd, args := global.Arg(0), global.Args()[1:]
+	if *cacheMB > 0 {
+		insitubits.SetDefaultBitmapCache(insitubits.NewBitmapCache(int64(*cacheMB) << 20))
+	}
 	if *debugAddr != "" {
 		dbg, err := insitubits.Telemetry.ServeDebug(*debugAddr)
 		if err != nil {
@@ -93,6 +97,8 @@ func main() {
 		err = cmdFsck(args)
 	case "top":
 		err = cmdTop(args)
+	case "cache-stats":
+		err = cmdCacheStats(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -104,7 +110,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] [-cache-mb N] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|cache-stats|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {

@@ -32,6 +32,7 @@ package insitubits
 
 import (
 	"insitubits/internal/binning"
+	"insitubits/internal/bitcache"
 	"insitubits/internal/bitvec"
 	"insitubits/internal/cluster"
 	"insitubits/internal/codec"
@@ -381,6 +382,36 @@ var (
 	CorrelationAnalyze      = query.CorrelationAnalyze
 	SetSlowQueryLog         = query.SetSlowLog
 	NewQueryTopK            = query.NewTopK
+)
+
+// --- Query planner and materialized-bitmap cache (internal/query, internal/bitcache) ---
+
+// BitmapCache is a byte-bounded LRU of materialized bitmaps (subset ORs,
+// range indicators, mining joints) shared by the query planner, correlation
+// mining, and the metrics AND formulation. Keys embed the owning index
+// generations, and the in-situ pipeline invalidates superseded generations
+// when it publishes a new step, so hits are always sound. BitmapCacheStats
+// is its counter snapshot, published at /debug/cache and as bitcache.*
+// Prometheus series.
+type (
+	BitmapCache      = bitcache.Cache
+	BitmapCacheStats = bitcache.Stats
+)
+
+// Re-exported planner/cache API. NewBitmapCache builds a cache bounded to
+// maxBytes (<=0 disables); SetDefaultBitmapCache installs the process-wide
+// cache every query and mining run consults (nil uninstalls — caching is
+// opt-in and off by default); WithBitmapCache overrides the cache per
+// request via context. SetQueryPlanner toggles the cost-based
+// plan/optimize/execute pipeline — disabled, every entry point runs the
+// fixed-order naive path the differential tests compare against.
+var (
+	NewBitmapCache        = bitcache.New
+	SetDefaultBitmapCache = bitcache.SetDefault
+	DefaultBitmapCache    = bitcache.Default
+	WithBitmapCache       = query.WithCache
+	SetQueryPlanner       = query.SetPlanner
+	QueryPlannerEnabled   = query.PlannerEnabled
 )
 
 // --- Subgroup discovery (internal/subgroup) ---

@@ -1,0 +1,186 @@
+package bitcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"insitubits/internal/bitvec"
+)
+
+// bm builds a small bitmap with a deterministic payload.
+func bm(n, stride int) bitvec.Bitmap {
+	bits := make([]bool, n)
+	for i := 0; i < n; i += stride {
+		bits[i] = true
+	}
+	return bitvec.FromBools(bits)
+}
+
+func TestGetPutCounters(t *testing.T) {
+	c := New(1 << 20)
+	if got := c.Get("k"); got != nil {
+		t.Fatalf("empty cache returned %v", got)
+	}
+	v := bm(200, 3)
+	c.Put("k", v, 7)
+	if got := c.Get("k"); got != v {
+		t.Fatalf("Get returned %v, want the cached bitmap", got)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", s)
+	}
+	if s.Bytes != int64(v.SizeBytes()) {
+		t.Fatalf("bytes = %d, want %d", s.Bytes, v.SizeBytes())
+	}
+	if !s.Enabled {
+		t.Fatal("Enabled = false for a live cache")
+	}
+}
+
+func TestByteBoundedEviction(t *testing.T) {
+	v := bm(31*40, 2)
+	one := int64(v.SizeBytes())
+	c := New(3 * one) // room for exactly three entries
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), bm(31*40, 2))
+	}
+	s := c.Stats()
+	if s.Entries != 3 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 3 entries after 1 eviction", s)
+	}
+	if c.Get("k0") != nil {
+		t.Fatal("k0 survived; LRU should have evicted the oldest entry")
+	}
+	// Touch k1, insert another: k2 (now least recent) must go, not k1.
+	if c.Get("k1") == nil {
+		t.Fatal("k1 missing")
+	}
+	c.Put("k4", bm(31*40, 2))
+	if c.Get("k1") == nil {
+		t.Fatal("recently used k1 was evicted")
+	}
+	if c.Get("k2") != nil {
+		t.Fatal("least recently used k2 survived")
+	}
+	if got := c.Stats().Bytes; got > 3*one {
+		t.Fatalf("bytes = %d exceeds bound %d", got, 3*one)
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	c := New(8)
+	c.Put("big", bm(31*1000, 2))
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("oversized bitmap was admitted: %+v", s)
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", bm(310, 2))
+	v2 := bm(3100, 2)
+	c.Put("k", v2)
+	if got := c.Get("k"); got != v2 {
+		t.Fatal("refresh did not replace the cached bitmap")
+	}
+	if s := c.Stats(); s.Entries != 1 || s.Bytes != int64(v2.SizeBytes()) {
+		t.Fatalf("stats after refresh = %+v", s)
+	}
+}
+
+func TestInvalidateGeneration(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("a", bm(310, 2), 1)
+	c.Put("ab", bm(310, 3), 1, 2)
+	c.Put("b", bm(310, 4), 2)
+	c.Put("free", bm(310, 5)) // generation-free content entry
+	c.InvalidateGeneration(1)
+	if c.Get("a") != nil || c.Get("ab") != nil {
+		t.Fatal("entries reading generation 1 survived invalidation")
+	}
+	if c.Get("b") == nil || c.Get("free") == nil {
+		t.Fatal("unrelated entries were dropped")
+	}
+	if s := c.Stats(); s.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", s.Invalidations)
+	}
+	c.InvalidateAll()
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 || s.Invalidations != 4 {
+		t.Fatalf("stats after InvalidateAll = %+v", s)
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	c.Put("k", bm(310, 2), 1)
+	if c.Get("k") != nil {
+		t.Fatal("nil cache returned a bitmap")
+	}
+	c.InvalidateGeneration(1)
+	c.InvalidateAll()
+	if s := c.Stats(); s.Enabled {
+		t.Fatalf("nil cache reports enabled: %+v", s)
+	}
+	if New(0) != nil || New(-5) != nil {
+		t.Fatal("New with a non-positive bound must disable caching")
+	}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	if AndKey("x", "y") != AndKey("y", "x") {
+		t.Fatal("AndKey is operand-order sensitive")
+	}
+	if OrKey("a", "b", "c") != OrKey("c", "a", "b") {
+		t.Fatal("OrKey is operand-order sensitive")
+	}
+	if AndKey("x", "y") == OrKey("x", "y") {
+		t.Fatal("AND and OR keys collide")
+	}
+	if BinKey(1, 2) == BinKey(2, 1) {
+		t.Fatal("BinKey generation/bin collide")
+	}
+	if RangeKey(100, 0, 10) == RangeKey(100, 0, 11) {
+		t.Fatal("RangeKey ignores bounds")
+	}
+}
+
+func TestDefaultInstall(t *testing.T) {
+	prev := Default()
+	defer SetDefault(prev)
+	c := New(1 << 16)
+	SetDefault(c)
+	if Default() != c {
+		t.Fatal("SetDefault did not install")
+	}
+	SetDefault(nil)
+	if Default() != nil {
+		t.Fatal("SetDefault(nil) did not disable")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%17)
+				if c.Get(k) == nil {
+					c.Put(k, bm(31*(1+i%5), 2), uint64(i%3))
+				}
+				if i%50 == 0 {
+					c.InvalidateGeneration(uint64(w % 3))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Bytes < 0 || s.Entries < 0 {
+		t.Fatalf("inconsistent stats after concurrent use: %+v", s)
+	}
+}

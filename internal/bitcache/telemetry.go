@@ -1,0 +1,45 @@
+package bitcache
+
+import "insitubits/internal/telemetry"
+
+// tel mirrors the package counters into the telemetry registry (and from
+// there the Prometheus endpoint): cumulative hit/miss/evict/invalidate
+// counts across every cache in the process, plus occupancy gauges for the
+// default cache refreshed on SetDefault and via the status provider.
+var tel struct {
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	evictions   *telemetry.Counter
+	invalidated *telemetry.Counter
+	bytes       *telemetry.Gauge
+	entries     *telemetry.Gauge
+}
+
+// SetTelemetry (re)binds the package's instruments to a registry; nil
+// disables them. It also (re)publishes the "cache" live-status provider
+// serving /debug/cache off the default cache.
+func SetTelemetry(r *telemetry.Registry) {
+	tel.hits = r.Counter("bitcache.hits")
+	tel.misses = r.Counter("bitcache.misses")
+	tel.evictions = r.Counter("bitcache.evictions")
+	tel.invalidated = r.Counter("bitcache.invalidated")
+	tel.bytes = r.Gauge("bitcache.bytes")
+	tel.entries = r.Gauge("bitcache.entries")
+	r.PublishStatus("cache", func() any {
+		s := Default().Stats()
+		publishGauges(Default())
+		return s
+	})
+}
+
+// publishGauges refreshes the occupancy gauges from a cache snapshot.
+func publishGauges(c *Cache) {
+	if tel.bytes == nil {
+		return
+	}
+	s := c.Stats()
+	tel.bytes.Set(s.Bytes)
+	tel.entries.Set(int64(s.Entries))
+}
+
+func init() { SetTelemetry(telemetry.Default) }

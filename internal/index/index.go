@@ -7,6 +7,7 @@ package index
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"insitubits/internal/binning"
@@ -24,7 +25,21 @@ type Index struct {
 	vecs   []bitvec.Bitmap
 	counts []int
 	n      int
+	gen    uint64
 }
+
+// genCounter issues process-unique index generations. Every constructor
+// stamps a fresh one and Recode re-stamps, so a generation identifies one
+// immutable bitmap state: cached intermediates (internal/bitcache) key on
+// it and are invalidated when an in-situ step supersedes an index.
+var genCounter atomic.Uint64
+
+func nextGeneration() uint64 { return genCounter.Add(1) }
+
+// Generation returns the identity of this index's current bitmap state.
+// It changes whenever the bitmaps could differ: at construction and on
+// every in-place Recode.
+func (x *Index) Generation() uint64 { return x.gen }
 
 // Build generates the index in one pass using the lazy builder: only bins
 // touched by the current 31-element segment are visited, with untouched bins
@@ -74,7 +89,7 @@ func BuildAlgorithm1(data []float64, m binning.Mapper) *Index {
 			}
 		}
 	}
-	idx := &Index{mapper: m, vecs: make([]bitvec.Bitmap, binNum), counts: make([]int, binNum), n: len(data)}
+	idx := &Index{mapper: m, vecs: make([]bitvec.Bitmap, binNum), counts: make([]int, binNum), n: len(data), gen: nextGeneration()}
 	for j := range result {
 		idx.vecs[j] = result[j].Vector()
 		idx.counts[j] = idx.vecs[j].Count()
@@ -90,7 +105,7 @@ func FromParts(m binning.Mapper, vecs []bitvec.Bitmap, n int) (*Index, error) {
 	if len(vecs) != m.Bins() {
 		return nil, fmt.Errorf("index: %d vectors for %d bins", len(vecs), m.Bins())
 	}
-	x := &Index{mapper: m, vecs: vecs, counts: make([]int, len(vecs)), n: n}
+	x := &Index{mapper: m, vecs: vecs, counts: make([]int, len(vecs)), n: n, gen: nextGeneration()}
 	for b, v := range vecs {
 		if v.Len() != n {
 			return nil, fmt.Errorf("index: bin %d covers %d bits, want %d", b, v.Len(), n)
@@ -117,7 +132,7 @@ func BuildTwoPhase(data []float64, m binning.Mapper) *Index {
 		b := m.Bin(v)
 		dense[b][i/64] |= 1 << uint(i%64)
 	}
-	x := &Index{mapper: m, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb), n: len(data)}
+	x := &Index{mapper: m, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb), n: len(data), gen: nextGeneration()}
 	for b := range dense {
 		var a bitvec.Appender
 		for i := 0; i < len(data); i += bitvec.SegmentBits {
@@ -167,6 +182,10 @@ func (x *Index) Recode(id codec.ID) *Index {
 	for b := range x.vecs {
 		x.vecs[b] = codec.Encode(x.vecs[b], id)
 	}
+	// The bitmaps were replaced in place: retire the old generation so no
+	// cached intermediate derived from them can be served against the new
+	// encodings (logically equal, but physically different objects).
+	x.gen = nextGeneration()
 	return x
 }
 
@@ -318,7 +337,7 @@ func (sb *StreamBuilder) Finish() *Index {
 			}
 		}
 	}
-	x := &Index{mapper: sb.mapper, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb), n: sb.n}
+	x := &Index{mapper: sb.mapper, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb), n: sb.n, gen: nextGeneration()}
 	for b := 0; b < nb; b++ {
 		x.vecs[b] = sb.apps[b].Vector()
 		x.counts[b] = x.vecs[b].Count()
@@ -391,7 +410,7 @@ func ConcatIndexes(parts ...*Index) *Index {
 	}
 	first := parts[0]
 	nb := first.Bins()
-	out := &Index{mapper: first.mapper, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb)}
+	out := &Index{mapper: first.mapper, vecs: make([]bitvec.Bitmap, nb), counts: make([]int, nb), gen: nextGeneration()}
 	vecs := make([]bitvec.Bitmap, len(parts))
 	for b := 0; b < nb; b++ {
 		for i, p := range parts {
@@ -428,7 +447,7 @@ func BuildMultiLevel(low *Index, fanout int) (*MultiLevel, error) {
 	if err != nil {
 		return nil, err
 	}
-	high := &Index{mapper: g, vecs: make([]bitvec.Bitmap, g.Bins()), counts: make([]int, g.Bins()), n: low.n}
+	high := &Index{mapper: g, vecs: make([]bitvec.Bitmap, g.Bins()), counts: make([]int, g.Bins()), n: low.n, gen: nextGeneration()}
 	for h := 0; h < g.Bins(); h++ {
 		lo, hi := g.Children(h)
 		var acc bitvec.Bitmap = low.vecs[lo]

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"insitubits/internal/binning"
+	"insitubits/internal/bitcache"
 	"insitubits/internal/codec"
 	"insitubits/internal/index"
 	"insitubits/internal/iosim"
@@ -434,6 +435,18 @@ func (s *stepSummary) Dissimilarity(other selection.Summary, m selection.Metric)
 	return total
 }
 
+// generations lists the index generations of the summary's bitmap parts,
+// for retiring their cached bitmaps once the summary leaves the selection.
+func (s *stepSummary) generations() []uint64 {
+	var out []uint64
+	for _, p := range s.parts {
+		if bs, ok := p.(*selection.BitmapSummary); ok && bs.X != nil {
+			out = append(out, bs.X.Generation())
+		}
+	}
+	return out
+}
+
 // Importance implements selection.Summary.
 func (s *stepSummary) Importance() float64 {
 	total := 0.0
@@ -530,22 +543,50 @@ func (s *selector) offer(ctx context.Context, t int, sum *stepSummary) {
 	s.applyScore(ctx, t, sum, score)
 }
 
-// applyScore runs the streaming interval logic for one scored step.
+// applyScore runs the streaming interval logic for one scored step. Every
+// summary that leaves the selection here — a losing interval candidate or
+// the superseded previous selection once a new step is committed — retires
+// its cached bitmaps: queries will never see those index generations again.
 func (s *selector) applyScore(ctx context.Context, t int, sum *stepSummary, score float64) {
 	if s.ivPos < len(s.intervals) {
 		iv := s.intervals[s.ivPos]
 		if t >= iv[0] && t < iv[1] {
 			if s.best == nil || score > s.bestScore {
+				s.retire(s.best)
 				s.best, s.bestScore = sum, score
+			} else {
+				s.retire(sum)
 			}
 			if t == iv[1]-1 { // interval complete: commit the winner
+				superseded := s.prev
 				s.selected = append(s.selected, s.best.step)
 				s.prev = s.best
 				s.write(ctx, s.best)
+				s.retire(superseded)
 				s.best = nil
 				s.ivPos++
 			}
+			return
 		}
+	}
+	s.retire(sum)
+}
+
+// retire invalidates the default bitmap cache's entries for a summary whose
+// indices have been superseded by a newly published step (or discarded as a
+// losing candidate). Without this, a long-running in-situ service would keep
+// serving cached results for retired generations' keys — never wrong (keys
+// embed the generation) but dead weight crowding out live entries.
+func (s *selector) retire(sum *stepSummary) {
+	if sum == nil {
+		return
+	}
+	c := bitcache.Default()
+	if c == nil {
+		return
+	}
+	for _, g := range sum.generations() {
+		c.InvalidateGeneration(g)
 	}
 }
 

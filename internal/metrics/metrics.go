@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"insitubits/internal/binning"
+	"insitubits/internal/bitcache"
 	"insitubits/internal/index"
 )
 
@@ -81,6 +82,12 @@ func JointHistogramBitmapsAND(xa, xb *index.Index) [][]int {
 	for i := range joint {
 		joint[i], cells = cells[:xb.Bins()], cells[xb.Bins():]
 	}
+	// Consult the process cache read-only: a joint vector materialized by
+	// mining or a correlation query answers the pair's count by popcount.
+	// Counts are not worth storing (the cache holds bitmaps), so misses
+	// compute AndCount without a Put.
+	c := bitcache.Default()
+	genA, genB := xa.Generation(), xb.Generation()
 	for i := 0; i < xa.Bins(); i++ {
 		if xa.Count(i) == 0 {
 			continue
@@ -89,6 +96,12 @@ func JointHistogramBitmapsAND(xa, xb *index.Index) [][]int {
 		for j := 0; j < xb.Bins(); j++ {
 			if xb.Count(j) == 0 {
 				continue
+			}
+			if c != nil {
+				if hit := c.Get(bitcache.AndKey(bitcache.BinKey(genA, i), bitcache.BinKey(genB, j))); hit != nil {
+					joint[i][j] = hit.Count()
+					continue
+				}
 			}
 			joint[i][j] = va.AndCount(xb.Bitmap(j))
 		}

@@ -1,0 +1,149 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/bitcache"
+	"insitubits/internal/index"
+	"insitubits/internal/query"
+)
+
+// miningScanWords sums the words-scanned accounting over every bin-pair
+// profile of one run — the measured bitmap work the run paid for.
+func miningScanWords(slow *query.TopK) int64 {
+	var total int64
+	for _, p := range slow.Profiles() {
+		total += p.Total().WordsScanned
+	}
+	return total
+}
+
+// TestMineCacheScanReduction is the ISSUE's acceptance check for mining:
+// with a shared cache, a repeated run over the same bin pairs must answer
+// surviving pairs from cached joints, cutting the ANALYZE words-scanned at
+// least in half versus the cold run — while producing identical findings.
+func TestMineCacheScanReduction(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 31 * 700
+	a, b := correlatedPair(r, n, n/4, n/2)
+	m := mapper(t, 12)
+	xa, xb := index.Build(a, m), index.Build(b, m)
+	cfg := Config{UnitSize: 256, ValueThreshold: DefaultValueThreshold(40, n), SpatialThreshold: 0.2}
+
+	cache := bitcache.New(16 << 20)
+	run := func(c *bitcache.Cache) ([]Finding, int64, *query.TopK) {
+		cfg := cfg
+		cfg.Cache = c
+		cfg.Slow = query.NewTopK(1 << 12) // keep every pair profile
+		fs, err := Mine(xa, xb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs, miningScanWords(cfg.Slow), cfg.Slow
+	}
+
+	baseline, baseWords, _ := run(nil) // no cache anywhere (no default installed)
+	cold, coldWords, coldSlow := run(cache)
+	warm, warmWords, warmSlow := run(cache)
+
+	assertSameFindings(t, "cold vs uncached", cold, baseline)
+	assertSameFindings(t, "warm vs uncached", warm, baseline)
+	if baseWords != coldWords {
+		t.Fatalf("cold cached run scanned %d words, uncached %d — cold misses must cost the same", coldWords, baseWords)
+	}
+	if 2*warmWords > coldWords {
+		t.Fatalf("warm run scanned %d words, cold %d: expected at least a 2x reduction", warmWords, coldWords)
+	}
+	t.Logf("pair-profile words scanned: uncached=%d cold=%d warm=%d (%.1fx reduction)",
+		baseWords, coldWords, warmWords, float64(coldWords)/float64(warmWords))
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("warm run recorded no cache hits: %+v", st)
+	}
+
+	// The slow profiles must name the outcome per pair (`mine -slow` UI).
+	for name, slow := range map[string]*query.TopK{"cold": coldSlow, "warm": warmSlow} {
+		verdict := map[string]string{"cold": "miss", "warm": "hit"}[name]
+		found := false
+		for _, p := range slow.Profiles() {
+			for _, c := range p.Root.Children {
+				if c.Cache == verdict {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s run produced no %s-annotated pair profiles", name, verdict)
+		}
+	}
+}
+
+// TestMineCacheVariants checks the cached paths of the parallel and
+// multi-level miners stay identical to their uncached selves.
+func TestMineCacheVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := 31 * 500
+	a, b := correlatedPair(r, n, n/3, 2*n/3)
+	m := mapper(t, 10)
+	xa, xb := index.Build(a, m), index.Build(b, m)
+	cfg := Config{UnitSize: 128, ValueThreshold: DefaultValueThreshold(30, n), SpatialThreshold: 0.15}
+
+	want, err := Mine(xa, xb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := bitcache.New(16 << 20)
+	cfgC := cfg
+	cfgC.Cache = cache
+	for pass := 0; pass < 2; pass++ { // cold, then warm
+		got, err := MineParallel(xa, xb, cfgC, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameFindings(t, "parallel cached", got, want)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("warm parallel run recorded no hits: %+v", st)
+	}
+}
+
+func benchMineIndexes(n int) (*index.Index, *index.Index, Config) {
+	r := rand.New(rand.NewSource(3))
+	a, bdat := correlatedPair(r, n, n/4, n/2)
+	m, err := binning.NewUniform(0, 10, 16)
+	if err != nil {
+		panic(err)
+	}
+	xa, xb := index.Build(a, m), index.Build(bdat, m)
+	cfg := Config{UnitSize: 256, ValueThreshold: DefaultValueThreshold(40, n), SpatialThreshold: 0.2}
+	return xa, xb, cfg
+}
+
+// BenchmarkMineUncached / BenchmarkMineCached measure repeated correlation
+// mining over the same indices without and with the joint-vector cache —
+// the cached-vs-uncached comparison recorded in EXPERIMENTS.md.
+func BenchmarkMineUncached(b *testing.B) {
+	xa, xb, cfg := benchMineIndexes(31 * 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(xa, xb, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMineCached(b *testing.B) {
+	xa, xb, cfg := benchMineIndexes(31 * 2000)
+	cfg.Cache = bitcache.New(64 << 20)
+	if _, err := Mine(xa, xb, cfg); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(xa, xb, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

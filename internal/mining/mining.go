@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"insitubits/internal/binning"
+	"insitubits/internal/bitcache"
 	"insitubits/internal/bitvec"
 	"insitubits/internal/index"
 	"insitubits/internal/metrics"
@@ -38,6 +39,53 @@ type Config struct {
 	// per-unit scan — ranked by wall time. Profiles also feed the
 	// process-wide slow-query log (query.SetSlowLog). Nil disables.
 	Slow *query.TopK
+	// Cache overrides the process-default materialized-bitmap cache
+	// (bitcache.Default()) for joint vectors. Bin-pair joints are keyed by
+	// the same canonical AND keys the query planner uses, so joints
+	// materialized by one mining run — or by a correlation query over the
+	// same indices — are reused by the next. Nil falls back to the default;
+	// when that is also nil (no cache installed), caching is off and the
+	// per-pair work is exactly the pre-cache computation.
+	Cache *bitcache.Cache
+}
+
+// cache resolves the effective joint-vector cache for a run.
+func (c Config) cache() *bitcache.Cache {
+	if c.Cache != nil {
+		return c.Cache
+	}
+	return bitcache.Default()
+}
+
+// pairCache consults the bitmap cache for materialized bin-pair joints of
+// one (xa, xb) run. The zero value (nil cache) is inert.
+type pairCache struct {
+	c          *bitcache.Cache
+	genA, genB uint64
+}
+
+func newPairCache(cfg Config, xa, xb *index.Index) pairCache {
+	return pairCache{c: cfg.cache(), genA: xa.Generation(), genB: xb.Generation()}
+}
+
+func (p pairCache) key(i, j int) string {
+	if p.c == nil {
+		return ""
+	}
+	return bitcache.AndKey(bitcache.BinKey(p.genA, i), bitcache.BinKey(p.genB, j))
+}
+
+func (p pairCache) get(key string) bitvec.Bitmap {
+	if key == "" {
+		return nil
+	}
+	return p.c.Get(key)
+}
+
+func (p pairCache) put(key string, joint bitvec.Bitmap) {
+	if key != "" {
+		p.c.Put(key, joint, p.genA, p.genB)
+	}
 }
 
 func (c Config) validate(n int) error {
@@ -70,6 +118,7 @@ func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
 		return nil, err
 	}
 	n := xa.N()
+	pc := newPairCache(cfg, xa, xb)
 	// Per-unit marginal counts are computed lazily: only needed once a
 	// pair survives the value filter.
 	var unitsA, unitsB [][]int
@@ -91,7 +140,14 @@ func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
 				continue
 			}
 			start := time.Now()
-			cij := va.AndCount(xb.Bitmap(j))                         // line 3: LogicAND (count only)
+			key := pc.key(i, j)
+			cached := pc.get(key)
+			var cij int
+			if cached != nil {
+				cij = cached.Count() // popcount of the cached joint
+			} else {
+				cij = va.AndCount(xb.Bitmap(j)) // line 3: LogicAND (count only)
+			}
 			valueMI := metrics.MutualInformationTerm(cij, ci, cj, n) // line 4
 			if valueMI < cfg.ValueThreshold {                        // line 5
 				continue
@@ -100,42 +156,75 @@ func Mine(xa, xb *index.Index, cfg Config) ([]Finding, error) {
 				unitsA = unitCounts(xa, cfg.UnitSize)
 				unitsB = unitCounts(xb, cfg.UnitSize)
 			}
-			joint := va.And(xb.Bitmap(j))
+			joint := cached
+			if joint == nil {
+				joint = va.And(xb.Bitmap(j))
+				pc.put(key, joint)
+			}
 			jointUnits := joint.CountUnits(cfg.UnitSize)
 			found := scanUnits(i, j, valueMI, jointUnits, unitsA[i], unitsB[j], n, cfg)
 			out = append(out, found...)
-			profilePair(cfg, xa, xb, i, j, valueMI, joint, len(found), time.Since(start))
+			profilePair(cfg, xa, xb, i, j, valueMI, joint, len(found), time.Since(start), pairVerdict(key, cached))
 		}
 	}
 	return out, nil
 }
 
+// pairVerdict names the cache outcome of one surviving bin pair for its
+// slow-log record: "" when no cache was consulted (annotation-free profiles,
+// byte-identical to pre-cache runs).
+func pairVerdict(key string, cached bitvec.Bitmap) string {
+	switch {
+	case key == "":
+		return ""
+	case cached != nil:
+		return "hit"
+	default:
+		return "miss"
+	}
+}
+
 // profilePair records one surviving bin pair's bitmap work for cfg.Slow and
 // the slow-query log. Costs come from the operands' encoded shape (O(1)
-// metadata reads, no decode): the pair consumed both bin bitmaps twice —
-// once for the AndCount filter, once for the materialized AND — and then
-// scanned the joint vector per unit.
-func profilePair(cfg Config, xa, xb *index.Index, i, j int, valueMI float64, joint bitvec.Bitmap, found int, elapsed time.Duration) {
+// metadata reads, no decode). On a cache miss (or with no cache) the pair
+// consumed both bin bitmaps twice — once for the AndCount filter, once for
+// the materialized AND; on a hit both steps were answered from the cached
+// joint, each charged one scan of its encoding — the operand scans are the
+// work the cache saved, and their absence is what the scan-reduction test
+// measures. verdict ("hit"/"miss"/"") annotates the nodes and the record
+// header so `bitmapctl mine -slow` shows the outcome per pair.
+func profilePair(cfg Config, xa, xb *index.Index, i, j int, valueMI float64, joint bitvec.Bitmap, found int, elapsed time.Duration, verdict string) {
 	if cfg.Slow == nil {
 		return
 	}
-	opCost := func(x *index.Index, b int) query.Cost {
-		bm := x.Bitmap(b)
-		return query.Cost{WordsScanned: int64(bm.Words()), BytesDecoded: int64(bm.SizeBytes())}
+	jointScan := query.Cost{WordsScanned: int64(joint.Words()), BytesDecoded: int64(joint.SizeBytes())}
+	andCount := &query.Node{Op: "and-count", Detail: "value filter", Bin: -1, Cache: verdict}
+	and := &query.Node{Op: "and", Detail: "materialize joint vector", Bin: -1, Cache: verdict}
+	if verdict == "hit" {
+		andCount.Cost = jointScan
+		and.Cost = jointScan
+	} else {
+		opCost := func(x *index.Index, b int) query.Cost {
+			bm := x.Bitmap(b)
+			return query.Cost{WordsScanned: int64(bm.Words()), BytesDecoded: int64(bm.SizeBytes())}
+		}
+		andCount.Cost.WordsScanned = opCost(xa, i).WordsScanned + opCost(xb, j).WordsScanned
+		andCount.Cost.BytesDecoded = opCost(xa, i).BytesDecoded + opCost(xb, j).BytesDecoded
+		and.Cost = andCount.Cost
 	}
-	andCount := &query.Node{Op: "and-count", Detail: "value filter", Bin: -1}
-	andCount.Cost.WordsScanned = opCost(xa, i).WordsScanned + opCost(xb, j).WordsScanned
-	andCount.Cost.BytesDecoded = opCost(xa, i).BytesDecoded + opCost(xb, j).BytesDecoded
-	and := &query.Node{Op: "and", Detail: "materialize joint vector", Bin: -1, Cost: andCount.Cost}
 	and.Cost.OutWords = joint.Words()
 	units := &query.Node{
 		Op: "count-units", Detail: fmt.Sprintf("unit size %d", cfg.UnitSize), Bin: -1,
 		Cost: query.Cost{WordsScanned: int64(joint.Words()), BytesDecoded: int64(joint.SizeBytes()), Rows: int64(found)},
 	}
+	detail := fmt.Sprintf("binA=%d (%s) binB=%d (%s) valueMI=%.4g findings=%d", i, xa.Codec(i), j, xb.Codec(j), valueMI, found)
+	if verdict != "" {
+		detail += " cache=" + verdict
+	}
 	p := &query.Profile{
 		Query:     "mine.pair",
 		Mode:      query.ModeAnalyze,
-		Detail:    fmt.Sprintf("binA=%d (%s) binB=%d (%s) valueMI=%.4g findings=%d", i, xa.Codec(i), j, xb.Codec(j), valueMI, found),
+		Detail:    detail,
 		ElapsedNs: elapsed.Nanoseconds(),
 		Root:      &query.Node{Op: "mine.pair", Bin: -1, Children: []*query.Node{andCount, and, units}},
 	}
@@ -198,6 +287,7 @@ func MineMultiLevel(mla, mlb *index.MultiLevel, cfg Config) ([]Finding, error) {
 		return nil, err
 	}
 	n := xa.N()
+	pc := newPairCache(cfg, xa, xb)
 	var unitsA, unitsB [][]int // computed lazily: only if any pair survives
 	var out []Finding
 	for hi := 0; hi < mla.High.Bins(); hi++ {
@@ -229,7 +319,14 @@ func MineMultiLevel(mla, mlb *index.MultiLevel, cfg Config) ([]Finding, error) {
 					if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
 						continue
 					}
-					cij := va.AndCount(xb.Bitmap(j))
+					key := pc.key(i, j)
+					cached := pc.get(key)
+					var cij int
+					if cached != nil {
+						cij = cached.Count()
+					} else {
+						cij = va.AndCount(xb.Bitmap(j))
+					}
 					valueMI := metrics.MutualInformationTerm(cij, ci, cj, n)
 					if valueMI < cfg.ValueThreshold {
 						continue
@@ -238,7 +335,11 @@ func MineMultiLevel(mla, mlb *index.MultiLevel, cfg Config) ([]Finding, error) {
 						unitsA = unitCounts(xa, cfg.UnitSize)
 						unitsB = unitCounts(xb, cfg.UnitSize)
 					}
-					joint := va.And(xb.Bitmap(j))
+					joint := cached
+					if joint == nil {
+						joint = va.And(xb.Bitmap(j))
+						pc.put(key, joint)
+					}
 					jointUnits := joint.CountUnits(cfg.UnitSize)
 					out = append(out, scanUnits(i, j, valueMI, jointUnits, unitsA[i], unitsB[j], n, cfg)...)
 				}

@@ -30,6 +30,7 @@ func MineParallel(xa, xb *index.Index, cfg Config, nWorkers int) ([]Finding, err
 	// lazily built table would need locking on the hot path.
 	unitsA := unitCounts(xa, cfg.UnitSize)
 	unitsB := unitCounts(xb, cfg.UnitSize)
+	pc := newPairCache(cfg, xa, xb) // bitcache.Cache is mutex-guarded: safe to share
 
 	results := make([][]Finding, nWorkers)
 	sim.ParallelFor(xa.Bins(), nWorkers, func(lo, hi int) {
@@ -48,12 +49,23 @@ func MineParallel(xa, xb *index.Index, cfg Config, nWorkers int) ([]Finding, err
 				if childTermUpperBound(minInt(ci, cj), n) < cfg.ValueThreshold {
 					continue
 				}
-				cij := va.AndCount(xb.Bitmap(j))
+				key := pc.key(i, j)
+				cached := pc.get(key)
+				var cij int
+				if cached != nil {
+					cij = cached.Count()
+				} else {
+					cij = va.AndCount(xb.Bitmap(j))
+				}
 				valueMI := metrics.MutualInformationTerm(cij, ci, cj, n)
 				if valueMI < cfg.ValueThreshold {
 					continue
 				}
-				joint := va.And(xb.Bitmap(j))
+				joint := cached
+				if joint == nil {
+					joint = va.And(xb.Bitmap(j))
+					pc.put(key, joint)
+				}
 				out = append(out, scanUnits(i, j, valueMI, joint.CountUnits(cfg.UnitSize), unitsA[i], unitsB[j], n, cfg)...)
 			}
 		}

@@ -1,0 +1,277 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"insitubits/internal/bitcache"
+	"insitubits/internal/bitvec"
+	"insitubits/internal/codec"
+	"insitubits/internal/telemetry"
+)
+
+// This file is the execute half of the query pipeline: it walks an
+// optimized plan, consults the bitmap cache at every node with a canonical
+// key, and feeds ANALYZE profiles and identity-trace spans exactly as the
+// naive paths do. ANALYZE accounting on a cache hit charges one scan of the
+// cached encoding and nothing else — the per-operand children are absent,
+// which is precisely the work the cache saved and what the scan-reduction
+// acceptance test measures.
+
+// ctxCacheKey carries a per-request cache override (WithCache).
+type ctxCacheKey struct{}
+
+// WithCache returns a context whose query entry points use c as the bitmap
+// cache instead of the process default (bitcache.SetDefault). Passing nil
+// disables caching for requests under this context even when a default
+// cache is installed.
+func WithCache(ctx context.Context, c *bitcache.Cache) context.Context {
+	return context.WithValue(ctx, ctxCacheKey{}, c)
+}
+
+// cacheFrom resolves the effective cache for a request: the context
+// override when present, else the process default (usually nil — caching
+// is opt-in, keeping the disabled hot path at one atomic load).
+func cacheFrom(ctx context.Context) *bitcache.Cache {
+	if c, ok := ctx.Value(ctxCacheKey{}).(*bitcache.Cache); ok {
+		return c
+	}
+	return bitcache.Default()
+}
+
+// executor runs optimized plans against one resolved cache.
+type executor struct {
+	cache *bitcache.Cache
+}
+
+func newExecutor(ctx context.Context) *executor {
+	return &executor{cache: cacheFrom(ctx)}
+}
+
+func (e *executor) lookup(key string) bitvec.Bitmap {
+	if e.cache == nil || key == "" {
+		return nil
+	}
+	return e.cache.Get(key)
+}
+
+func (e *executor) store(key string, bm bitvec.Bitmap, gens []uint64) {
+	if e.cache == nil || key == "" {
+		return
+	}
+	e.cache.Put(key, bm, gens...)
+}
+
+// cacheHitNode records an operator answered from the cache: it is charged
+// one scan of the cached encoding (the only work the consumer still pays).
+func (e *executor) cacheHitNode(parent *Node, op, detail string, bm bitvec.Bitmap) *Node {
+	n := parent.child(op, detail)
+	if n != nil {
+		n.Codec = codecName(bm)
+		n.Cost = scanCost(bm)
+		n.Cache = "hit"
+	}
+	return n
+}
+
+// markMiss annotates a computed-and-stored operator, only when a cache was
+// actually consulted (cache-off profiles stay byte-identical to pre-cache).
+func (e *executor) markMiss(n *Node, key string) {
+	if e.cache != nil && key != "" {
+		n.markCache("miss")
+	}
+}
+
+// zeroVector builds the all-zero vector over n bits in O(1) fill runs.
+func zeroVector(n int) *bitvec.Vector {
+	var a bitvec.Appender
+	full := n / bitvec.SegmentBits
+	a.AppendFill(0, full)
+	if rem := n - full*bitvec.SegmentBits; rem > 0 {
+		a.AppendPartial(0, rem)
+	}
+	return a.Vector()
+}
+
+// buildLeaf materializes a ones/range leaf honouring its codec hint.
+func buildLeaf(p *planNode) bitvec.Bitmap {
+	var v bitvec.Bitmap
+	if p.kind == planOnes {
+		v = onesVector(p.n)
+	} else {
+		v = rangeVector(p.n, p.slo, p.shi)
+	}
+	if p.hint == codec.Dense {
+		v = codec.Encode(v, codec.Dense)
+	}
+	return v
+}
+
+// exec runs one optimized plan node and returns its bitmap. prof and sp
+// follow the package-wide conventions: nil-safe, one profile node per
+// operator, bounded child spans.
+func (e *executor) exec(p *planNode, prof *Node, sp *telemetry.ActiveSpan) bitvec.Bitmap {
+	switch p.kind {
+	case planEmpty:
+		n := prof.child("empty", p.note)
+		v := zeroVector(p.n)
+		n.setOut(v)
+		return v
+
+	case planOnes, planRange:
+		op, detail := "ones", "no value predicate"
+		if p.kind == planRange {
+			op, detail = "range", fmt.Sprintf("spatial=[%d,%d)", p.slo, p.shi)
+		}
+		if p.note != "" {
+			detail += "; " + p.note
+		}
+		if hit := e.lookup(p.key); hit != nil {
+			return e.hitResult(prof, op, detail, hit)
+		}
+		v := buildLeaf(p)
+		e.store(p.key, v, nil)
+		n := prof.child(op, detail)
+		n.setOut(v)
+		e.markMiss(n, p.key)
+		return v
+
+	case planBinOr:
+		detail := fmt.Sprintf("value=[%g,%g)", p.vlo, p.vhi)
+		if p.note != "" {
+			detail += "; " + p.note
+		}
+		if hit := e.lookup(p.key); hit != nil {
+			return e.hitResult(prof, "or-merge", detail, hit)
+		}
+		n := prof.child("or-merge", detail)
+		osp := sp.Child("or-merge")
+		var ct codecTally
+		var acc bitvec.Bitmap
+		for _, b := range p.bins {
+			ct.bin(p.x, b)
+			n.binChild("or", p.x, b)
+			if acc == nil {
+				acc = p.x.Bitmap(b)
+			} else {
+				acc = acc.Or(p.x.Bitmap(b))
+			}
+		}
+		ct.flush()
+		if len(p.bins) == 1 {
+			acc = acc.Clone()
+		}
+		n.addCost(Cost{BinsTouched: len(p.bins)})
+		e.store(p.key, acc, p.gens)
+		n.setOut(acc)
+		e.markMiss(n, p.key)
+		osp.SetAttrInt("bins", int64(len(p.bins)))
+		addOperandSpans(osp, ct)
+		osp.End()
+		return acc
+
+	case planAnd:
+		if hit := e.lookup(p.key); hit != nil {
+			return e.hitResult(prof, "and-merge", p.note, hit)
+		}
+		acc := e.exec(p.children[0], prof, sp)
+		for i := 1; i < len(p.children); i++ {
+			c := p.children[i]
+			// Runtime short-circuit: an empty intermediate zeroes every
+			// further AND, so the remaining operands are never computed.
+			if acc.Count() == 0 {
+				prof.child("and-merge", fmt.Sprintf("short-circuit: empty intermediate, %d operands skipped", len(p.children)-i))
+				break
+			}
+			rhs := e.exec(c, prof, sp)
+			op := "and-merge"
+			if c.kind == planRange {
+				op = "and-range"
+			}
+			detail := p.note
+			if c.kind == planRange {
+				detail = fmt.Sprintf("spatial=[%d,%d)", c.slo, c.shi)
+			}
+			n := prof.child(op, detail)
+			asp := sp.Child(op)
+			n.scanOperand(acc)
+			n.scanOperand(rhs)
+			n.markFallback(countPairOperands(acc, rhs))
+			acc = acc.And(rhs)
+			n.setOut(acc)
+			asp.SetAttr("codec", codecName(acc))
+			asp.End()
+		}
+		e.store(p.key, acc, p.gens)
+		return acc
+	}
+	// Unreachable: every kind is handled above.
+	return zeroVector(p.n)
+}
+
+// hitResult is the common cache-hit epilogue for whole-node hits.
+func (e *executor) hitResult(prof *Node, op, detail string, hit bitvec.Bitmap) bitvec.Bitmap {
+	e.cacheHitNode(prof, op, detail, hit)
+	return hit
+}
+
+// ---------------------------------------------------------------------------
+// Explain rendering of an optimized plan: the same tree shapes exec emits,
+// with estimated costs instead of measured ones, so `bitmapctl explain`
+// shows the chosen operand order, pruning, and merge strategy up front.
+
+func explainPlanNode(p *planNode, parent *Node) {
+	switch p.kind {
+	case planEmpty:
+		parent.child("empty", p.note).setRows(0)
+
+	case planOnes:
+		n := parent.child("ones", "no value predicate")
+		n.setRows(p.n)
+
+	case planRange:
+		n := parent.child("range", fmt.Sprintf("spatial=[%d,%d)", p.slo, p.shi))
+		n.addCost(p.est)
+
+	case planBinOr:
+		detail := fmt.Sprintf("value=[%g,%g)", p.vlo, p.vhi)
+		if p.note != "" {
+			detail += "; " + p.note
+		}
+		n := parent.child("or-merge", detail)
+		for _, b := range p.bins {
+			c := n.child("or", "")
+			c.Bin = b
+			c.Codec = p.x.Codec(b).String()
+			c.Cost = estBin(p.x, b, 1)
+		}
+		n.addCost(Cost{BinsTouched: len(p.bins)})
+		n.setRows(int(p.est.Rows))
+
+	case planAnd:
+		explainPlanNode(p.children[0], parent)
+		segWords := int64((p.n + bitvec.SegmentBits - 1) / bitvec.SegmentBits)
+		rows := p.children[0].est.Rows
+		for i := 1; i < len(p.children); i++ {
+			c := p.children[i]
+			op, detail := "and-merge", p.note
+			if c.kind == planRange {
+				op, detail = "and-range", fmt.Sprintf("spatial=[%d,%d)", c.slo, c.shi)
+				if c.note != "" {
+					detail += "; " + c.note
+				}
+				if p.note != "" {
+					detail += "; " + p.note
+				}
+			} else {
+				explainPlanNode(c, parent)
+			}
+			n := parent.child(op, detail)
+			n.addCost(Cost{WordsScanned: 2 * segWords, BytesDecoded: 8 * segWords})
+			if p.n > 0 {
+				rows = int64(float64(rows) * float64(c.est.Rows) / float64(p.n))
+			}
+			n.setRows(int(rows))
+		}
+	}
+}

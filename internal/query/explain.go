@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"insitubits/internal/bitcache"
 	"insitubits/internal/bitvec"
 	"insitubits/internal/codec"
 	"insitubits/internal/index"
@@ -148,10 +149,27 @@ func countPairOperands(a, b bitvec.Bitmap) int64 {
 // overhead budget protects; the physical composition of the operands is
 // the same number, read after the fact via Stats).
 
-func bitsImpl(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (bitvec.Bitmap, error) {
+func bitsImpl(e *executor, x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (bitvec.Bitmap, error) {
 	if err := s.validate(x.N()); err != nil {
 		return nil, err
 	}
+	if !PlannerEnabled() {
+		return bitsNaive(x, s, prof, sp)
+	}
+	p := planBits(x, s)
+	optimize(p)
+	v := e.exec(p, prof, sp)
+	if prof != nil {
+		prof.setRows(v.Count())
+	}
+	return v, nil
+}
+
+// bitsNaive is the pre-planner fixed-order execution: bins OR-merged in
+// index order, then one AND with a freshly built range indicator. Kept as
+// the reference the differential suite compares planned execution against
+// (and the SetPlanner(false) escape hatch).
+func bitsNaive(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (bitvec.Bitmap, error) {
 	var v bitvec.Bitmap
 	if s.hasValue() {
 		n := prof.child("or-merge", fmt.Sprintf("value=[%g,%g)", s.ValueLo, s.ValueHi))
@@ -204,10 +222,18 @@ func bitsImpl(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan) (b
 func binCounts(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan, visit func(b, c int)) {
 	lo, hi := s.spatialBounds(x.N())
 	bsp := sp.Child("bin-counts")
-	cached, scanned := 0, 0
+	cached, scanned, pruned := 0, 0, 0
+	planned := PlannerEnabled()
 	var ct codecTally
 	for b := 0; b < x.Bins(); b++ {
 		if !s.binSelected(x, b) {
+			continue
+		}
+		// Planner empty-bin pruning: a bin with zero cached cardinality
+		// contributes nothing to any count, so its bitmap is never scanned.
+		// Bin order is preserved — Quantile and MinMax depend on it.
+		if planned && x.Count(b) == 0 {
+			pruned++
 			continue
 		}
 		var c int
@@ -229,6 +255,9 @@ func binCounts(x *index.Index, s Subset, prof *Node, sp *telemetry.ActiveSpan, v
 		visit(b, c)
 	}
 	ct.flush()
+	if pruned > 0 {
+		prof.child("prune", fmt.Sprintf("skipped %d empty bins", pruned))
+	}
 	if bsp != nil {
 		bsp.SetAttrInt("cached_counts", int64(cached))
 		bsp.SetAttrInt("scanned_bins", int64(scanned))
@@ -388,7 +417,7 @@ func sumMaskedImpl(x *index.Index, mask bitvec.Bitmap, prof *Node, sp *telemetry
 	return agg, nil
 }
 
-func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node, sp *telemetry.ActiveSpan) (metrics.Pair, error) {
+func correlationImpl(e *executor, xa, xb *index.Index, sa, sb Subset, prof *Node, sp *telemetry.ActiveSpan) (metrics.Pair, error) {
 	if xa.N() != xb.N() {
 		return metrics.Pair{}, fmt.Errorf("query: indices over %d and %d elements", xa.N(), xb.N())
 	}
@@ -402,26 +431,55 @@ func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node, sp *telemet
 		return metrics.Pair{}, fmt.Errorf("query: correlation needs one common spatial range, got [%d,%d) vs [%d,%d)",
 			sa.SpatialLo, sa.SpatialHi, sb.SpatialLo, sb.SpatialHi)
 	}
-	aSpan := sp.Child("bits-a")
-	maskA, err := bitsImpl(xa, sa, prof.child("bits-a", sa.describe()), aSpan)
-	aSpan.End()
-	if err != nil {
-		return metrics.Pair{}, err
+	var mask bitvec.Bitmap
+	var mn *Node
+	var maskKey string
+	var maskGens []uint64
+	if PlannerEnabled() {
+		// The planner flattens bits(xa,sa) AND bits(xb,sb) into one
+		// multi-operand AND: the shared range indicator is built once and
+		// operands merge most-selective-first.
+		pl := planCorrelationMask(xa, xb, sa, sb)
+		optimize(pl)
+		mn = prof.child("mask", "planned: elements satisfying both predicates")
+		msp := sp.Child("mask")
+		mask = e.exec(pl, mn, msp)
+		msp.End()
+		maskKey, maskGens = pl.key, pl.gens
+	} else {
+		aSpan := sp.Child("bits-a")
+		maskA, err := bitsNaive(xa, sa, prof.child("bits-a", sa.describe()), aSpan)
+		aSpan.End()
+		if err != nil {
+			return metrics.Pair{}, err
+		}
+		bSpan := sp.Child("bits-b")
+		maskB, err := bitsNaive(xb, sb, prof.child("bits-b", sb.describe()), bSpan)
+		bSpan.End()
+		if err != nil {
+			return metrics.Pair{}, err
+		}
+		mn = prof.child("and-masks", "elements satisfying both predicates")
+		mn.scanOperand(maskA)
+		mn.scanOperand(maskB)
+		mn.markFallback(countPairOperands(maskA, maskB))
+		mask = maskA.And(maskB)
+		mn.setOut(mask)
 	}
-	bSpan := sp.Child("bits-b")
-	maskB, err := bitsImpl(xb, sb, prof.child("bits-b", sb.describe()), bSpan)
-	bSpan.End()
-	if err != nil {
-		return metrics.Pair{}, err
-	}
-	mn := prof.child("and-masks", "elements satisfying both predicates")
-	mn.scanOperand(maskA)
-	mn.scanOperand(maskB)
-	mn.markFallback(countPairOperands(maskA, maskB))
-	mask := maskA.And(maskB)
-	mn.setOut(mask)
 	n := mask.Count()
 	mn.setRows(n)
+	// Per-bin restrictions below are cached under and(bin, mask): repeated
+	// correlations over the same subsets (the interactive exploration
+	// pattern) skip the whole restriction pass on a warm cache.
+	restrictKey := func(x *index.Index, b int) string {
+		if maskKey == "" {
+			return ""
+		}
+		return bitcache.AndKey(bitcache.BinKey(x.Generation(), b), maskKey)
+	}
+	restrictGens := func(x *index.Index) []uint64 {
+		return append(append([]uint64(nil), maskGens...), x.Generation())
+	}
 	if n == 0 {
 		return metrics.Pair{}, nil
 	}
@@ -445,11 +503,23 @@ func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node, sp *telemet
 			continue
 		}
 		binsA++
-		opsA.bin(xa, i)
-		bn := an.binChild("and-mask", xa, i)
-		bn.scanOperand(mask)
-		bn.markFallback(countPairOperands(xa.Bitmap(i), mask))
-		restrictedA[i] = xa.Bitmap(i).And(mask)
+		var bn *Node
+		rk := restrictKey(xa, i)
+		if hit := e.lookup(rk); hit != nil {
+			bn = e.cacheHitNode(an, "and-mask", "", hit)
+			if bn != nil {
+				bn.Bin = i
+			}
+			restrictedA[i] = hit
+		} else {
+			opsA.bin(xa, i)
+			bn = an.binChild("and-mask", xa, i)
+			bn.scanOperand(mask)
+			bn.markFallback(countPairOperands(xa.Bitmap(i), mask))
+			restrictedA[i] = xa.Bitmap(i).And(mask)
+			e.store(rk, restrictedA[i], restrictGens(xa))
+			e.markMiss(bn, rk)
+		}
 		ha[i] = restrictedA[i].Count()
 		bn.setRows(ha[i])
 	}
@@ -467,10 +537,23 @@ func correlationImpl(xa, xb *index.Index, sa, sb Subset, prof *Node, sp *telemet
 			continue
 		}
 		binsB++
-		bn := jn.binChild("and-mask", xb, j)
-		bn.scanOperand(mask)
-		bn.markFallback(countPairOperands(xb.Bitmap(j), mask))
-		vj := xb.Bitmap(j).And(mask)
+		var bn *Node
+		var vj bitvec.Bitmap
+		rk := restrictKey(xb, j)
+		if hit := e.lookup(rk); hit != nil {
+			bn = e.cacheHitNode(jn, "and-mask", "", hit)
+			if bn != nil {
+				bn.Bin = j
+			}
+			vj = hit
+		} else {
+			bn = jn.binChild("and-mask", xb, j)
+			bn.scanOperand(mask)
+			bn.markFallback(countPairOperands(xb.Bitmap(j), mask))
+			vj = xb.Bitmap(j).And(mask)
+			e.store(rk, vj, restrictGens(xb))
+			e.markMiss(bn, rk)
+		}
 		hb[j] = vj.Count()
 		bn.setRows(hb[j])
 		if hb[j] == 0 {
@@ -557,7 +640,7 @@ func BitsAnalyze(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, 
 
 func bitsAnalyze(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
 	p, finish := newAnalyze(ctx, string(OpBits), s.describe())
-	v, err := bitsImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
+	v, err := bitsImpl(newExecutor(ctx), x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return v, p, err
 }
@@ -662,7 +745,7 @@ func CorrelationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset)
 
 func correlationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
 	p, finish := newAnalyze(ctx, "correlation", fmt.Sprintf("a: %s | b: %s", sa.describe(), sb.describe()))
-	pair, err := correlationImpl(xa, xb, sa, sb, p.Root, telemetry.SpanFromContext(ctx))
+	pair, err := correlationImpl(newExecutor(ctx), xa, xb, sa, sb, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
 	return pair, p, err
 }
@@ -730,6 +813,16 @@ func estBin(x *index.Index, b int, frac float64) Cost {
 }
 
 func explainBits(x *index.Index, s Subset, root *Node) {
+	if PlannerEnabled() {
+		// Show the optimized plan: chosen operand order, pruned bins, and
+		// merge strategy, with estimated costs on the same tree shapes the
+		// executor will emit.
+		p := planBits(x, s)
+		optimize(p)
+		explainPlanNode(p, root)
+		root.setRows(int(p.est.Rows))
+		return
+	}
 	frac := s.spatialFraction(x.N())
 	var rows int64
 	if s.hasValue() {
@@ -764,10 +857,15 @@ func explainBits(x *index.Index, s Subset, root *Node) {
 
 func explainBinCounts(x *index.Index, s Subset, root *Node) {
 	frac := s.spatialFraction(x.N())
-	touched := 0
+	touched, pruned := 0, 0
+	planned := PlannerEnabled()
 	var rows int64
 	for b := 0; b < x.Bins(); b++ {
 		if !s.binSelected(x, b) {
+			continue
+		}
+		if planned && x.Count(b) == 0 {
+			pruned++
 			continue
 		}
 		touched++
@@ -782,6 +880,9 @@ func explainBinCounts(x *index.Index, s Subset, root *Node) {
 		c.Bin = b
 		c.Codec = x.Codec(b).String()
 		rows += c.Cost.Rows
+	}
+	if pruned > 0 {
+		root.child("prune", fmt.Sprintf("skipped %d empty bins", pruned))
 	}
 	root.addCost(Cost{BinsTouched: touched})
 	root.setRows(int(rows))

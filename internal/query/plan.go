@@ -1,0 +1,271 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"insitubits/internal/bitcache"
+	"insitubits/internal/bitvec"
+	"insitubits/internal/codec"
+	"insitubits/internal/index"
+)
+
+// This file is the plan/optimize half of the query pipeline. Bits-shaped
+// requests (subset materialization, correlation masks) are first lowered to
+// a small algebraic IR — ORs of bin bitmaps, built range/ones indicators,
+// multi-operand ANDs — then optimized with the same O(1) per-bin statistics
+// the EXPLAIN estimator reads: empty bins are pruned, provably-empty
+// subtrees collapse without executing anything, AND operands are reordered
+// cheapest/most-selective-first (compressed-bitmap op cost tracks encoded
+// size — Lemire, Kaser & Aouiche), and built leaves pick the codec that
+// keeps merges on a native kernel. Execution (exec.go) then walks the
+// optimized tree, consulting the bitmap cache at every node that has a
+// canonical key. SetPlanner(false) reverts every entry point to the
+// fixed-order naive path, which the differential tests compare against.
+
+// plannerOff gates the pipeline; zero value = planner enabled.
+var plannerOff atomic.Bool
+
+// SetPlanner toggles the cost-based planner. Disabled, every entry point
+// executes operands in fixed index order with no cache, exactly as before
+// the planner existed — the reference behaviour of the differential suite.
+func SetPlanner(on bool) { plannerOff.Store(!on) }
+
+// PlannerEnabled reports whether the cost-based planner is active.
+func PlannerEnabled() bool { return !plannerOff.Load() }
+
+type planKind int
+
+const (
+	planEmpty planKind = iota // provably zero result, nothing to execute
+	planOnes                  // built all-ones indicator
+	planRange                 // built [lo,hi) spatial indicator
+	planBinOr                 // OR of the value-selected bins of one index
+	planAnd                   // multi-operand AND
+)
+
+// planNode is one operator of the bits IR. The builder fills the shape
+// fields; optimize fills estimates, cache keys, operand order, and notes.
+type planNode struct {
+	kind planKind
+	n    int // bit length of the result
+
+	// planBinOr
+	x         *index.Index
+	vlo, vhi  float64
+	bins      []int
+	uniform   bool // all kept bins share one codec
+	uniformID codec.ID
+
+	// planRange
+	slo, shi int
+
+	// planOnes / planRange: codec to build the leaf in (Auto = WAH default);
+	// the optimizer's cross-codec merge strategy sets it to match a sibling.
+	hint codec.ID
+
+	// planAnd
+	children []*planNode
+
+	est  Cost     // estimated cost of computing this node once
+	key  string   // canonical cache key ("" = uncacheable / not worth it)
+	gens []uint64 // index generations the expression reads
+	note string   // human-readable optimizer decision, surfaced in plans
+}
+
+// planLeafOnes builds the all-ones leaf over n bits.
+func planLeafOnes(n int) *planNode {
+	return &planNode{kind: planOnes, n: n, key: bitcache.OnesKey(n), est: Cost{Rows: int64(n)}}
+}
+
+// planLeafRange builds the [lo,hi) indicator leaf over n bits.
+func planLeafRange(n, lo, hi int) *planNode {
+	segWords := int64((n + bitvec.SegmentBits - 1) / bitvec.SegmentBits)
+	return &planNode{
+		kind: planRange, n: n, slo: lo, shi: hi,
+		key: bitcache.RangeKey(n, lo, hi),
+		est: Cost{WordsScanned: segWords, BytesDecoded: 4 * segWords, Rows: int64(hi - lo)},
+	}
+}
+
+// planValue lowers a value predicate to the OR of its selected bins.
+func planValue(x *index.Index, s Subset) *planNode {
+	nd := &planNode{kind: planBinOr, n: x.N(), x: x, vlo: s.ValueLo, vhi: s.ValueHi,
+		gens: []uint64{x.Generation()}}
+	for b := 0; b < x.Bins(); b++ {
+		if s.binSelected(x, b) {
+			nd.bins = append(nd.bins, b)
+		}
+	}
+	return nd
+}
+
+// planBits lowers Bits(x, s): the value OR (or all-ones) ANDed with the
+// spatial range indicator.
+func planBits(x *index.Index, s Subset) *planNode {
+	var val *planNode
+	if s.hasValue() {
+		val = planValue(x, s)
+	} else {
+		val = planLeafOnes(x.N())
+	}
+	if !s.hasSpatial() {
+		return val
+	}
+	return &planNode{kind: planAnd, n: x.N(),
+		children: []*planNode{val, planLeafRange(x.N(), s.SpatialLo, s.SpatialHi)}}
+}
+
+// planCorrelationMask lowers the correlation subset mask, flattening
+// bits(xa,sa) AND bits(xb,sb) into one multi-operand AND: both value ORs
+// plus at most one shared spatial indicator. The naive path builds the
+// range twice and merges in fixed order; flattening lets the optimizer
+// order all operands together and build the indicator once.
+func planCorrelationMask(xa, xb *index.Index, sa, sb Subset) *planNode {
+	n := xa.N()
+	var ops []*planNode
+	if sa.hasValue() {
+		ops = append(ops, planValue(xa, sa))
+	}
+	if sb.hasValue() {
+		ops = append(ops, planValue(xb, sb))
+	}
+	if sa.hasSpatial() {
+		ops = append(ops, planLeafRange(n, sa.SpatialLo, sa.SpatialHi))
+	}
+	switch len(ops) {
+	case 0:
+		return planLeafOnes(n)
+	case 1:
+		return ops[0]
+	}
+	return &planNode{kind: planAnd, n: n, children: ops}
+}
+
+// optimize finalizes a plan in place using only O(1) per-bin metadata —
+// the same inputs as the EXPLAIN estimator. It never touches a bitmap.
+func optimize(p *planNode) {
+	switch p.kind {
+	case planBinOr:
+		kept := p.bins[:0]
+		var words, bytes, rows int64
+		pruned := 0
+		p.uniform = true
+		for _, b := range p.bins {
+			if p.x.Count(b) == 0 {
+				pruned++
+				continue
+			}
+			if len(kept) == 0 {
+				p.uniformID = p.x.Codec(b)
+			} else if p.x.Codec(b) != p.uniformID {
+				p.uniform = false
+			}
+			kept = append(kept, b)
+			bm := p.x.Bitmap(b)
+			words += int64(bm.Words())
+			bytes += int64(bm.SizeBytes())
+			rows += int64(p.x.Count(b))
+		}
+		p.bins = kept
+		if pruned > 0 {
+			p.note = fmt.Sprintf("pruned %d empty bins", pruned)
+		}
+		if len(p.bins) == 0 {
+			p.kind = planEmpty
+			p.note = "provably empty: no occupied bins in value range"
+			p.est, p.key, p.gens = Cost{}, "", nil
+			return
+		}
+		p.est = Cost{BinsTouched: len(p.bins), WordsScanned: words, BytesDecoded: bytes, Rows: rows}
+		keys := make([]string, len(p.bins))
+		for i, b := range p.bins {
+			keys[i] = bitcache.BinKey(p.x.Generation(), b)
+		}
+		p.key = bitcache.OrKey(keys...)
+	case planAnd:
+		for _, c := range p.children {
+			optimize(c)
+		}
+		for _, c := range p.children {
+			if c.kind == planEmpty {
+				p.kind = planEmpty
+				p.n = c.n
+				p.note = "short-circuit: " + c.note
+				p.children, p.est, p.key, p.gens = nil, Cost{}, "", nil
+				return
+			}
+		}
+		// x AND ones = x: drop identity operands (keep one if nothing else).
+		if len(p.children) > 1 {
+			kept := p.children[:0]
+			for _, c := range p.children {
+				if c.kind != planOnes {
+					kept = append(kept, c)
+				}
+			}
+			if len(kept) == 0 {
+				kept = p.children[:1]
+			}
+			p.children = kept
+		}
+		if len(p.children) == 1 {
+			*p = *p.children[0]
+			return
+		}
+		// Cheapest / most-selective first: fewer expected rows means both a
+		// cheaper merge and a better chance of an early empty intermediate;
+		// encoded size breaks ties (op cost tracks it).
+		sort.SliceStable(p.children, func(i, j int) bool {
+			a, b := p.children[i], p.children[j]
+			if a.est.Rows != b.est.Rows {
+				return a.est.Rows < b.est.Rows
+			}
+			return a.est.WordsScanned < b.est.WordsScanned
+		})
+		p.note = "operands ordered most-selective-first"
+		// Cross-codec merge strategy: built leaves (range/ones) are free to
+		// pick their codec, so match them to a uniformly-dense bin operand —
+		// the AND then stays on the native dense word kernel instead of the
+		// generic 31-bit run merge.
+		dense := false
+		for _, c := range p.children {
+			if c.kind == planBinOr && c.uniform && c.uniformID == codec.Dense {
+				dense = true
+			}
+		}
+		if dense {
+			for _, c := range p.children {
+				if c.kind == planRange || c.kind == planOnes {
+					c.hint = codec.Dense
+					c.note = "built dense: native merge with dense operands"
+				}
+			}
+		}
+		// Estimates: cost sums the operands; rows assume independent
+		// predicates (product of selectivities over n).
+		cacheable := true
+		sel := 1.0
+		for _, c := range p.children {
+			p.est.add(c.est)
+			if p.n > 0 {
+				sel *= float64(c.est.Rows) / float64(p.n)
+			}
+			if c.key == "" {
+				cacheable = false
+			}
+			p.gens = append(p.gens, c.gens...)
+		}
+		p.est.Rows = int64(sel * float64(p.n))
+		if cacheable {
+			keys := make([]string, len(p.children))
+			for i, c := range p.children {
+				keys[i] = c.key
+			}
+			p.key = bitcache.AndKey(keys...)
+		} else {
+			p.key = ""
+		}
+	}
+}

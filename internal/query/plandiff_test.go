@@ -1,0 +1,349 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/bitcache"
+	"insitubits/internal/bitvec"
+	"insitubits/internal/codec"
+	"insitubits/internal/index"
+)
+
+// The planner/executor differential suite: every entry point, run through
+// the cost-based pipeline (with and without a cache), must produce results
+// byte-identical — after canonical WAH re-encoding, since the planner may
+// legitimately pick a different in-memory codec — to the fixed-order naive
+// path (SetPlanner(false)), across all three codecs and mixed-codec
+// indices. The naive path is the reference precisely because it predates
+// the planner: it shares no ordering, pruning, or caching logic with it.
+
+// naively runs f with the planner disabled and restores it.
+func naively(f func()) {
+	SetPlanner(false)
+	defer SetPlanner(true)
+	f()
+}
+
+// assertCanonicalEqual fails unless got and want are byte-identical after
+// canonical WAH re-encoding, and logically Equal both ways.
+func assertCanonicalEqual(t *testing.T, label string, got, want bitvec.Bitmap) {
+	t.Helper()
+	gw := bitvec.ToVector(got).RawWords()
+	ww := bitvec.ToVector(want).RawWords()
+	if len(gw) != len(ww) {
+		t.Fatalf("%s: canonical encodings differ in length: %d vs %d words", label, len(gw), len(ww))
+	}
+	for i := range gw {
+		if gw[i] != ww[i] {
+			t.Fatalf("%s: canonical encodings differ at word %d: %08x vs %08x", label, i, gw[i], ww[i])
+		}
+	}
+	if !got.Equal(want) || !want.Equal(got) {
+		t.Fatalf("%s: bitmaps not Equal despite identical canonical bytes", label)
+	}
+}
+
+// diffSubsets is the fixed subset matrix: value-only, spatial-only, both,
+// narrow, unbounded, single-bin, and a provably-empty value range.
+func diffSubsets(n int) []Subset {
+	return []Subset{
+		{},                                   // unbounded
+		{ValueLo: 2, ValueHi: 6},             // value only
+		{SpatialLo: 100, SpatialHi: n - 100}, // spatial only
+		{ValueLo: 1, ValueHi: 7, SpatialLo: 31, SpatialHi: n / 2},       // both
+		{ValueLo: 3, ValueHi: 4, SpatialLo: n / 4, SpatialHi: n/4 + 64}, // narrow
+		{ValueLo: 100, ValueHi: 200},                                    // provably empty value range
+		{ValueLo: 0, ValueHi: 8, SpatialLo: 0, SpatialHi: n},            // explicit full
+	}
+}
+
+func TestPlannedMatchesNaiveAllCodecs(t *testing.T) {
+	n := 31 * 400
+	for _, tc := range []struct {
+		name string
+		id   codec.ID
+	}{
+		{"wah", codec.WAH}, {"bbc", codec.BBC}, {"dense", codec.Dense}, {"mixed", codec.Auto},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x := explainTestIndex(t, tc.id)
+			for _, cache := range []*bitcache.Cache{nil, bitcache.New(1 << 20)} {
+				ctx := WithCache(context.Background(), cache)
+				mode := "cache-off"
+				if cache != nil {
+					mode = "cache-on"
+				}
+				for si, s := range diffSubsets(n) {
+					// Twice per subset: with a cache the second run exercises
+					// the hit path, which must be just as identical.
+					for pass := 0; pass < 2; pass++ {
+						got, err := Bits(ctx, x, s)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var want bitvec.Bitmap
+						naively(func() { want, err = Bits(context.Background(), x, s) })
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := mode + " subset " + string(rune('0'+si))
+						assertCanonicalEqual(t, label, got, want)
+
+						gotN, err := Count(ctx, x, s)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var wantN int
+						naively(func() { wantN, err = Count(context.Background(), x, s) })
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gotN != wantN {
+							t.Fatalf("%s: Count %d != naive %d", label, gotN, wantN)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPlannedAggregatesMatchNaive(t *testing.T) {
+	x := explainTestIndex(t, codec.Auto)
+	n := x.N()
+	ctx := WithCache(context.Background(), bitcache.New(1<<20))
+	for _, s := range diffSubsets(n) {
+		gotSum, err1 := Sum(ctx, x, s)
+		gotMean, err2 := Mean(ctx, x, s)
+		gotQ, err3 := Quantile(ctx, x, s, 0.5)
+		gotMin, gotMax, err4 := MinMax(ctx, x, s)
+		var wantSum, wantMean, wantQ, wantMin, wantMax Aggregate
+		var werr1, werr2, werr3, werr4 error
+		naively(func() {
+			wantSum, werr1 = Sum(context.Background(), x, s)
+			wantMean, werr2 = Mean(context.Background(), x, s)
+			wantQ, werr3 = Quantile(context.Background(), x, s, 0.5)
+			wantMin, wantMax, werr4 = MinMax(context.Background(), x, s)
+		})
+		for i, pair := range []struct{ e1, e2 error }{{err1, werr1}, {err2, werr2}, {err3, werr3}, {err4, werr4}} {
+			if (pair.e1 == nil) != (pair.e2 == nil) {
+				t.Fatalf("op %d: error mismatch: %v vs %v", i, pair.e1, pair.e2)
+			}
+		}
+		if gotSum != wantSum || gotMean != wantMean || gotQ != wantQ || gotMin != wantMin || gotMax != wantMax {
+			t.Fatalf("subset %+v: aggregates diverge:\n planned %+v %+v %+v %+v %+v\n naive   %+v %+v %+v %+v %+v",
+				s, gotSum, gotMean, gotQ, gotMin, gotMax, wantSum, wantMean, wantQ, wantMin, wantMax)
+		}
+	}
+}
+
+func TestPlannedCorrelationMatchesNaive(t *testing.T) {
+	n := 31 * 300
+	m, err := binning.NewUniform(0, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := explainTestData(n)
+	db := make([]float64, n)
+	for i := range db {
+		db[i] = float64((i/97 + i%5) % 8)
+	}
+	for _, ids := range [][2]codec.ID{{codec.WAH, codec.WAH}, {codec.Dense, codec.BBC}, {codec.Auto, codec.Auto}} {
+		xa := index.BuildCodec(da, m, ids[0])
+		xb := index.BuildCodec(db, m, ids[1])
+		ctx := WithCache(context.Background(), bitcache.New(1<<20))
+		for _, sa := range []Subset{{}, {ValueLo: 1, ValueHi: 6}, {ValueLo: 2, ValueHi: 7, SpatialLo: 62, SpatialHi: n - 62}} {
+			// The spatial range applies to both variables, so it must match.
+			sb := Subset{ValueLo: 0, ValueHi: 5, SpatialLo: sa.SpatialLo, SpatialHi: sa.SpatialHi}
+			for pass := 0; pass < 2; pass++ { // second pass hits cached masks
+				got, err := Correlation(ctx, xa, xb, sa, sb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want struct {
+					p   interface{}
+					err error
+				}
+				naively(func() {
+					p, e := Correlation(context.Background(), xa, xb, sa, sb)
+					want.p, want.err = p, e
+				})
+				if want.err != nil {
+					t.Fatal(want.err)
+				}
+				if got != want.p {
+					t.Fatalf("codecs %v pass %d: correlation diverges:\n planned %+v\n naive   %+v", ids, pass, got, want.p)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDiffFuzz is the randomized smoke the `make plan-diff` target runs:
+// random data, codecs, and subsets through a shared cache, always compared
+// byte-for-byte against the naive path.
+func TestPlanDiffFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := binning.NewUniform(0, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := bitcache.New(1 << 20)
+	ctx := WithCache(context.Background(), cache)
+	codecs := []codec.ID{codec.WAH, codec.BBC, codec.Dense, codec.Auto}
+	for iter := 0; iter < 40; iter++ {
+		n := 64 + rng.Intn(4096)
+		data := make([]float64, n)
+		runVal := float64(rng.Intn(16))
+		for i := range data {
+			if rng.Intn(20) == 0 { // new run value: fill/literal mixtures
+				runVal = float64(rng.Intn(16))
+			}
+			if rng.Intn(8) == 0 {
+				data[i] = float64(rng.Intn(16)) // scattered noise
+			} else {
+				data[i] = runVal
+			}
+		}
+		x := index.BuildCodec(data, m, codecs[rng.Intn(len(codecs))])
+		s := Subset{}
+		if rng.Intn(3) > 0 {
+			lo := float64(rng.Intn(16))
+			s.ValueLo, s.ValueHi = lo, lo+float64(1+rng.Intn(8))
+		}
+		if rng.Intn(3) > 0 {
+			lo := rng.Intn(n)
+			s.SpatialLo, s.SpatialHi = lo, lo+1+rng.Intn(n-lo)
+		}
+		got, err := Bits(ctx, x, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bitvec.Bitmap
+		naively(func() { want, err = Bits(context.Background(), x, s) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertCanonicalEqual(t, "fuzz iter", got, want)
+	}
+	if st := cache.Stats(); st.Hits+st.Misses == 0 {
+		t.Fatal("fuzz never consulted the cache")
+	}
+}
+
+// TestCacheGenerationInvalidationMidStream simulates the in-situ pipeline
+// publishing a new step in the middle of a query stream: cached results for
+// the superseded index generation are invalidated, and queries against the
+// re-published index never see stale bitmaps (its new generation makes the
+// old keys unreachable even before the invalidation sweep runs).
+func TestCacheGenerationInvalidationMidStream(t *testing.T) {
+	cache := bitcache.New(1 << 20)
+	ctx := WithCache(context.Background(), cache)
+	x := explainTestIndex(t, codec.WAH)
+	s := Subset{ValueLo: 2, ValueHi: 6}
+
+	v1, err := Bits(ctx, x, s) // cold: miss + store
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bits(ctx, x, s); err != nil { // warm: hit
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("expected a warm hit, stats %+v", st)
+	}
+	oldGen := x.Generation()
+
+	// "Publish a new step": the index is re-encoded (Recode stamps a fresh
+	// generation, exactly as a newly built step index would carry one) and
+	// the pipeline invalidates the superseded generation.
+	x.Recode(codec.Dense)
+	if x.Generation() == oldGen {
+		t.Fatal("Recode did not bump the index generation")
+	}
+	cache.InvalidateGeneration(oldGen)
+	if st := cache.Stats(); st.Invalidations == 0 {
+		t.Fatalf("expected invalidations, stats %+v", st)
+	}
+
+	preMisses := cache.Stats().Misses
+	v2, err := Bits(ctx, x, s) // must recompute under the new generation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Misses == preMisses {
+		t.Fatal("query after publish served a stale cached bitmap")
+	}
+	assertCanonicalEqual(t, "pre/post publish", v2, v1) // same logical data either way
+
+	var want bitvec.Bitmap
+	naively(func() { want, err = Bits(context.Background(), x, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCanonicalEqual(t, "post-publish vs naive", v2, want)
+}
+
+// TestPlannerExplainShowsDecisions locks in the user-visible optimizer
+// output: plan-order notes and, under ANALYZE with a cache, per-node
+// hit/miss annotations.
+func TestPlannerExplainShowsDecisions(t *testing.T) {
+	x := explainTestIndex(t, codec.WAH)
+	s := Subset{ValueLo: 1, ValueHi: 7, SpatialLo: 31, SpatialHi: x.N() - 31}
+	prof, err := Explain(x, s, OpBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsNote(prof.Root, "most-selective-first") {
+		t.Fatalf("EXPLAIN lost the operand-order note:\n%s", prof.Render())
+	}
+
+	ctx := WithCache(context.Background(), bitcache.New(1<<20))
+	if _, _, err := BitsAnalyze(ctx, x, s); err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := BitsAnalyze(ctx, x, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCacheVerdict(p2.Root, "hit") {
+		t.Fatalf("warm ANALYZE shows no cache hit:\n%s", p2.Render())
+	}
+}
+
+func containsNote(n *Node, sub string) bool {
+	if n == nil {
+		return false
+	}
+	if len(sub) > 0 && len(n.Detail) >= len(sub) {
+		for i := 0; i+len(sub) <= len(n.Detail); i++ {
+			if n.Detail[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+	}
+	for _, c := range n.Children {
+		if containsNote(c, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasCacheVerdict(n *Node, verdict string) bool {
+	if n == nil {
+		return false
+	}
+	if n.Cache == verdict {
+		return true
+	}
+	for _, c := range n.Children {
+		if hasCacheVerdict(c, verdict) {
+			return true
+		}
+	}
+	return false
+}

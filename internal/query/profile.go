@@ -64,6 +64,10 @@ type Node struct {
 	Bin int `json:"bin"`
 	// Codec names the encoding of the bin (or dominant operand) when known.
 	Codec string `json:"codec,omitempty"`
+	// Cache records the bitmap cache's verdict for this operator ("hit" or
+	// "miss"); empty when no cache was consulted (cache disabled, or the
+	// operator's result is uncacheable).
+	Cache string `json:"cache,omitempty"`
 	// Cost is this operator's own accounting, excluding children.
 	Cost Cost `json:"cost"`
 	// ElapsedNs is the measured wall time, when the operator was timed
@@ -129,6 +133,14 @@ func (n *Node) setRows(rows int) {
 		return
 	}
 	n.Cost.Rows = int64(rows)
+}
+
+// markCache records the cache verdict for this operator. Nil-safe.
+func (n *Node) markCache(verdict string) {
+	if n == nil {
+		return
+	}
+	n.Cache = verdict
 }
 
 // markFallback charges n cross-codec fallback merges. Nil-safe.
@@ -259,6 +271,9 @@ func (n *Node) describe() string {
 	}
 	if n.Codec != "" {
 		fmt.Fprintf(&sb, " codec=%s", n.Codec)
+	}
+	if n.Cache != "" {
+		fmt.Fprintf(&sb, " cache=%s", n.Cache)
 	}
 	if n.Detail != "" {
 		fmt.Fprintf(&sb, " (%s)", n.Detail)

@@ -63,7 +63,7 @@ func Bits(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, error) 
 		v, _, err := bitsAnalyze(ctx, x, s)
 		return v, err
 	}
-	return bitsImpl(x, s, nil, sp)
+	return bitsImpl(newExecutor(ctx), x, s, nil, sp)
 }
 
 func onesVector(n int) *bitvec.Vector {
@@ -233,7 +233,7 @@ func Correlation(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metri
 		pair, _, err := correlationAnalyze(ctx, xa, xb, sa, sb)
 		return pair, err
 	}
-	return correlationImpl(xa, xb, sa, sb, nil, sp)
+	return correlationImpl(newExecutor(ctx), xa, xb, sa, sb, nil, sp)
 }
 
 // Masked wraps an index together with a validity bitvector for

@@ -21,6 +21,7 @@ import (
 //	/healthz       liveness: {"status":"ok",...}
 //	/debug/traces  recent kept traces; ?id= fetches one (&format=chrome|otlp|json)
 //	/debug/run     the "run" live-status provider (the in-situ pipeline)
+//	/debug/cache   the "cache" live-status provider (the bitmap cache)
 //	/debug/vars    expvar (includes the "telemetry" var)
 //	/debug/pprof/  the standard pprof profiles
 type DebugServer struct {
@@ -66,6 +67,14 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 		}
 		writeJSON(w, v)
 	})
+	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, _ *http.Request) {
+		v, ok := r.StatusValue("cache")
+		if !ok {
+			http.Error(w, "no cache status published", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, v)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -77,7 +86,7 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/metrics\n/healthz\n/debug/traces\n/debug/run\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/metrics\n/healthz\n/debug/traces\n/debug/run\n/debug/cache\n/debug/vars\n/debug/pprof/\n")
 	})
 	r.ensureBuildInfo()
 	ln, err := net.Listen("tcp", addr)
