@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead fuzz-smoke crash-matrix plan-diff ci
+.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead fuzz-smoke crash-matrix plan-diff replay-diff ci
 
 all: build
 
@@ -17,9 +17,10 @@ race:
 	$(GO) test -race ./...
 
 # Race pass focused on the packages with the most lock-free state: the
-# query layer (slow-log gate, codec counters) and the telemetry registry.
+# query layer (slow-log gate, capture gate, codec counters), the telemetry
+# registry (incl. the metrics-history ring), and the workload-log writer.
 race-hot:
-	$(GO) test -race ./internal/query/ ./internal/telemetry/
+	$(GO) test -race ./internal/query/ ./internal/telemetry/ ./internal/qlog/
 
 # Telemetry micro-benchmarks plus the instrumented-vs-disabled append pair.
 bench:
@@ -46,12 +47,13 @@ trace-smoke:
 	$(GO) test -run 'TestSlowQueryTraceEndToEnd|TestChromeTraceRoundtrip|TestOTLPJSONRoundtrip' . ./internal/telemetry/
 
 # Timing guards for the < 2% observability budgets (docs/OBSERVABILITY.md):
-# the telemetry hooks on the bitvec append hot loop, and the slow-log gate +
-# codec counters on the plain query path with ANALYZE disabled. Gated behind
-# the env var because wall-clock assertions flap on loaded CI hosts; run it
-# on a quiet machine.
+# the telemetry hooks on the bitvec append hot loop, the slow-log gate +
+# codec counters on the plain query path with ANALYZE disabled, and the
+# workload-capture path with a qlog writer installed. Gated behind the env
+# var because wall-clock assertions flap on loaded CI hosts; run it on a
+# quiet machine.
 overhead:
-	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run 'TestInstrumentationOverhead|TestAnalyzeOverheadDisabled' -v ./internal/bitvec/ ./internal/query/
+	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run 'TestInstrumentationOverhead|TestAnalyzeOverheadDisabled|TestQlogCaptureOverhead' -v ./internal/bitvec/ ./internal/query/
 
 # Short fuzz passes over the untrusted parsers (docs/FORMATS.md): the
 # index-file reader and the run-journal parser. Full corpus exploration is
@@ -68,6 +70,13 @@ fuzz-smoke:
 plan-diff:
 	$(GO) test -run 'TestPlanned|TestPlanDiffFuzz|TestCacheGenerationInvalidationMidStream|TestMineCache' -v ./internal/query/ ./internal/mining/
 
+# Workload capture/replay regression gate (docs/OBSERVABILITY.md "Workload
+# capture & replay"): a captured log must replay with byte-identical result
+# digests across all three codecs, planner on/off, and cache on/off —
+# including against a codec-recoded index — and a tampered digest must fail.
+replay-diff:
+	$(GO) test -run 'TestReplay|TestCaptureWorkload' -v ./internal/replay/ ./internal/query/
+
 # The crash-safety acceptance suite (docs/ROBUSTNESS.md): kill a run at
 # every recorded write boundary and every mid-write offset, resume, and
 # require a byte-identical directory plus a clean fsck — under the race
@@ -75,4 +84,4 @@ plan-diff:
 crash-matrix:
 	$(GO) test -race -run 'TestCrashMatrix|TestResume|TestTransient|TestWorkerPanic|TestFsck' -v ./internal/insitu/
 
-ci: vet build race-hot race plan-diff trace-smoke bench-check overhead crash-matrix fuzz-smoke
+ci: vet build race-hot race plan-diff replay-diff trace-smoke bench-check overhead crash-matrix fuzz-smoke

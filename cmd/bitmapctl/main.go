@@ -13,6 +13,8 @@
 //	bitmapctl emd a.isbm b.isbm
 //	bitmapctl fsck [-repair] [-json] outdir/
 //	bitmapctl top -addr localhost:6060 [-interval 1s] [-once]
+//	bitmapctl replay -log workload.isql [-concurrency N] [-speedup X] index.isbm
+//	bitmapctl workload -log workload.isql [index.isbm]
 //
 // Raw input files use the .israw format (WriteRawFile); `bitmapctl genraw`
 // produces a demo file from the Heat3D workload.
@@ -22,12 +24,19 @@
 // histograms and pprof (see docs/OBSERVABILITY.md):
 //
 //	bitmapctl -debug-addr :6060 mine -units 64 a.isbm b.isbm
+//
+// The global -qlog flag captures every query the command executes into a
+// workload log for later `bitmapctl replay` / `bitmapctl workload`:
+//
+//	bitmapctl -qlog workload.isql explain -op count -lo 1 -hi 5 index.isbm
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"insitubits"
 )
@@ -37,6 +46,7 @@ func main() {
 	global.Usage = func() { usage() }
 	debugAddr := global.String("debug-addr", "", "serve live telemetry, expvar and pprof on this address (e.g. :6060)")
 	cacheMB := global.Int("cache-mb", 0, "install a materialized-bitmap cache of this many MB for the command (0 = off)")
+	qlogPath := global.String("qlog", "", "capture every executed query into this workload log (.isql)")
 	global.Parse(os.Args[1:]) // stops at the subcommand (first non-flag)
 	if global.NArg() < 1 {
 		usage()
@@ -53,7 +63,28 @@ func main() {
 			os.Exit(1)
 		}
 		defer dbg.Close()
+		hist := insitubits.StartMetricsHistory(insitubits.Telemetry, time.Second, 300)
+		defer hist.Stop()
 		fmt.Fprintf(os.Stderr, "debug server: http://%s\n", dbg.Addr)
+	}
+	if *qlogPath != "" {
+		w, err := insitubits.CreateQueryLog(*qlogPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bitmapctl: %v\n", err)
+			os.Exit(1)
+		}
+		insitubits.InstallQueryLog(w)
+		defer func() {
+			insitubits.InstallQueryLog(nil)
+			if err := w.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "bitmapctl: closing workload log: %v\n", err)
+			}
+			// Health after Close: records are counted as the drain goroutine
+			// writes them, so the final count is only stable once drained.
+			h := w.Health()
+			fmt.Fprintf(os.Stderr, "workload log: %d records to %s (%d dropped, %d errors)\n",
+				h.Records, *qlogPath, h.Dropped, h.Errors)
+		}()
 	}
 	var err error
 	switch cmd {
@@ -99,6 +130,10 @@ func main() {
 		err = cmdTop(args)
 	case "cache-stats":
 		err = cmdCacheStats(args)
+	case "replay":
+		err = cmdReplay(args)
+	case "workload":
+		err = cmdWorkload(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -110,7 +145,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] [-cache-mb N] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|cache-stats|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] [-cache-mb N] [-qlog FILE] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|cache-stats|replay|workload|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {
@@ -303,8 +338,14 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	v := x.Query(*lo, *hi)
-	fmt.Printf("%d of %d elements have values in [%g, %g) (bin-granular)\n", v.Count(), x.N(), *lo, *hi)
+	// Route through the query layer (not x.Query directly) so the count
+	// participates in planning, caching, and workload capture (-qlog).
+	n, err := insitubits.SubsetCount(context.Background(), x,
+		insitubits.QuerySubset{ValueLo: *lo, ValueHi: *hi})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d of %d elements have values in [%g, %g) (bin-granular)\n", n, x.N(), *lo, *hi)
 	return nil
 }
 

@@ -30,6 +30,7 @@ func cmdTop(args []string) error {
 		*interval = 100 * time.Millisecond
 	}
 	url := fmt.Sprintf("http://%s/debug/run", *addr)
+	histURL := fmt.Sprintf("http://%s/debug/metrics/history", *addr)
 	for {
 		st, err := fetchRunStatus(url)
 		if err != nil {
@@ -41,6 +42,11 @@ func cmdTop(args []string) error {
 			fmt.Printf("\033[H\033[2Jbitmapctl top: %v (retrying every %s)\n", err, *interval)
 		} else {
 			out := renderTop(st)
+			// The metrics history is optional (the server may not have
+			// started a sampler) — render sparklines when it's there.
+			if hist, herr := fetchMetricsHistory(histURL); herr == nil {
+				out += renderHistory(hist, 30)
+			}
 			if *once {
 				fmt.Print(out)
 				return nil
@@ -74,6 +80,28 @@ func fetchRunStatus(url string) (insitubits.RunStatus, error) {
 	return st, nil
 }
 
+// fetchMetricsHistory GETs and decodes one /debug/metrics/history dump.
+func fetchMetricsHistory(url string) (insitubits.MetricsHistoryDump, error) {
+	var d insitubits.MetricsHistoryDump
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return d, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return d, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return d, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if err := json.Unmarshal(body, &d); err != nil {
+		return d, fmt.Errorf("decoding metrics history: %w", err)
+	}
+	return d, nil
+}
+
 // renderTop formats one run-status snapshot as a terminal screen. Pure —
 // the refresh loop and the tests share it.
 func renderTop(st insitubits.RunStatus) string {
@@ -99,6 +127,13 @@ func renderTop(st insitubits.RunStatus) string {
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "selected  %d steps, %s written\n", st.Selected, fmtBytes(st.BytesWritten))
 	fmt.Fprintf(&b, "queue     depth %d, peak %d\n", st.QueueDepth, st.QueuePeak)
+	if st.Generation > 0 || st.Journal != "" {
+		fmt.Fprintf(&b, "index     generation %d", st.Generation)
+		if st.Journal != "" {
+			fmt.Fprintf(&b, ", journal %s", st.Journal)
+		}
+		b.WriteByte('\n')
+	}
 	fmt.Fprintf(&b, "elapsed   %s\n", time.Duration(st.ElapsedNs).Round(time.Millisecond))
 
 	if len(st.Phases) > 0 {
@@ -130,6 +165,115 @@ func renderTop(st insitubits.RunStatus) string {
 		fmt.Fprintf(&b, "trace     %s (GET /debug/traces?id=%s)\n", st.TraceID, st.TraceID)
 	}
 	return b.String()
+}
+
+// queryOpCounters are the per-entry-point counters summed into the
+// queries/s rate line.
+var queryOpCounters = []string{
+	"query.bits", "query.count", "query.sum", "query.minmax",
+	"query.quantile", "query.correlation", "query.masked",
+}
+
+// renderHistory formats the metrics-history ring as sparkline rate lines:
+// query throughput, operand word scans, cache hit-rate, and workload-log
+// capture rate — only series that moved during the window are shown. Pure —
+// the refresh loop and the tests share it.
+func renderHistory(d insitubits.MetricsHistoryDump, width int) string {
+	if len(d.Samples) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	sumRates := func(names ...string) []float64 {
+		var out []float64
+		for _, name := range names {
+			series, ok := d.Rates[name]
+			if !ok {
+				continue
+			}
+			if out == nil {
+				out = make([]float64, len(series))
+			}
+			for i, v := range series {
+				out[i] += v
+			}
+		}
+		return out
+	}
+	line := func(label, unit string, vals []float64) {
+		if len(vals) == 0 {
+			return
+		}
+		last := vals[len(vals)-1]
+		max := 0.0
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			return // flat zero: nothing happened in the window
+		}
+		fmt.Fprintf(&b, "%-9s %s %.4g%s\n", label, sparkline(vals, width), last, unit)
+	}
+	line("queries", "/s", sumRates(queryOpCounters...))
+	line("scans", " words/s", sumRates("query.codec_ops.wah", "query.codec_ops.bbc", "query.codec_ops.dense", "query.codec_ops.other"))
+	line("steps", "/s", sumRates("insitu.steps_processed"))
+	line("qlog", " rec/s", sumRates("qlog.records"))
+	// Cache hit-rate needs hits and misses per interval, not a plain sum.
+	hits, misses := d.Rates["bitcache.hits"], d.Rates["bitcache.misses"]
+	if len(hits) > 0 && len(hits) == len(misses) {
+		pct := make([]float64, len(hits))
+		any := false
+		for i := range hits {
+			if total := hits[i] + misses[i]; total > 0 {
+				pct[i] = 100 * hits[i] / total
+				any = true
+			}
+		}
+		if any {
+			fmt.Fprintf(&b, "%-9s %s %.1f%%\n", "cache hit", sparkline(pct, width), pct[len(pct)-1])
+		}
+	}
+	if b.Len() == 0 {
+		return ""
+	}
+	return "rates over last " + (time.Duration(d.IntervalNs) * time.Duration(len(d.Samples)-1)).Round(time.Second).String() + ":\n" + b.String()
+}
+
+// sparkLevels are the eight block glyphs a sparkline is drawn with.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals scaled to the block glyphs, downsampled (max of
+// each bucket, so spikes survive) to at most width runes.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		packed := make([]float64, width)
+		for i, v := range vals {
+			j := i * width / len(vals)
+			if v > packed[j] {
+				packed[j] = v
+			}
+		}
+		vals = packed
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		level := 0
+		if max > 0 {
+			level = int(v / max * float64(len(sparkLevels)-1))
+		}
+		out[i] = sparkLevels[level]
+	}
+	return string(out)
 }
 
 // progressBar renders done/total as a fixed-width bar.

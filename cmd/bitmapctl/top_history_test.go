@@ -1,0 +1,116 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"insitubits"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "" {
+		t.Errorf("empty sparkline: %q", got)
+	}
+	if got := sparkline([]float64{0, 0, 0}, 10); got != "▁▁▁" {
+		t.Errorf("flat-zero sparkline: %q", got)
+	}
+	got := sparkline([]float64{0, 5, 10}, 10)
+	if got != "▁▄█" {
+		t.Errorf("ramp sparkline: %q", got)
+	}
+	// Downsampling keeps spikes: 20 points into width 5 must still show a
+	// full-height glyph for the single spike.
+	vals := make([]float64, 20)
+	vals[11] = 100
+	got = sparkline(vals, 5)
+	if len([]rune(got)) != 5 || !strings.ContainsRune(got, '█') {
+		t.Errorf("downsampled sparkline lost the spike: %q", got)
+	}
+}
+
+func historyDump() insitubits.MetricsHistoryDump {
+	return insitubits.MetricsHistoryDump{
+		IntervalNs: 1e9,
+		Capacity:   300,
+		Samples: []insitubits.MetricsHistorySample{
+			{UnixNs: 1e9}, {UnixNs: 2e9}, {UnixNs: 3e9},
+		},
+		Rates: map[string][]float64{
+			"query.count":     {10, 30},
+			"query.bits":      {5, 5},
+			"bitcache.hits":   {8, 9},
+			"bitcache.misses": {2, 1},
+			"qlog.records":    {15, 35},
+		},
+	}
+}
+
+func TestRenderHistory(t *testing.T) {
+	out := renderHistory(historyDump(), 20)
+	for _, want := range []string{
+		"rates over last 2s",
+		"queries",
+		"35/s", // query.count + query.bits, last interval
+		"qlog",
+		"35 rec/s",
+		"cache hit",
+		"90.0%", // 9 hits / 10 lookups in the last interval
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderHistory output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("renderHistory drew no sparkline glyphs:\n%s", out)
+	}
+
+	// Too few samples: nothing to draw.
+	if out := renderHistory(insitubits.MetricsHistoryDump{Samples: []insitubits.MetricsHistorySample{{}}}, 20); out != "" {
+		t.Errorf("single-sample history rendered %q", out)
+	}
+	// All-flat-zero rates: no rate lines, so the whole block is elided.
+	d := historyDump()
+	d.Rates = map[string][]float64{"query.count": {0, 0}}
+	if out := renderHistory(d, 20); out != "" {
+		t.Errorf("flat history rendered %q", out)
+	}
+}
+
+// TestRenderTopGenerationJournal covers the run-status fields /healthz and
+// top gained for the observability plane.
+func TestRenderTopGenerationJournal(t *testing.T) {
+	st := topStatus()
+	st.Generation = 42
+	st.Journal = "active"
+	out := renderTop(st)
+	if !strings.Contains(out, "generation 42") || !strings.Contains(out, "journal active") {
+		t.Errorf("renderTop missing generation/journal line:\n%s", out)
+	}
+	st.Generation, st.Journal = 0, ""
+	if out := renderTop(st); strings.Contains(out, "generation") {
+		t.Errorf("index line rendered with nothing to show:\n%s", out)
+	}
+}
+
+func TestFetchMetricsHistory(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/debug/metrics/history" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Write([]byte(`{"interval_ns":1000000000,"capacity":300,"samples":[{"unix_ns":1},{"unix_ns":2}],"rates":{"query.count":[3.5]}}`))
+	}))
+	defer srv.Close()
+	d, err := fetchMetricsHistory(srv.URL + "/debug/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Capacity != 300 || len(d.Samples) != 2 || d.Rates["query.count"][0] != 3.5 {
+		t.Errorf("decoded dump: %+v", d)
+	}
+	if _, err := fetchMetricsHistory(srv.URL + "/nope"); err == nil {
+		t.Error("non-200 response did not error")
+	}
+}

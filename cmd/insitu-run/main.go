@@ -18,8 +18,9 @@
 // span tree, the live /debug/run dashboard and pprof; -telemetry dumps the
 // full telemetry snapshot as JSON after the run; -slowlog/-slowlog-threshold
 // emit every query slower than the threshold as a JSON line with its full
-// ANALYZE profile; -hold keeps the process (and debug server) alive until
-// SIGINT/SIGTERM.
+// ANALYZE profile; -qlog captures every selection query into a workload
+// log for `bitmapctl replay` / `bitmapctl workload`; -hold keeps the
+// process (and debug server) alive until SIGINT/SIGTERM.
 //
 // Identity tracing: -trace records one TraceID'd span tree per pipeline
 // step, browsable at /debug/traces (plain, Chrome trace-event, or OTLP
@@ -70,6 +71,7 @@ func main() {
 	telemetryDump := flag.Bool("telemetry", false, "print the telemetry snapshot as JSON after the run")
 	slowLog := flag.String("slowlog", "", `slow-query log destination: "stderr" or a file path (JSON lines)`)
 	slowLogThreshold := flag.Duration("slowlog-threshold", 10*time.Millisecond, "log queries slower than this (with -slowlog)")
+	qlogPath := flag.String("qlog", "", "capture every selection query into this workload log (.isql)")
 	trace := flag.Bool("trace", false, "record identity traces (one per pipeline step), served at /debug/traces")
 	traceSample := flag.Int("trace-sample", 1, "keep 1 of every N traces (head sampling; 1 keeps all)")
 	traceSlow := flag.Duration("trace-slow", 0, "always keep traces slower than this, regardless of sampling")
@@ -116,7 +118,27 @@ func main() {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		fmt.Printf("debug server:   http://%s  (/telemetry /metrics /debug/vars /debug/pprof/)\n", dbg.Addr)
+		hist := insitubits.StartMetricsHistory(insitubits.Telemetry, time.Second, 300)
+		defer hist.Stop()
+		fmt.Printf("debug server:   http://%s  (/telemetry /metrics /debug/metrics/history /debug/vars /debug/pprof/)\n", dbg.Addr)
+	}
+	if *qlogPath != "" {
+		w, err := insitubits.CreateQueryLog(*qlogPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		insitubits.InstallQueryLog(w)
+		defer func() {
+			insitubits.InstallQueryLog(nil)
+			if err := w.Close(); err != nil {
+				log.Printf("workload log: %v", err)
+			}
+			// Health after Close: records are counted as the drain goroutine
+			// writes them, so the final count is only stable once drained.
+			h := w.Health()
+			fmt.Printf("workload log:   %d records to %s (%d dropped, %d errors)\n",
+				h.Records, *qlogPath, h.Dropped, h.Errors)
+		}()
 	}
 	if *slowLog != "" {
 		w := os.Stderr

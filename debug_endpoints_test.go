@@ -1,0 +1,165 @@
+package insitubits_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"insitubits"
+)
+
+// getJSON fetches a debug endpoint into a generic map.
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return out
+}
+
+// TestDebugEndpointShapes pins the JSON wire shapes of /debug/cache and
+// /healthz against the process-wide registry, exactly as a dashboard
+// consumes them: the cache stats keys, and the run/qlog/cache component
+// sections /healthz embeds.
+func TestDebugEndpointShapes(t *testing.T) {
+	srv, err := insitubits.Telemetry.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	// A default cache and an installed workload log make both components
+	// report as live.
+	insitubits.SetDefaultBitmapCache(insitubits.NewBitmapCache(1 << 20))
+	defer insitubits.SetDefaultBitmapCache(nil)
+	w, err := insitubits.CreateQueryLog(filepath.Join(t.TempDir(), "probe.isql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insitubits.InstallQueryLog(w)
+	defer func() {
+		insitubits.InstallQueryLog(nil)
+		w.Close()
+	}()
+
+	cache := getJSON(t, base+"/debug/cache")
+	for _, key := range []string{"enabled", "entries", "bytes", "max_bytes", "hits", "misses", "evictions", "invalidations"} {
+		if _, ok := cache[key]; !ok {
+			t.Errorf("/debug/cache missing %q: %v", key, cache)
+		}
+	}
+	if cache["enabled"] != true {
+		t.Errorf("/debug/cache enabled = %v with a default cache installed", cache["enabled"])
+	}
+
+	health := getJSON(t, base+"/healthz")
+	if health["status"] != "ok" {
+		t.Errorf("/healthz status = %v", health["status"])
+	}
+	if _, ok := health["uptime_seconds"]; !ok {
+		t.Error("/healthz missing uptime_seconds")
+	}
+	qh, ok := health["qlog"].(map[string]any)
+	if !ok {
+		t.Fatalf("/healthz missing qlog section: %v", health)
+	}
+	if qh["enabled"] != true {
+		t.Errorf("/healthz qlog.enabled = %v with a writer installed", qh["enabled"])
+	}
+	for _, key := range []string{"records", "dropped", "errors", "queue_depth", "queue_cap"} {
+		if _, ok := qh[key]; !ok {
+			t.Errorf("/healthz qlog section missing %q: %v", key, qh)
+		}
+	}
+	if ch, ok := health["cache"].(map[string]any); !ok || ch["enabled"] != true {
+		t.Errorf("/healthz cache section = %v", health["cache"])
+	}
+}
+
+// TestHealthzReportsRun runs a small pipeline with an output directory and
+// checks /healthz's run section carries the index generation and the
+// sealed journal state — the satellite liveness contract.
+func TestHealthzReportsRun(t *testing.T) {
+	srv, err := insitubits.Telemetry.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sim, err := insitubits.NewHeat3D(16, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := insitubits.NewIOStore(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := insitubits.RunPipeline(insitubits.PipelineConfig{
+		Sim: sim, Steps: 6, Select: 2,
+		Method: insitubits.MethodBitmaps, Bins: 32,
+		Metric: insitubits.MetricConditionalEntropy,
+		Cores:  2, Store: store, OutputDir: t.TempDir(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	health := getJSON(t, "http://"+srv.Addr+"/healthz")
+	run, ok := health["run"].(map[string]any)
+	if !ok {
+		t.Fatalf("/healthz missing run section: %v", health)
+	}
+	if run["done"] != true {
+		t.Errorf("run.done = %v after the pipeline returned", run["done"])
+	}
+	if gen, _ := run["generation"].(float64); gen <= 0 {
+		t.Errorf("run.generation = %v, want > 0 (bitmap indexes were built)", run["generation"])
+	}
+	if run["journal"] != "sealed" {
+		t.Errorf("run.journal = %v, want \"sealed\" after a completed -out run", run["journal"])
+	}
+}
+
+// TestMetricsHistoryFacade drives the metrics-history plane through the
+// facade: StartMetricsHistory publishes the ring, queries move the
+// counters, and /debug/metrics/history serves rates a sparkline can draw.
+func TestMetricsHistoryFacade(t *testing.T) {
+	reg := insitubits.NewTelemetryRegistry()
+	srv, err := reg.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := insitubits.StartMetricsHistory(reg, time.Hour, 16)
+	defer h.Stop()
+	reg.Counter("query.count").Add(5)
+	h.Sample()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics/history", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d insitubits.MetricsHistoryDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) < 2 || d.Capacity != 16 {
+		t.Fatalf("dump: %d samples, capacity %d", len(d.Samples), d.Capacity)
+	}
+	if _, ok := d.Rates["query.count"]; !ok {
+		t.Errorf("dump rates missing query.count: %v", d.Rates)
+	}
+}

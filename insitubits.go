@@ -43,7 +43,9 @@ import (
 	"insitubits/internal/metrics"
 	"insitubits/internal/mining"
 	"insitubits/internal/offline"
+	"insitubits/internal/qlog"
 	"insitubits/internal/query"
+	"insitubits/internal/replay"
 	"insitubits/internal/sampling"
 	"insitubits/internal/selection"
 	"insitubits/internal/sim"
@@ -413,6 +415,72 @@ var (
 	SetQueryPlanner       = query.SetPlanner
 	QueryPlannerEnabled   = query.PlannerEnabled
 )
+
+// --- Workload capture, replay, and metrics history (internal/qlog, internal/replay, internal/telemetry) ---
+
+// QueryLogWriter appends one checksummed QueryLogRecord per executed query
+// to a workload log (the .isql format); QueryLogHealth is the writer's
+// live health snapshot (records, drops, queue depth), published under the
+// "qlog" status key and embedded in /healthz. WorkloadSummary is the
+// analyzer's report: per-op mix, hot bins, operand arity/selectivity
+// distributions, and the repeat ratio that bounds cache-hit potential.
+type (
+	QueryLogWriter       = qlog.Writer
+	QueryLogRecord       = qlog.Record
+	QueryLogHealth       = qlog.Health
+	WorkloadSummary      = qlog.Summary
+	WorkloadDistribution = qlog.Distribution
+	WorkloadBinCount     = qlog.BinCount
+	WorkloadRangeCount   = qlog.RangeCount
+)
+
+// CreateQueryLog opens a new workload log; InstallQueryLog makes it the
+// process-wide capture target every query entry point appends to (nil
+// uninstalls — capture is opt-in and off by default). ReadQueryLog loads a
+// log back tolerating a torn tail, and AnalyzeWorkload summarizes one.
+var (
+	CreateQueryLog  = qlog.Create
+	InstallQueryLog = qlog.Install
+	ActiveQueryLog  = qlog.Active
+	ReadQueryLog    = qlog.ReadLog
+	AnalyzeWorkload = qlog.Analyze
+)
+
+// QueryLogStatusName is the registry status key the active workload-log
+// writer publishes its health under.
+const QueryLogStatusName = qlog.StatusName
+
+// ReplayWorkload re-executes a captured workload log against an index and
+// byte-compares every result digest against the recorded one — the
+// cross-codec / planner / cache regression gate behind `bitmapctl replay`
+// and `make replay-diff`.
+type (
+	ReplayOptions = replay.Options
+	ReplayResult  = replay.Result
+	ReplayReport  = replay.Report
+)
+
+var ReplayWorkload = replay.Run
+
+// MetricsHistory samples the registry's counters and gauges into a fixed
+// ring so the debug surface can serve a short metric history — the
+// sparklines in `bitmapctl top` — without an external scraper.
+type (
+	MetricsHistory       = telemetry.History
+	MetricsHistorySample = telemetry.HistorySample
+	MetricsHistoryDump   = telemetry.HistoryDump
+)
+
+// StartMetricsHistory publishes and starts a sampler over a registry; the
+// ring is served at /debug/metrics/history.
+var (
+	StartMetricsHistory = telemetry.StartHistory
+	NewMetricsHistory   = telemetry.NewHistory
+)
+
+// MetricsHistoryStatusName is the registry status key a started history
+// publishes its dump under.
+const MetricsHistoryStatusName = telemetry.HistoryStatusName
 
 // --- Subgroup discovery (internal/subgroup) ---
 

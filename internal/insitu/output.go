@@ -56,6 +56,7 @@ type writer struct {
 	ctx      context.Context
 	retry    iosim.Backoff
 	resume   *resumeState
+	rt       *runTelemetry
 }
 
 func newWriter(cfg Config, rt *runTelemetry) (*writer, error) {
@@ -72,6 +73,7 @@ func newWriter(cfg Config, rt *runTelemetry) (*writer, error) {
 		ctx:    cfg.context(),
 		retry:  cfg.Retry,
 		resume: cfg.resume,
+		rt:     rt,
 		manifest: Manifest{
 			Workload: cfg.Sim.Name(),
 			Method:   cfg.Method.String(),
@@ -102,6 +104,7 @@ func newWriter(cfg Config, rt *runTelemetry) (*writer, error) {
 		w.close()
 		return nil, err
 	}
+	rt.setJournal("active")
 	return w, nil
 }
 
@@ -194,7 +197,11 @@ func (w *writer) finish() error {
 	if err := w.jnl.append(&JournalRecord{Kind: KindEnd, Selected: w.manifest.Selected}); err != nil {
 		return err
 	}
-	return w.jnl.close()
+	if err := w.jnl.close(); err != nil {
+		return err
+	}
+	w.rt.setJournal("sealed")
+	return nil
 }
 
 // close releases the journal handle without sealing the run (error paths).

@@ -19,6 +19,7 @@ import (
 	"insitubits/internal/codec"
 	"insitubits/internal/index"
 	"insitubits/internal/iosim"
+	"insitubits/internal/qlog"
 	"insitubits/internal/query"
 	"insitubits/internal/sampling"
 	"insitubits/internal/selection"
@@ -633,6 +634,7 @@ func (s *selector) recordSelect(ctx context.Context, t int, sum *stepSummary, sc
 	}
 	s.slow.Offer(p)
 	query.LogSlow(p)
+	query.CaptureProfile(p, qlog.DigestFloats(score))
 }
 
 func (s *selector) write(ctx context.Context, sum *stepSummary) {

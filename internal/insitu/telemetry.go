@@ -60,6 +60,14 @@ type RunStatus struct {
 	Phases    map[string]PhaseStatus `json:"phases,omitempty"`
 	ElapsedNs int64                  `json:"elapsed_ns"`
 	Done      bool                   `json:"done"`
+	// Generation is the highest index generation observed among the run's
+	// bitmap summaries — /healthz reports it so probes can tell whether the
+	// indexes a query layer serves are from the current run.
+	Generation uint64 `json:"generation,omitempty"`
+	// Journal is the run journal's lifecycle state: "none" (no output
+	// directory), "active" (begin record on disk, run in flight), or
+	// "sealed" (end record fsync'd — the run is durable).
+	Journal string `json:"journal,omitempty"`
 	// TraceID is the identity-trace ID of the most recent step, when a trace
 	// recorder is installed — paste it into /debug/traces?id= to drill in.
 	TraceID string `json:"trace_id,omitempty"`
@@ -101,6 +109,8 @@ type runTelemetry struct {
 	bytesOut     atomic.Int64
 	// codecBins counts bins by encoding: wah, bbc, dense, other.
 	codecBins   [4]atomic.Int64
+	generation  atomic.Uint64
+	journal     atomic.Value // string: "none", "active", "sealed"
 	done        atomic.Bool
 	lastTraceID atomic.Value // string
 }
@@ -121,6 +131,7 @@ func newRunTelemetry(cfg Config) *runTelemetry {
 		start:    time.Now(),
 	}
 	rt.currentStep.Store(-1)
+	rt.journal.Store("none")
 	reg.AttachTracer(TracerName, rt.tr)
 	reg.PublishStatus(RunStatusName, rt.status)
 	rt.root = rt.tr.Start(SpanRun)
@@ -147,6 +158,10 @@ func (rt *runTelemetry) status() any {
 		BytesWritten: rt.bytesOut.Load(),
 		ElapsedNs:    time.Since(rt.start).Nanoseconds(),
 		Done:         rt.done.Load(),
+		Generation:   rt.generation.Load(),
+	}
+	if s, ok := rt.journal.Load().(string); ok {
+		st.Journal = s
 	}
 	names := [4]string{"wah", "bbc", "dense", "other"}
 	for i, name := range names {
@@ -195,6 +210,7 @@ func (rt *runTelemetry) observeStep(ctx context.Context, t int, sum *stepSummary
 			continue
 		}
 		x := bs.X
+		rt.observeGeneration(x.Generation())
 		for b := 0; b < x.Bins(); b++ {
 			switch x.Codec(b) {
 			case codec.WAH:
@@ -208,6 +224,25 @@ func (rt *runTelemetry) observeStep(ctx context.Context, t int, sum *stepSummary
 			}
 		}
 	}
+}
+
+// observeGeneration folds an index generation into the run status maximum.
+func (rt *runTelemetry) observeGeneration(gen uint64) {
+	for {
+		cur := rt.generation.Load()
+		if gen <= cur || rt.generation.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
+// setJournal records the run journal's lifecycle transition for /healthz.
+// Nil-safe so the writer works without telemetry.
+func (rt *runTelemetry) setJournal(state string) {
+	if rt == nil {
+		return
+	}
+	rt.journal.Store(state)
 }
 
 // wroteStep folds one committed step into the live run status.

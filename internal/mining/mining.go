@@ -18,6 +18,7 @@ import (
 	"insitubits/internal/bitvec"
 	"insitubits/internal/index"
 	"insitubits/internal/metrics"
+	"insitubits/internal/qlog"
 	"insitubits/internal/query"
 )
 
@@ -230,6 +231,7 @@ func profilePair(cfg Config, xa, xb *index.Index, i, j int, valueMI float64, joi
 	}
 	cfg.Slow.Offer(p)
 	query.LogSlow(p)
+	query.CaptureProfile(p, qlog.DigestFloats(valueMI, float64(found)))
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,222 @@
+package qlog
+
+import (
+	"bufio"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insitubits/internal/telemetry"
+)
+
+// queueCap bounds the append queue. Capture must never stall a query: an
+// Append into a full queue drops the record (counted) instead of blocking.
+const queueCap = 4096
+
+// Writer appends records to a workload log. The fast path (Append) does a
+// JSON encode and a non-blocking channel send; a single drain goroutine
+// owns the file, buffers writes, and flushes whenever the queue empties.
+// Safe for concurrent use; the disabled path (Active() == nil in callers)
+// costs one atomic load.
+type Writer struct {
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+	ch   chan []byte
+	done chan struct{}
+
+	seq     atomic.Uint64
+	records atomic.Int64 // lines written to the buffer
+	dropped atomic.Int64 // records lost to a full queue or a closed writer
+	errs    atomic.Int64 // encode or I/O failures
+	bytes   atomic.Int64 // line bytes accepted by the buffer
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Health is the writer's self-report, published as the "qlog" status
+// provider (so /healthz and the debug server surface it) and printed by
+// the CLIs on shutdown. The zero value means "no workload log installed".
+type Health struct {
+	Enabled    bool   `json:"enabled"`
+	Path       string `json:"path,omitempty"`
+	Records    int64  `json:"records"`
+	Dropped    int64  `json:"dropped"`
+	Errors     int64  `json:"errors"`
+	Bytes      int64  `json:"bytes"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+}
+
+// Create opens (truncating) a workload log at path, writes the header, and
+// starts the drain goroutine. The caller owns the writer and must Close it
+// to flush, fsync, and release the file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		path: path,
+		f:    f,
+		bw:   bufio.NewWriterSize(f, 64<<10),
+		ch:   make(chan []byte, queueCap),
+		done: make(chan struct{}),
+	}
+	if _, err := w.bw.Write(header()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	go w.drain()
+	return w, nil
+}
+
+// Append queues one record, stamping its sequence number, schema version,
+// and (if unset) timestamp. Never blocks: a full queue or closed writer
+// drops the record and counts the drop. Nil-safe.
+func (w *Writer) Append(rec *Record) {
+	if w == nil {
+		return
+	}
+	if w.closed.Load() {
+		w.dropped.Add(1)
+		tel.dropped.Inc()
+		return
+	}
+	rec.Schema = Version
+	rec.Seq = w.seq.Add(1)
+	if rec.UnixNs == 0 {
+		rec.UnixNs = time.Now().UnixNano()
+	}
+	line, err := encodeRecord(rec)
+	if err != nil {
+		w.errs.Add(1)
+		tel.errors.Inc()
+		return
+	}
+	select {
+	case w.ch <- line:
+	default:
+		w.dropped.Add(1)
+		tel.dropped.Inc()
+	}
+}
+
+// drain is the single writer goroutine. It exits on the nil sentinel sent
+// by Close; the channel is never closed, so a straggling Append after
+// Close can only drop, never panic.
+func (w *Writer) drain() {
+	defer close(w.done)
+	for line := range w.ch {
+		if line == nil {
+			return
+		}
+		w.write(line)
+		if len(w.ch) == 0 {
+			if err := w.bw.Flush(); err != nil {
+				w.errs.Add(1)
+				tel.errors.Inc()
+			}
+		}
+	}
+}
+
+func (w *Writer) write(line []byte) {
+	n, err := w.bw.Write(line)
+	w.bytes.Add(int64(n))
+	if err != nil {
+		w.errs.Add(1)
+		tel.errors.Inc()
+		return
+	}
+	w.records.Add(1)
+	tel.records.Inc()
+}
+
+// Close drains the queue, flushes, fsyncs, and closes the file. Safe to
+// call more than once; records appended after Close are dropped.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.closeOnce.Do(func() {
+		w.closed.Store(true)
+		w.ch <- nil // sentinel: ordered after every prior successful send
+		<-w.done
+		if err := w.bw.Flush(); err != nil && w.closeErr == nil {
+			w.closeErr = err
+		}
+		if err := w.f.Sync(); err != nil && w.closeErr == nil {
+			w.closeErr = err
+		}
+		if err := w.f.Close(); err != nil && w.closeErr == nil {
+			w.closeErr = err
+		}
+	})
+	return w.closeErr
+}
+
+// Path reports the log file's path. Nil-safe.
+func (w *Writer) Path() string {
+	if w == nil {
+		return ""
+	}
+	return w.path
+}
+
+// Health reports the writer's counters. Nil-safe: a nil writer reports
+// the zero (disabled) health.
+func (w *Writer) Health() Health {
+	if w == nil {
+		return Health{}
+	}
+	return Health{
+		Enabled:    !w.closed.Load(),
+		Path:       w.path,
+		Records:    w.records.Load(),
+		Dropped:    w.dropped.Load(),
+		Errors:     w.errs.Load(),
+		Bytes:      w.bytes.Load(),
+		QueueDepth: len(w.ch),
+		QueueCap:   cap(w.ch),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide active writer. Query entry points capture into whatever
+// writer is installed; the disabled path is one atomic load.
+
+var active atomic.Pointer[Writer]
+
+// Install makes w the process-wide capture target (nil uninstalls).
+// Installing does not close the previous writer — the owner does.
+func Install(w *Writer) { active.Store(w) }
+
+// Active returns the installed writer, or nil when capture is off.
+func Active() *Writer { return active.Load() }
+
+// StatusName is the registry status key the writer health is published
+// under (surfaced by /healthz and /telemetry).
+const StatusName = "qlog"
+
+// tel mirrors the writer counters into the telemetry registry so capture
+// throughput and drops show up in /metrics and the metrics-history ring.
+var tel struct {
+	records *telemetry.Counter
+	dropped *telemetry.Counter
+	errors  *telemetry.Counter
+}
+
+// SetTelemetry (re)binds the package's instruments and status provider to
+// a registry; nil disables them.
+func SetTelemetry(r *telemetry.Registry) {
+	tel.records = r.Counter("qlog.records")
+	tel.dropped = r.Counter("qlog.dropped")
+	tel.errors = r.Counter("qlog.errors")
+	r.PublishStatus(StatusName, func() any { return Active().Health() })
+}
+
+func init() { SetTelemetry(telemetry.Default) }

@@ -1,0 +1,249 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"insitubits/internal/bitvec"
+	"insitubits/internal/index"
+	"insitubits/internal/metrics"
+	"insitubits/internal/qlog"
+)
+
+// This file is the query side of the workload capture plane: when a
+// qlog.Writer is installed (qlog.Install), every entry point routes
+// through the same analyze funnel the slow-query log uses, and the
+// finished profile is folded into one qlog.Record — parameters, plan
+// digest, cache verdict, measured words scanned, wall time, and a
+// canonical result digest that internal/replay byte-compares against.
+// With no writer installed the plain path pays one atomic load.
+
+// captureEnabled reports whether a workload log is installed.
+func captureEnabled() bool { return qlog.Active() != nil }
+
+// profiled reports whether plain entry points must route through the
+// profiled execution path: a slow-query log or a workload log (or both)
+// is installed. Two atomic loads on the disabled path.
+func profiled() bool { return slowLogEnabled() || captureEnabled() }
+
+// captureOnly reports whether a plain entry point routing through the
+// funnel does so only to feed the workload log: no slow-query log wants
+// the full fill/literal cost breakdown, so the profile can run in light
+// accounting mode (exact words/bytes, no per-operand composition re-scan
+// — see Node.light). This is what keeps qlog-enabled production runs
+// inside the <2% overhead budget; explicit *Analyze calls never go light.
+func captureOnly() bool { return !slowLogEnabled() }
+
+// ---------------------------------------------------------------------------
+// Plan digests. A plan digest fingerprints the executable plan — the op,
+// its parameters, the planner mode, and (for bits-shaped queries under the
+// planner) the optimized IR shape: operand order after most-selective-first
+// sorting, pruned bins, merge hints. Index generations are deliberately
+// excluded, so the digest is stable across cache warm/cold and joins
+// slow-log records to workload records of the same logical plan.
+
+// stampPlan sets p.PlanDigest from the profile header plus an optional
+// rendered IR shape.
+func stampPlan(p *Profile, shape string) {
+	mode := "planner=off"
+	if PlannerEnabled() {
+		mode = "planner=on"
+	}
+	s := p.Query + "|" + p.Detail + "|" + mode
+	if shape != "" {
+		s += "|" + shape
+	}
+	p.PlanDigest = qlog.DigestString(s)
+}
+
+// bitsPlanShape renders the optimized IR of Bits(x, s); "" when the
+// planner is off (the naive path has no plan to fingerprint beyond the
+// parameters, which stampPlan already covers).
+func bitsPlanShape(x *index.Index, s Subset) string {
+	if !PlannerEnabled() {
+		return ""
+	}
+	pl := planBits(x, s)
+	optimize(pl)
+	return planShape(pl)
+}
+
+// corrPlanShape renders the optimized IR of the correlation subset mask.
+func corrPlanShape(xa, xb *index.Index, sa, sb Subset) string {
+	if !PlannerEnabled() {
+		return ""
+	}
+	pl := planCorrelationMask(xa, xb, sa, sb)
+	optimize(pl)
+	return planShape(pl)
+}
+
+// planShape renders an optimized plan node as a compact generation-free
+// expression, e.g. "and(or(v=[1,3),bins=2-4),range(0,500,dense))".
+func planShape(p *planNode) string {
+	var b strings.Builder
+	writeShape(&b, p)
+	return b.String()
+}
+
+func writeShape(b *strings.Builder, p *planNode) {
+	switch p.kind {
+	case planEmpty:
+		b.WriteString("empty")
+	case planOnes:
+		fmt.Fprintf(b, "ones(%d,%s)", p.n, p.hint)
+	case planRange:
+		fmt.Fprintf(b, "range(%d,%d,%s)", p.slo, p.shi, p.hint)
+	case planBinOr:
+		fmt.Fprintf(b, "or(v=[%g,%g),bins=%s)", p.vlo, p.vhi, formatBins(p.bins))
+	case planAnd:
+		b.WriteString("and(")
+		for i, c := range p.children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeShape(b, c)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// formatBins compresses a sorted bin list into run notation: "2-5,7".
+func formatBins(bins []int) string {
+	if len(bins) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(bins); {
+		j := i
+		for j+1 < len(bins) && bins[j+1] == bins[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", bins[i], bins[j])
+		} else {
+			fmt.Fprintf(&b, "%d", bins[i])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Result digests shared by capture and replay: both sides must compose the
+// digest from the same fields in the same order, so they live here.
+
+// DigestAggregate fingerprints an Aggregate result bit-exactly.
+func DigestAggregate(a Aggregate) string {
+	return qlog.DigestFloats(float64(a.Count), a.Estimate, a.Lo, a.Hi)
+}
+
+// DigestMinMax fingerprints a MinMax result pair.
+func DigestMinMax(min, max Aggregate) string {
+	return qlog.DigestFloats(
+		float64(min.Count), min.Estimate, min.Lo, min.Hi,
+		float64(max.Count), max.Estimate, max.Lo, max.Hi)
+}
+
+// DigestPair fingerprints a correlation metrics result.
+func DigestPair(pr metrics.Pair) string {
+	return qlog.DigestFloats(pr.EntropyA, pr.EntropyB, pr.MI, pr.CondEntropyAB, pr.CondEntropyBA)
+}
+
+// ---------------------------------------------------------------------------
+// Record emission.
+
+// capParams carries the replayable parameters of one captured query.
+type capParams struct {
+	s  Subset
+	sb *Subset // correlation second operand
+	xb *index.Index
+	q  float64
+}
+
+// capture folds a finished profile plus its parameters and result digest
+// into one workload-log record. Called by every analyze funnel after
+// finish(err); no-op (one atomic load) when no log is installed.
+func capture(p *Profile, x *index.Index, cp capParams, digest string, err error) {
+	w := qlog.Active()
+	if w == nil {
+		return
+	}
+	rec := &qlog.Record{
+		Op:         p.Query,
+		Detail:     p.Detail,
+		ValueLo:    cp.s.ValueLo,
+		ValueHi:    cp.s.ValueHi,
+		SpatialLo:  cp.s.SpatialLo,
+		SpatialHi:  cp.s.SpatialHi,
+		Q:          cp.q,
+		PlanDigest: p.PlanDigest,
+		Planner:    PlannerEnabled(),
+		Cache:      p.cacheVerdict(),
+		ElapsedNs:  p.ElapsedNs,
+		TraceID:    p.TraceID,
+		Err:        p.Err,
+	}
+	if x != nil {
+		rec.N = x.N()
+		rec.Gen = x.Generation()
+	}
+	if cp.sb != nil {
+		rec.Correlated = true
+		rec.BValueLo = cp.sb.ValueLo
+		rec.BValueHi = cp.sb.ValueHi
+		rec.BSpatialLo = cp.sb.SpatialLo
+		rec.BSpatialHi = cp.sb.SpatialHi
+	}
+	if cp.xb != nil {
+		rec.GenB = cp.xb.Generation()
+	}
+	total := p.Total()
+	rec.Bins = total.BinsTouched
+	rec.Words = total.WordsScanned
+	rec.Rows = total.Rows
+	if err == nil {
+		rec.Result = digest
+	}
+	w.Append(rec)
+}
+
+// bitmapDigest is capture's nil-tolerant DigestBitmap wrapper.
+func bitmapDigest(v bitvec.Bitmap, err error) string {
+	if err != nil || v == nil {
+		return ""
+	}
+	d, _ := qlog.DigestBitmap(v)
+	return d
+}
+
+// CaptureProfile appends a finished non-entry-point profile (in-situ
+// selection scoring, mining pair profiling) to the active workload log.
+// The record is not replayable — it carries no subset parameters — but it
+// records the op, words scanned, elapsed time, cache verdict, and result
+// digest, so workload analysis sees the full query mix an in-situ run
+// generates. Nil-safe; one atomic load when no log is installed.
+func CaptureProfile(p *Profile, resultDigest string) {
+	w := qlog.Active()
+	if w == nil || p == nil {
+		return
+	}
+	total := p.Total()
+	w.Append(&qlog.Record{
+		Op:         p.Query,
+		Detail:     p.Detail,
+		PlanDigest: p.PlanDigest,
+		Planner:    PlannerEnabled(),
+		Cache:      p.cacheVerdict(),
+		Bins:       total.BinsTouched,
+		Words:      total.WordsScanned,
+		Rows:       total.Rows,
+		ElapsedNs:  p.ElapsedNs,
+		Result:     resultDigest,
+		TraceID:    p.TraceID,
+		Err:        p.Err,
+	})
+}

@@ -68,7 +68,7 @@ func (e *executor) cacheHitNode(parent *Node, op, detail string, bm bitvec.Bitma
 	n := parent.child(op, detail)
 	if n != nil {
 		n.Codec = codecName(bm)
-		n.Cost = scanCost(bm)
+		n.Cost = n.scanCostOf(bm)
 		n.Cache = "hit"
 	}
 	return n

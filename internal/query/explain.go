@@ -10,6 +10,7 @@ import (
 	"insitubits/internal/codec"
 	"insitubits/internal/index"
 	"insitubits/internal/metrics"
+	"insitubits/internal/qlog"
 	"insitubits/internal/telemetry"
 )
 
@@ -55,14 +56,18 @@ func (s Subset) describe() string {
 // operators; finish stamps the wall time, records the error, and submits
 // the profile to the slow-query log. The profile carries the trace ID from
 // ctx (when the caller runs under a trace) so slow-log records are
-// cross-referenceable against /debug/traces.
-func newAnalyze(ctx context.Context, query, detail string) (*Profile, func(error)) {
+// cross-referenceable against /debug/traces. light selects capture-only
+// accounting (see Node.light): exact word/byte totals, no per-operand
+// composition re-scan — the plain entry points pass captureOnly() so a
+// query that is profiled only to feed the workload log stays inside the
+// <2% budget, while explicit ANALYZE and slow-log profiles pass false.
+func newAnalyze(ctx context.Context, query, detail string, light bool) (*Profile, func(error)) {
 	p := &Profile{
 		Query:   query,
 		Mode:    ModeAnalyze,
 		Detail:  detail,
 		TraceID: telemetry.TraceIDOf(ctx),
-		Root:    &Node{Op: query, Bin: -1},
+		Root:    &Node{Op: query, Bin: -1, light: light},
 	}
 	start := time.Now()
 	return p, func(err error) {
@@ -635,13 +640,15 @@ func BitsAnalyze(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, 
 	defer observe(tel.bits)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.bits")
 	defer sp.End()
-	return bitsAnalyze(ctx, x, s)
+	return bitsAnalyze(ctx, x, s, false)
 }
 
-func bitsAnalyze(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
-	p, finish := newAnalyze(ctx, string(OpBits), s.describe())
+func bitsAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (bitvec.Bitmap, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpBits), s.describe(), light)
+	stampPlan(p, bitsPlanShape(x, s))
 	v, err := bitsImpl(newExecutor(ctx), x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, x, capParams{s: s}, bitmapDigest(v, err), err)
 	return v, p, err
 }
 
@@ -650,13 +657,15 @@ func CountAnalyze(ctx context.Context, x *index.Index, s Subset) (int, *Profile,
 	defer observe(tel.count)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.count")
 	defer sp.End()
-	return countAnalyze(ctx, x, s)
+	return countAnalyze(ctx, x, s, false)
 }
 
-func countAnalyze(ctx context.Context, x *index.Index, s Subset) (int, *Profile, error) {
-	p, finish := newAnalyze(ctx, string(OpCount), s.describe())
+func countAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (int, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpCount), s.describe(), light)
+	stampPlan(p, "")
 	n, err := countImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, x, capParams{s: s}, qlog.DigestInt(n), err)
 	return n, p, err
 }
 
@@ -665,13 +674,15 @@ func SumAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Prof
 	defer observe(tel.sum)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.sum")
 	defer sp.End()
-	return sumAnalyze(ctx, x, s)
+	return sumAnalyze(ctx, x, s, false)
 }
 
-func sumAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze(ctx, string(OpSum), s.describe())
+func sumAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpSum), s.describe(), light)
+	stampPlan(p, "")
 	agg, err := sumImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, x, capParams{s: s}, DigestAggregate(agg), err)
 	return agg, p, err
 }
 
@@ -680,13 +691,15 @@ func MeanAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Pro
 	defer observe(tel.sum)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.mean")
 	defer sp.End()
-	return meanAnalyze(ctx, x, s)
+	return meanAnalyze(ctx, x, s, false)
 }
 
-func meanAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze(ctx, string(OpMean), s.describe())
+func meanAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpMean), s.describe(), light)
+	stampPlan(p, "")
 	agg, err := meanImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, x, capParams{s: s}, DigestAggregate(agg), err)
 	return agg, p, err
 }
 
@@ -695,13 +708,15 @@ func QuantileAnalyze(ctx context.Context, x *index.Index, s Subset, q float64) (
 	defer observe(tel.quantile)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.quantile")
 	defer sp.End()
-	return quantileAnalyze(ctx, x, s, q)
+	return quantileAnalyze(ctx, x, s, q, false)
 }
 
-func quantileAnalyze(ctx context.Context, x *index.Index, s Subset, q float64) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze(ctx, string(OpQuantile), fmt.Sprintf("q=%g %s", q, s.describe()))
+func quantileAnalyze(ctx context.Context, x *index.Index, s Subset, q float64, light bool) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, string(OpQuantile), fmt.Sprintf("q=%g %s", q, s.describe()), light)
+	stampPlan(p, "")
 	agg, err := quantileImpl(x, s, q, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, x, capParams{s: s, q: q}, DigestAggregate(agg), err)
 	return agg, p, err
 }
 
@@ -710,13 +725,15 @@ func MinMaxAnalyze(ctx context.Context, x *index.Index, s Subset) (min, max Aggr
 	defer observe(tel.minmax)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.minmax")
 	defer sp.End()
-	return minMaxAnalyze(ctx, x, s)
+	return minMaxAnalyze(ctx, x, s, false)
 }
 
-func minMaxAnalyze(ctx context.Context, x *index.Index, s Subset) (min, max Aggregate, p *Profile, err error) {
-	p, finish := newAnalyze(ctx, string(OpMinMax), s.describe())
+func minMaxAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (min, max Aggregate, p *Profile, err error) {
+	p, finish := newAnalyze(ctx, string(OpMinMax), s.describe(), light)
+	stampPlan(p, "")
 	min, max, err = minMaxImpl(x, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, x, capParams{s: s}, DigestMinMax(min, max), err)
 	return min, max, p, err
 }
 
@@ -725,13 +742,15 @@ func SumMaskedAnalyze(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (
 	defer observe(tel.masked)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.sum-masked")
 	defer sp.End()
-	return sumMaskedAnalyze(ctx, x, mask)
+	return sumMaskedAnalyze(ctx, x, mask, false)
 }
 
-func sumMaskedAnalyze(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze(ctx, "sum-masked", fmt.Sprintf("mask rows=%d", mask.Count()))
+func sumMaskedAnalyze(ctx context.Context, x *index.Index, mask bitvec.Bitmap, light bool) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, "sum-masked", fmt.Sprintf("mask bits=%d", mask.Len()), light)
+	stampPlan(p, "")
 	agg, err := sumMaskedImpl(x, mask, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, x, capParams{}, DigestAggregate(agg), err)
 	return agg, p, err
 }
 
@@ -740,13 +759,15 @@ func CorrelationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset)
 	defer observe(tel.correlation)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.correlation")
 	defer sp.End()
-	return correlationAnalyze(ctx, xa, xb, sa, sb)
+	return correlationAnalyze(ctx, xa, xb, sa, sb, false)
 }
 
-func correlationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
-	p, finish := newAnalyze(ctx, "correlation", fmt.Sprintf("a: %s | b: %s", sa.describe(), sb.describe()))
+func correlationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset, light bool) (metrics.Pair, *Profile, error) {
+	p, finish := newAnalyze(ctx, "correlation", fmt.Sprintf("a: %s | b: %s", sa.describe(), sb.describe()), light)
+	stampPlan(p, corrPlanShape(xa, xb, sa, sb))
 	pair, err := correlationImpl(newExecutor(ctx), xa, xb, sa, sb, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, xa, capParams{s: sa, sb: &sb, xb: xb}, DigestPair(pair), err)
 	return pair, p, err
 }
 
@@ -755,13 +776,15 @@ func (m *Masked) SumAnalyze(ctx context.Context, s Subset) (Aggregate, *Profile,
 	defer observe(tel.masked)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.masked-sum")
 	defer sp.End()
-	return m.sumAnalyze(ctx, s)
+	return m.sumAnalyze(ctx, s, false)
 }
 
-func (m *Masked) sumAnalyze(ctx context.Context, s Subset) (Aggregate, *Profile, error) {
-	p, finish := newAnalyze(ctx, "masked-sum", s.describe())
+func (m *Masked) sumAnalyze(ctx context.Context, s Subset, light bool) (Aggregate, *Profile, error) {
+	p, finish := newAnalyze(ctx, "masked-sum", s.describe(), light)
+	stampPlan(p, "")
 	agg, err := maskedSumImpl(m, s, p.Root, telemetry.SpanFromContext(ctx))
 	finish(err)
+	capture(p, m.X, capParams{s: s}, DigestAggregate(agg), err)
 	return agg, p, err
 }
 

@@ -74,6 +74,13 @@ type Node struct {
 	// separately (only the root is timed for most queries).
 	ElapsedNs int64   `json:"elapsed_ns,omitempty"`
 	Children  []*Node `json:"children,omitempty"`
+
+	// light marks capture-only accounting: operand charges keep the exact
+	// word/byte totals (O(1) per operand from the encoded lengths) but skip
+	// the Stats/Count composition passes, which each re-scan the full
+	// encoding. Explicit ANALYZE and the slow-query log always run full
+	// accounting; the flag is inherited root-to-leaf via child/binChild.
+	light bool
 }
 
 // child appends (and returns) a new child operator. Nil-safe: on a nil
@@ -83,7 +90,7 @@ func (n *Node) child(op, detail string) *Node {
 	if n == nil {
 		return nil
 	}
-	c := &Node{Op: op, Detail: detail, Bin: -1}
+	c := &Node{Op: op, Detail: detail, Bin: -1, light: n.light}
 	n.Children = append(n.Children, c)
 	return c
 }
@@ -95,7 +102,7 @@ func (n *Node) binChild(op string, x *index.Index, b int) *Node {
 		return nil
 	}
 	bm := x.Bitmap(b)
-	c := &Node{Op: op, Bin: b, Codec: codecName(bm), Cost: scanCost(bm)}
+	c := &Node{Op: op, Bin: b, Codec: codecName(bm), Cost: n.scanCostOf(bm), light: n.light}
 	n.Children = append(n.Children, c)
 	return c
 }
@@ -113,7 +120,7 @@ func (n *Node) scanOperand(b bitvec.Bitmap) {
 	if n == nil {
 		return
 	}
-	n.Cost.add(scanCost(b))
+	n.Cost.add(n.scanCostOf(b))
 }
 
 // setOut records the intermediate bitmap the operator produced. Nil-safe.
@@ -179,8 +186,47 @@ type Profile struct {
 	// TraceID cross-references the identity trace this query ran under
 	// (fetchable from /debug/traces while it stays in the ring), or "".
 	TraceID string `json:"trace_id,omitempty"`
+	// PlanDigest fingerprints the executable plan the optimizer chose (op,
+	// parameters, planner mode, optimized IR shape). The same digest is
+	// stamped into workload-log records, so a slow-log entry joins against
+	// qlog/replay output by plan identity rather than by timestamp.
+	PlanDigest string `json:"plan_digest,omitempty"`
 	// Root is the operator tree.
 	Root *Node `json:"plan"`
+}
+
+// cacheVerdict folds the per-node cache annotations into one query-level
+// verdict: "hit" when any operator was answered from the bitmap cache,
+// "miss" when the cache was consulted without a hit, "" when no cache was
+// in play. Nil-safe.
+func (p *Profile) cacheVerdict() string {
+	if p == nil {
+		return ""
+	}
+	hit, miss := false, false
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		switch n.Cache {
+		case "hit":
+			hit = true
+		case "miss":
+			miss = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	switch {
+	case hit:
+		return "hit"
+	case miss:
+		return "miss"
+	}
+	return ""
 }
 
 // Modes of a Profile.
@@ -326,6 +372,22 @@ func scanCost(b bitvec.Bitmap) Cost {
 		LiteralWords: int64(st.LiteralWords),
 		BytesDecoded: int64(b.SizeBytes()),
 	}
+}
+
+// scanCostOf charges one full scan honoring the node's accounting mode: a
+// light (capture-only) node keeps the exact words/bytes totals — the fields
+// the workload log records — but skips Stats(), which itself re-scans the
+// whole encoding to break words into fill/literal classes. That skip is
+// what keeps qlog-enabled runs inside the <2% overhead budget; explicit
+// ANALYZE and slow-log profiles still take the full composition pass.
+func (n *Node) scanCostOf(b bitvec.Bitmap) Cost {
+	if n != nil && n.light {
+		return Cost{
+			WordsScanned: int64(b.Words()),
+			BytesDecoded: int64(b.SizeBytes()),
+		}
+	}
+	return scanCost(b)
 }
 
 // outShape records the intermediate bitmap an operator materialized.

@@ -59,8 +59,8 @@ func Bits(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, error) 
 	defer observe(tel.bits)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.bits")
 	defer sp.End()
-	if slowLogEnabled() {
-		v, _, err := bitsAnalyze(ctx, x, s)
+	if profiled() {
+		v, _, err := bitsAnalyze(ctx, x, s, captureOnly())
 		return v, err
 	}
 	return bitsImpl(newExecutor(ctx), x, s, nil, sp)
@@ -130,8 +130,8 @@ func Count(ctx context.Context, x *index.Index, s Subset) (int, error) {
 	defer observe(tel.count)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.count")
 	defer sp.End()
-	if slowLogEnabled() {
-		n, _, err := countAnalyze(ctx, x, s)
+	if profiled() {
+		n, _, err := countAnalyze(ctx, x, s, captureOnly())
 		return n, err
 	}
 	return countImpl(x, s, nil, sp)
@@ -150,8 +150,8 @@ func Sum(ctx context.Context, x *index.Index, s Subset) (Aggregate, error) {
 	defer observe(tel.sum)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.sum")
 	defer sp.End()
-	if slowLogEnabled() {
-		agg, _, err := sumAnalyze(ctx, x, s)
+	if profiled() {
+		agg, _, err := sumAnalyze(ctx, x, s, captureOnly())
 		return agg, err
 	}
 	return sumImpl(x, s, nil, sp)
@@ -164,8 +164,8 @@ func SumMasked(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggrega
 	defer observe(tel.masked)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.sum-masked")
 	defer sp.End()
-	if slowLogEnabled() {
-		agg, _, err := sumMaskedAnalyze(ctx, x, mask)
+	if profiled() {
+		agg, _, err := sumMaskedAnalyze(ctx, x, mask, captureOnly())
 		return agg, err
 	}
 	return sumMaskedImpl(x, mask, nil, sp)
@@ -186,8 +186,8 @@ func Mean(ctx context.Context, x *index.Index, s Subset) (Aggregate, error) {
 	defer observe(tel.sum)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.mean")
 	defer sp.End()
-	if slowLogEnabled() {
-		agg, _, err := meanAnalyze(ctx, x, s)
+	if profiled() {
+		agg, _, err := meanAnalyze(ctx, x, s, captureOnly())
 		return agg, err
 	}
 	return meanImpl(x, s, nil, sp)
@@ -200,8 +200,8 @@ func Quantile(ctx context.Context, x *index.Index, s Subset, q float64) (Aggrega
 	defer observe(tel.quantile)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.quantile")
 	defer sp.End()
-	if slowLogEnabled() {
-		agg, _, err := quantileAnalyze(ctx, x, s, q)
+	if profiled() {
+		agg, _, err := quantileAnalyze(ctx, x, s, q, captureOnly())
 		return agg, err
 	}
 	return quantileImpl(x, s, q, nil, sp)
@@ -214,8 +214,8 @@ func MinMax(ctx context.Context, x *index.Index, s Subset) (min, max Aggregate, 
 	defer observe(tel.minmax)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.minmax")
 	defer sp.End()
-	if slowLogEnabled() {
-		min, max, _, err := minMaxAnalyze(ctx, x, s)
+	if profiled() {
+		min, max, _, err := minMaxAnalyze(ctx, x, s, captureOnly())
 		return min, max, err
 	}
 	return minMaxImpl(x, s, nil, sp)
@@ -229,8 +229,8 @@ func Correlation(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metri
 	defer observe(tel.correlation)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.correlation")
 	defer sp.End()
-	if slowLogEnabled() {
-		pair, _, err := correlationAnalyze(ctx, xa, xb, sa, sb)
+	if profiled() {
+		pair, _, err := correlationAnalyze(ctx, xa, xb, sa, sb, captureOnly())
 		return pair, err
 	}
 	return correlationImpl(newExecutor(ctx), xa, xb, sa, sb, nil, sp)
@@ -260,8 +260,8 @@ func (m *Masked) Sum(ctx context.Context, s Subset) (Aggregate, error) {
 	defer observe(tel.masked)()
 	ctx, sp := telemetry.StartSpan(ctx, "query.masked-sum")
 	defer sp.End()
-	if slowLogEnabled() {
-		agg, _, err := m.sumAnalyze(ctx, s)
+	if profiled() {
+		agg, _, err := m.sumAnalyze(ctx, s, captureOnly())
 		return agg, err
 	}
 	return maskedSumImpl(m, s, nil, sp)

@@ -62,6 +62,9 @@ func LogSlow(p *Profile) {
 	if p.TraceID != "" {
 		attrs = append(attrs, slog.String("trace_id", p.TraceID))
 	}
+	if p.PlanDigest != "" {
+		attrs = append(attrs, slog.String("plan_digest", p.PlanDigest))
+	}
 	attrs = append(attrs, slog.Any("profile", json.RawMessage(p.JSON())))
 	sink.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
 }

@@ -16,14 +16,15 @@ import (
 // DebugServer is the live-introspection HTTP endpoint the CLIs start
 // behind -debug-addr. It serves:
 //
-//	/telemetry     the registry snapshot as JSON
-//	/metrics       the snapshot in Prometheus text exposition format
-//	/healthz       liveness: {"status":"ok",...}
-//	/debug/traces  recent kept traces; ?id= fetches one (&format=chrome|otlp|json)
-//	/debug/run     the "run" live-status provider (the in-situ pipeline)
-//	/debug/cache   the "cache" live-status provider (the bitmap cache)
-//	/debug/vars    expvar (includes the "telemetry" var)
-//	/debug/pprof/  the standard pprof profiles
+//	/telemetry             the registry snapshot as JSON
+//	/metrics               the snapshot in Prometheus text exposition format
+//	/healthz               liveness plus run/qlog/cache component status
+//	/debug/traces          recent kept traces; ?id= fetches one (&format=chrome|otlp|json)
+//	/debug/run             the "run" live-status provider (the in-situ pipeline)
+//	/debug/cache           the "cache" live-status provider (the bitmap cache)
+//	/debug/metrics/history the metrics-history ring (StartHistory) with derived rates
+//	/debug/vars            expvar (includes the "telemetry" var)
+//	/debug/pprof/          the standard pprof profiles
 type DebugServer struct {
 	// Addr is the bound address (useful when the caller passed ":0").
 	Addr string
@@ -52,11 +53,21 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w) //nolint:errcheck // best-effort over HTTP
 	})
+	// /healthz embeds the published live-status providers — the in-situ
+	// run (index generation, journal state), the qlog writer's health,
+	// and the bitmap cache — so liveness probes see component state, not
+	// a bare 200.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, map[string]any{
+		out := map[string]any{
 			"status":         "ok",
 			"uptime_seconds": int64(time.Since(processStart).Seconds()),
-		})
+		}
+		for _, name := range []string{"run", "qlog", "cache"} {
+			if v, ok := r.StatusValue(name); ok {
+				out[name] = v
+			}
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("/debug/traces", handleTraces)
 	mux.HandleFunc("/debug/run", func(w http.ResponseWriter, _ *http.Request) {
@@ -75,6 +86,14 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 		}
 		writeJSON(w, v)
 	})
+	mux.HandleFunc("/debug/metrics/history", func(w http.ResponseWriter, _ *http.Request) {
+		v, ok := r.StatusValue(HistoryStatusName)
+		if !ok {
+			http.Error(w, "no metrics history started (StartHistory)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, v)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -86,7 +105,7 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/metrics\n/healthz\n/debug/traces\n/debug/run\n/debug/cache\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/metrics\n/healthz\n/debug/traces\n/debug/run\n/debug/cache\n/debug/metrics/history\n/debug/vars\n/debug/pprof/\n")
 	})
 	r.ensureBuildInfo()
 	ln, err := net.Listen("tcp", addr)
