@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead fuzz-smoke crash-matrix plan-diff replay-diff ci
+.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead profile-smoke fuzz-smoke crash-matrix plan-diff replay-diff ci
 
 all: build
 
@@ -18,9 +18,11 @@ race:
 
 # Race pass focused on the packages with the most lock-free state: the
 # query layer (slow-log gate, capture gate, codec counters), the telemetry
-# registry (incl. the metrics-history ring), and the workload-log writer.
+# registry (incl. the metrics-history ring), the workload-log writer, the
+# profiling label gate + snapshot ring, and the root package (the /healthz
+# probe racing a pipeline's concurrent generation publishes).
 race-hot:
-	$(GO) test -race ./internal/query/ ./internal/telemetry/ ./internal/qlog/
+	$(GO) test -race . ./internal/query/ ./internal/telemetry/ ./internal/qlog/ ./internal/profiling/
 
 # Telemetry micro-benchmarks plus the instrumented-vs-disabled append pair.
 bench:
@@ -52,8 +54,18 @@ trace-smoke:
 # workload-capture path with a qlog writer installed. Gated behind the env
 # var because wall-clock assertions flap on loaded CI hosts; run it on a
 # quiet machine.
+# TestAnalyzeOverheadDisabled's measured prologue now includes the
+# profiling label gate, and TestDisabledLabelZeroCost pins that gate to a
+# single atomic load on its own.
 overhead:
-	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run 'TestInstrumentationOverhead|TestAnalyzeOverheadDisabled|TestQlogCaptureOverhead' -v ./internal/bitvec/ ./internal/query/
+	TELEMETRY_OVERHEAD_GUARD=1 $(GO) test -run 'TestInstrumentationOverhead|TestAnalyzeOverheadDisabled|TestQlogCaptureOverhead|TestDisabledLabelZeroCost' -v ./internal/bitvec/ ./internal/query/ ./internal/profiling/
+
+# Continuous-profiling acceptance (docs/OBSERVABILITY.md "Continuous
+# profiling"): capture two CPU snapshots around an index recode under a
+# codec-heavy query load and require the symbolized top/diff to name a
+# codec word-loop function, plus the parser round-trip suite.
+profile-smoke:
+	$(GO) test -run 'TestProfileSmoke|TestParse|TestCollectorRingAndHandler' -v ./internal/profiling/
 
 # Short fuzz passes over the untrusted parsers (docs/FORMATS.md): the
 # index-file reader and the run-journal parser. Full corpus exploration is
@@ -84,4 +96,4 @@ replay-diff:
 crash-matrix:
 	$(GO) test -race -run 'TestCrashMatrix|TestResume|TestTransient|TestWorkerPanic|TestFsck' -v ./internal/insitu/
 
-ci: vet build race-hot race plan-diff replay-diff trace-smoke bench-check overhead crash-matrix fuzz-smoke
+ci: vet build race-hot race plan-diff replay-diff trace-smoke profile-smoke bench-check overhead crash-matrix fuzz-smoke

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"insitubits"
+)
+
+// cmdDiag captures a one-shot diagnostics bundle from a running server
+// into a single tar.gz — everything a bug report or postmortem needs in
+// one artifact (see docs/OBSERVABILITY.md):
+//
+//	bitmapctl diag -addr localhost:6060 -out diag.tar.gz
+//	bitmapctl diag -addr localhost:6060 -qlog workload.isql -fsck outdir/ -out diag.tar.gz
+//
+// The bundle holds the debug surfaces (healthz, telemetry, both metrics
+// expositions, the metrics-history ring, traces, run and cache status),
+// the profiling ring (listing plus the newest snapshots' raw pprof
+// profiles), and — when pointed at local artifacts — a workload-log tail
+// and summary, a slow-log tail, and an fsck summary of an output
+// directory. Endpoints the server does not expose are recorded as
+// missing in MANIFEST.json rather than failing the capture: a degraded
+// server is exactly when a bundle matters most.
+func cmdDiag(args []string) error {
+	fs := flag.NewFlagSet("diag", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:6060", "debug server address (host:port)")
+	out := fs.String("out", "", "output bundle path (default diag-<unix>.tar.gz)")
+	qlogPath := fs.String("qlog", "", "also bundle a tail + summary of this workload log (.isql)")
+	slowlogPath := fs.String("slowlog", "", "also bundle the tail of this slow-query log file")
+	fsckDir := fs.String("fsck", "", "also bundle an fsck summary of this pipeline output directory")
+	tail := fs.Int("tail", 200, "records/lines to keep from qlog and slow-log tails")
+	snaps := fs.Int("profiles", 2, "newest profile snapshots to bundle raw (0 = listing only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("diag-%d.tar.gz", time.Now().Unix())
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	tw := tar.NewWriter(zw)
+	b := &diagBundle{tw: tw, when: time.Now(), manifest: map[string]string{}}
+
+	base := "http://" + *addr
+	// The HTTP surfaces: name in the bundle ← endpoint.
+	for _, e := range []struct{ name, url string }{
+		{"healthz.json", base + "/healthz"},
+		{"telemetry.json", base + "/telemetry"},
+		{"metrics.prom", base + "/metrics"},
+		{"metrics.om", base + "/metrics?format=openmetrics"},
+		{"metrics-history.json", base + "/debug/metrics/history"},
+		{"run.json", base + "/debug/run"},
+		{"cache.json", base + "/debug/cache"},
+		{"traces.json", base + "/debug/traces"},
+		{"profiles/status.json", base + "/debug/profiles"},
+	} {
+		b.addURL(e.name, e.url)
+	}
+	b.addProfileRing(base, *snaps)
+	if *qlogPath != "" {
+		b.addQlog(*qlogPath, *tail)
+	}
+	if *slowlogPath != "" {
+		b.addFileTail("slowlog-tail.log", *slowlogPath, *tail)
+	}
+	if *fsckDir != "" {
+		b.addFsck(*fsckDir)
+	}
+	b.addManifest()
+
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ok, missing := b.counts()
+	fmt.Printf("wrote %s: %d sections captured, %d missing (see MANIFEST.json)\n", path, ok, missing)
+	return nil
+}
+
+// diagBundle accumulates tar entries and a per-section manifest ("ok" or
+// the reason a section is absent). Capture errors degrade to manifest
+// entries; only writing the archive itself can fail the command.
+type diagBundle struct {
+	tw       *tar.Writer
+	when     time.Time
+	manifest map[string]string
+	tarErr   error
+}
+
+func (b *diagBundle) add(name string, data []byte) {
+	if b.tarErr != nil {
+		return
+	}
+	hdr := &tar.Header{
+		Name: name, Mode: 0o644, Size: int64(len(data)), ModTime: b.when,
+	}
+	if err := b.tw.WriteHeader(hdr); err != nil {
+		b.tarErr = err
+		return
+	}
+	if _, err := b.tw.Write(data); err != nil {
+		b.tarErr = err
+		return
+	}
+	b.manifest[name] = "ok"
+}
+
+func (b *diagBundle) miss(name string, err error) {
+	b.manifest[name] = err.Error()
+}
+
+func (b *diagBundle) addURL(name, url string) {
+	data, err := diagFetch(url)
+	if err != nil {
+		b.miss(name, err)
+		return
+	}
+	b.add(name, data)
+}
+
+// addProfileRing bundles the newest n snapshots' raw profiles, every kind,
+// as pprof-compatible .pb.gz files.
+func (b *diagBundle) addProfileRing(base string, n int) {
+	if n <= 0 {
+		return
+	}
+	var st insitubits.ProfilingStatus
+	if err := fetchJSONInto(base+"/debug/profiles", &st); err != nil {
+		return // the listing section already recorded the miss
+	}
+	metas := st.Snapshots
+	if len(metas) > n {
+		metas = metas[len(metas)-n:]
+	}
+	for _, m := range metas {
+		kinds := make([]string, 0, len(m.Sizes))
+		for kind := range m.Sizes {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			name := fmt.Sprintf("profiles/%d-%s.pb.gz", m.ID, kind)
+			b.addURL(name, fmt.Sprintf("%s/debug/profiles?id=%d&kind=%s", base, m.ID, kind))
+		}
+	}
+}
+
+// addQlog bundles the analyzed summary and the last n records of a local
+// workload log, tolerating a torn tail exactly like `bitmapctl workload`.
+func (b *diagBundle) addQlog(path string, n int) {
+	recs, _, err := insitubits.ReadQueryLog(path)
+	if err != nil {
+		b.miss("qlog-tail.json", err)
+		return
+	}
+	sum := insitubits.AnalyzeWorkload(recs, nil)
+	if data, err := json.MarshalIndent(sum, "", "  "); err == nil {
+		b.add("qlog-summary.json", data)
+	}
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		b.miss("qlog-tail.json", err)
+		return
+	}
+	b.add("qlog-tail.json", data)
+}
+
+// addFileTail bundles the last n lines of a local text log.
+func (b *diagBundle) addFileTail(name, path string, n int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		b.miss(name, err)
+		return
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	b.add(name, []byte(strings.Join(lines, "\n")+"\n"))
+}
+
+// addFsck bundles the verification report of a pipeline output directory
+// (read-only: never repairs from inside a diagnostics capture).
+func (b *diagBundle) addFsck(dir string) {
+	rep, err := insitubits.Fsck(dir, insitubits.FsckOptions{})
+	if err != nil {
+		b.miss("fsck.json", err)
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.miss("fsck.json", err)
+		return
+	}
+	b.add("fsck.json", data)
+}
+
+// addManifest writes the capture manifest as the bundle's last entry.
+func (b *diagBundle) addManifest() {
+	man := struct {
+		CapturedAt string            `json:"captured_at"`
+		Tool       string            `json:"tool"`
+		Sections   map[string]string `json:"sections"`
+	}{b.when.UTC().Format(time.RFC3339), "bitmapctl diag", b.manifest}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return
+	}
+	b.add("MANIFEST.json", data)
+}
+
+func (b *diagBundle) counts() (ok, missing int) {
+	for _, v := range b.manifest {
+		if v == "ok" {
+			ok++
+		} else {
+			missing++
+		}
+	}
+	return ok, missing
+}
+
+// diagFetch GETs one endpoint body with a short timeout.
+func diagFetch(url string) ([]byte, error) {
+	client := http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}

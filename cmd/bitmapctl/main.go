@@ -13,6 +13,8 @@
 //	bitmapctl emd a.isbm b.isbm
 //	bitmapctl fsck [-repair] [-json] outdir/
 //	bitmapctl top -addr localhost:6060 [-interval 1s] [-once]
+//	bitmapctl profile top|diff|list|watch -addr localhost:6060 [-kind cpu] [-by op]
+//	bitmapctl diag -addr localhost:6060 -out diag.tar.gz
 //	bitmapctl replay -log workload.isql [-concurrency N] [-speedup X] index.isbm
 //	bitmapctl workload -log workload.isql [index.isbm]
 //
@@ -128,6 +130,10 @@ func main() {
 		err = cmdFsck(args)
 	case "top":
 		err = cmdTop(args)
+	case "profile":
+		err = cmdProfile(args)
+	case "diag":
+		err = cmdDiag(args)
 	case "cache-stats":
 		err = cmdCacheStats(args)
 	case "replay":
@@ -145,7 +151,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] [-cache-mb N] [-qlog FILE] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|cache-stats|replay|workload|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] [-cache-mb N] [-qlog FILE] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|profile|diag|cache-stats|replay|workload|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"insitubits"
+)
+
+// cmdProfile talks to the continuous-profiling ring a server exposes at
+// /debug/profiles (started with `insitu-run -profile` or
+// insitubits.StartProfiling; see docs/OBSERVABILITY.md):
+//
+//	bitmapctl profile list -addr localhost:6060
+//	bitmapctl profile top  -addr localhost:6060 [-id N] [-kind cpu] [-n 15] [-by op]
+//	bitmapctl profile diff -addr localhost:6060 -from A -to B [-kind cpu] [-n 15]
+//	bitmapctl profile watch -addr localhost:6060 [-interval 5s]
+//
+// top defaults to the newest snapshot; diff prints the symbolized delta
+// (to − from) so "what got hot since the last generation" is one command.
+// The heavy lifting (parsing, symbolizing, ranking) happens server-side;
+// this client renders JSON reports.
+func cmdProfile(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: bitmapctl profile <list|top|diff|watch> -addr HOST:PORT ...")
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("profile "+sub, flag.ExitOnError)
+	addr := fs.String("addr", "localhost:6060", "debug server address (host:port)")
+	kind := fs.String("kind", "cpu", "profile kind: cpu|heap|goroutine|mutex|block")
+	n := fs.Int("n", 15, "entries to show")
+	id := fs.Uint64("id", 0, "snapshot id (0 = newest)")
+	from := fs.Uint64("from", 0, "diff: older snapshot id")
+	to := fs.Uint64("to", 0, "diff: newer snapshot id (0 = newest)")
+	by := fs.String("by", "", "aggregate by pprof label (e.g. op, phase, codec) instead of function")
+	sample := fs.String("sample", "", "sample type (e.g. inuse_space); default is the kind's primary type")
+	interval := fs.Duration("interval", 5*time.Second, "watch refresh interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := fmt.Sprintf("http://%s/debug/profiles", *addr)
+
+	switch sub {
+	case "list":
+		st, err := fetchProfilingStatus(base)
+		if err != nil {
+			return err
+		}
+		fmt.Print(renderProfileList(st))
+		return nil
+	case "top":
+		target := *id
+		if target == 0 {
+			st, err := fetchProfilingStatus(base)
+			if err != nil {
+				return err
+			}
+			if len(st.Snapshots) == 0 {
+				return fmt.Errorf("no snapshots in the ring yet")
+			}
+			target = st.Snapshots[len(st.Snapshots)-1].ID
+		}
+		url := fmt.Sprintf("%s?id=%d&kind=%s&top=%d", base, target, *kind, *n)
+		if *by != "" {
+			url = fmt.Sprintf("%s?id=%d&kind=%s&by=%s&top=%d", base, target, *kind, *by, *n)
+		}
+		if *sample != "" {
+			url += "&sample=" + *sample
+		}
+		rep, err := fetchTopReport(url)
+		if err != nil {
+			return err
+		}
+		fmt.Print(renderTopReport(rep))
+		return nil
+	case "diff":
+		if *from == 0 {
+			return fmt.Errorf("usage: bitmapctl profile diff -from A [-to B]")
+		}
+		target := *to
+		if target == 0 {
+			st, err := fetchProfilingStatus(base)
+			if err != nil {
+				return err
+			}
+			if len(st.Snapshots) == 0 {
+				return fmt.Errorf("no snapshots in the ring yet")
+			}
+			target = st.Snapshots[len(st.Snapshots)-1].ID
+		}
+		url := fmt.Sprintf("%s?diff=%d,%d&kind=%s&top=%d", base, *from, target, *kind, *n)
+		if *sample != "" {
+			url += "&sample=" + *sample
+		}
+		rep, err := fetchTopReport(url)
+		if err != nil {
+			return err
+		}
+		fmt.Print(renderTopReport(rep))
+		return nil
+	case "watch":
+		if *interval < 500*time.Millisecond {
+			*interval = 500 * time.Millisecond
+		}
+		for {
+			out, err := watchFrame(base, *kind, *n)
+			if err != nil {
+				out = fmt.Sprintf("bitmapctl profile watch: %v (retrying every %s)\n", err, *interval)
+			}
+			fmt.Print("\033[H\033[2J" + out)
+			time.Sleep(*interval)
+		}
+	default:
+		return fmt.Errorf("unknown profile subcommand %q (want list|top|diff|watch)", sub)
+	}
+}
+
+// watchFrame composes one watch repaint: the ring listing plus the top of
+// the newest snapshot, so a long-running server reads like `top` for
+// profiles.
+func watchFrame(base, kind string, n int) (string, error) {
+	st, err := fetchProfilingStatus(base)
+	if err != nil {
+		return "", err
+	}
+	out := renderProfileList(st)
+	if len(st.Snapshots) == 0 {
+		return out, nil
+	}
+	last := st.Snapshots[len(st.Snapshots)-1].ID
+	rep, err := fetchTopReport(fmt.Sprintf("%s?id=%d&kind=%s&top=%d", base, last, kind, n))
+	if err != nil {
+		return "", err
+	}
+	return out + "\n" + renderTopReport(rep), nil
+}
+
+func fetchProfilingStatus(url string) (insitubits.ProfilingStatus, error) {
+	var st insitubits.ProfilingStatus
+	return st, fetchJSONInto(url, &st)
+}
+
+func fetchTopReport(url string) (insitubits.ProfileTopReport, error) {
+	var rep insitubits.ProfileTopReport
+	return rep, fetchJSONInto(url, &rep)
+}
+
+// fetchJSONInto GETs a debug endpoint and decodes its JSON body.
+func fetchJSONInto(url string, v any) error {
+	client := http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return nil
+}
+
+// renderProfileList formats the ring listing. Pure — tests call it on
+// fixtures.
+func renderProfileList(st insitubits.ProfilingStatus) string {
+	var b strings.Builder
+	state := "disabled"
+	if st.Enabled {
+		state = "enabled"
+	}
+	fmt.Fprintf(&b, "profiling %s  interval=%s  cpu-window=%s  ring %d/%d\n",
+		state, time.Duration(st.IntervalNs), time.Duration(st.CPUWindowNs),
+		len(st.Snapshots), st.Capacity)
+	if len(st.Snapshots) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%4s  %-19s  %4s  %-10s  %5s  %s\n", "ID", "TIME", "GEN", "PHASE", "STEP", "SIZES")
+	for _, m := range st.Snapshots {
+		phase := m.Phase
+		if phase == "" {
+			phase = "-"
+		}
+		fmt.Fprintf(&b, "%4d  %-19s  %4d  %-10s  %5d  %s\n",
+			m.ID, time.Unix(0, m.UnixNs).Format("2006-01-02 15:04:05"),
+			m.Generation, phase, m.Step, renderSizes(m.Sizes))
+	}
+	return b.String()
+}
+
+func renderSizes(sizes map[string]int) string {
+	parts := make([]string, 0, len(sizes))
+	for _, kind := range insitubits.ProfilingKinds {
+		if n, ok := sizes[kind]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%dB", kind, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// renderTopReport formats a symbolized top or diff report. Pure.
+func renderTopReport(rep insitubits.ProfileTopReport) string {
+	var b strings.Builder
+	if rep.From != rep.To {
+		fmt.Fprintf(&b, "%s diff  #%d (gen %d, %s) -> #%d (gen %d, %s)  %s\n",
+			rep.Kind, rep.From, rep.FromMeta.Generation, orDash(rep.FromMeta.Phase),
+			rep.To, rep.ToMeta.Generation, orDash(rep.ToMeta.Phase), rep.SampleType)
+	} else {
+		fmt.Fprintf(&b, "%s top  #%d  gen=%d phase=%s step=%d  %s\n",
+			rep.Kind, rep.To, rep.ToMeta.Generation, orDash(rep.ToMeta.Phase),
+			rep.ToMeta.Step, rep.SampleType)
+	}
+	if rep.ByLabel != "" {
+		fmt.Fprintf(&b, "%14s  %6s  %s\n", rep.Unit, "%", rep.ByLabel)
+		for _, lv := range rep.Labels {
+			fmt.Fprintf(&b, "%14d  %5.1f%%  %s\n", lv.Total, pct(lv.Total, rep.Total), lv.Value)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%14s  %6s  %14s  %s\n", "flat ("+rep.Unit+")", "%", "cum", "function")
+	for _, fv := range rep.Entries {
+		fmt.Fprintf(&b, "%14d  %5.1f%%  %14d  %s\n", fv.Flat, pct(fv.Flat, rep.Total), fv.Cum, fv.Name)
+	}
+	if len(rep.Entries) == 0 && rep.From != rep.To {
+		b.WriteString("(no delta between the two snapshots)\n")
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func pct(v, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	f := 100 * float64(v) / float64(total)
+	if f < 0 {
+		f = -f
+	}
+	return f
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"insitubits"
+)
+
+func profileStatusFixture() insitubits.ProfilingStatus {
+	return insitubits.ProfilingStatus{
+		Enabled:     true,
+		IntervalNs:  30e9,
+		CPUWindowNs: 1e9,
+		Capacity:    16,
+		Snapshots: []insitubits.ProfileSnapshotMeta{
+			{ID: 4, UnixNs: 1700000000e9, Generation: 3, Phase: "reduce", Step: 11,
+				Sizes: map[string]int{"cpu": 2048, "heap": 512}},
+			{ID: 5, UnixNs: 1700000030e9, Generation: 4, Phase: "select", Step: 12,
+				Sizes: map[string]int{"cpu": 4096, "heap": 640}},
+		},
+	}
+}
+
+func TestRenderProfileList(t *testing.T) {
+	out := renderProfileList(profileStatusFixture())
+	for _, want := range []string{"profiling enabled", "ring 2/16",
+		"reduce", "select", "cpu=4096B", "heap=640B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	empty := renderProfileList(insitubits.ProfilingStatus{Capacity: 8})
+	if !strings.Contains(empty, "profiling disabled") || strings.Contains(empty, "ID") {
+		t.Errorf("empty listing: %q", empty)
+	}
+}
+
+func TestRenderTopReport(t *testing.T) {
+	rep := insitubits.ProfileTopReport{
+		Kind: "cpu", SampleType: "cpu", Unit: "nanoseconds",
+		From: 4, To: 5,
+		FromMeta: insitubits.ProfileSnapshotMeta{ID: 4, Generation: 3, Phase: "reduce"},
+		ToMeta:   insitubits.ProfileSnapshotMeta{ID: 5, Generation: 4, Phase: "select"},
+		Total:    1000,
+		Entries: []insitubits.ProfileFuncValue{
+			{Name: "insitubits/internal/bitvec.(*Appender).Append", Flat: 700, Cum: 900},
+			{Name: "insitubits/internal/query.Count", Flat: -100, Cum: 300},
+		},
+	}
+	out := renderTopReport(rep)
+	for _, want := range []string{"cpu diff", "#4 (gen 3, reduce)", "#5 (gen 4, select)",
+		"bitvec.(*Appender).Append", "70.0%", "-100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff render missing %q:\n%s", want, out)
+		}
+	}
+	// Same-snapshot report renders as top, not diff.
+	rep.From = 5
+	rep.FromMeta = rep.ToMeta
+	if out := renderTopReport(rep); !strings.Contains(out, "cpu top  #5") {
+		t.Errorf("top render:\n%s", out)
+	}
+	// By-label view.
+	rep.ByLabel = "op"
+	rep.Entries = nil
+	rep.Labels = []insitubits.ProfileLabelValue{{Value: "query.count", Total: 600}}
+	if out := renderTopReport(rep); !strings.Contains(out, "query.count") || !strings.Contains(out, "60.0%") {
+		t.Errorf("by-label render:\n%s", out)
+	}
+}
+
+// TestProfileAndDiagEndToEnd drives the real surfaces: a debug server with
+// a live collector behind it, `profile top/diff` fetching server-computed
+// reports, and `diag` capturing the bundle — then the bundle is opened and
+// its sections checked, including a raw profile that must parse as pprof.
+func TestProfileAndDiagEndToEnd(t *testing.T) {
+	reg := insitubits.NewTelemetryRegistry()
+	srv, err := reg.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := insitubits.StartProfiling(insitubits.ProfilingConfig{
+		Registry:    reg,
+		Interval:    time.Hour,
+		CPUDuration: 20 * time.Millisecond,
+		Capacity:    4,
+	})
+	defer c.Stop()
+	waitSnapshots := func(n int) {
+		deadline := time.Now().Add(10 * time.Second)
+		for len(c.Snapshots()) < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("never reached %d snapshots", n)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitSnapshots(1)
+	if _, err := c.Snap(); err != nil {
+		t.Fatal(err)
+	}
+	waitSnapshots(2)
+	base := "http://" + srv.Addr + "/debug/profiles"
+
+	st, err := fetchProfilingStatus(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Snapshots) != 2 || !st.Enabled {
+		t.Fatalf("status = %+v", st)
+	}
+	a, b := st.Snapshots[0].ID, st.Snapshots[1].ID
+	rep, err := fetchTopReport(base + "?id=" + itoa(b) + "&kind=goroutine&top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 || len(rep.Entries) == 0 {
+		t.Errorf("goroutine top empty: %+v", rep)
+	}
+	rep, err = fetchTopReport(base + "?diff=" + itoa(a) + "," + itoa(b) + "&kind=heap&top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.From != a || rep.To != b {
+		t.Errorf("diff ids = %d,%d want %d,%d", rep.From, rep.To, a, b)
+	}
+
+	// diag: capture the bundle and open it.
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "diag.tar.gz")
+	if err := cmdDiag([]string{"-addr", srv.Addr, "-out", bundle}); err != nil {
+		t.Fatal(err)
+	}
+	sections := readBundle(t, bundle)
+	for _, name := range []string{"healthz.json", "telemetry.json", "metrics.prom",
+		"metrics.om", "profiles/status.json", "MANIFEST.json"} {
+		if _, ok := sections[name]; !ok {
+			t.Errorf("bundle missing %s; has %v", name, keys(sections))
+		}
+	}
+	if !strings.Contains(string(sections["metrics.om"]), "# EOF") {
+		t.Error("bundled OpenMetrics exposition unterminated")
+	}
+	var man struct {
+		Sections map[string]string `json:"sections"`
+	}
+	if err := json.Unmarshal(sections["MANIFEST.json"], &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Sections["healthz.json"] != "ok" {
+		t.Errorf("manifest healthz = %q", man.Sections["healthz.json"])
+	}
+	// Endpoints this server does not expose are recorded, not fatal.
+	if v := man.Sections["run.json"]; v == "" || v == "ok" {
+		t.Errorf("manifest run.json = %q, want a recorded miss", v)
+	}
+	// The bundled raw profiles parse as pprof proto.
+	parsed := 0
+	for name, data := range sections {
+		if strings.HasPrefix(name, "profiles/") && strings.HasSuffix(name, ".pb.gz") {
+			if _, err := insitubits.ParseProfile(data); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			parsed++
+		}
+	}
+	if parsed == 0 {
+		t.Error("no raw profiles in the bundle")
+	}
+}
+
+func itoa(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func readBundle(t *testing.T, path string) map[string][]byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tar.NewReader(zr)
+	out := map[string][]byte{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[hdr.Name] = data
+	}
+	return out
+}
+
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -132,6 +132,86 @@ func TestHealthzReportsRun(t *testing.T) {
 	}
 }
 
+// TestHealthzDuringPublish hammers /healthz while a pipeline run is in
+// flight — every in-situ step publishes fresh bitmap indexes, so the run
+// section's generation field is being bumped concurrently with the probe
+// reads. The probe asserts the JSON shape stays intact on every poll and
+// the observed generations are monotone; under `make race-hot` (which
+// includes this package) the race detector additionally certifies the
+// status provider's atomics. This is the contract a liveness probe relies
+// on: /healthz never serves a torn or regressing run section mid-run.
+func TestHealthzDuringPublish(t *testing.T) {
+	srv, err := insitubits.Telemetry.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr + "/healthz"
+
+	sim, err := insitubits.NewHeat3D(16, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := insitubits.RunPipeline(insitubits.PipelineConfig{
+			Sim: sim, Steps: 24, Select: 4,
+			Method: insitubits.MethodBitmaps, Bins: 32,
+			Metric: insitubits.MetricConditionalEntropy,
+			Cores:  2,
+		})
+		runErr <- err
+	}()
+
+	var lastGen float64
+	sawRun := false
+	for done := false; !done; {
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatal(err)
+			}
+			done = true
+		default:
+		}
+		health := getJSON(t, url)
+		if health["status"] != "ok" {
+			t.Fatalf("/healthz status = %v mid-run", health["status"])
+		}
+		if _, ok := health["uptime_seconds"]; !ok {
+			t.Fatal("/healthz lost uptime_seconds mid-run")
+		}
+		run, ok := health["run"].(map[string]any)
+		if !ok {
+			continue // probe raced ahead of the run-status publish
+		}
+		sawRun = true
+		for _, key := range []string{"workload", "method", "steps", "steps_done", "current_step", "elapsed_ns", "done"} {
+			if _, ok := run[key]; !ok {
+				t.Fatalf("/healthz run section missing %q mid-run: %v", key, run)
+			}
+		}
+		if gen, _ := run["generation"].(float64); gen > 0 {
+			if gen < lastGen {
+				t.Fatalf("/healthz run.generation regressed %v -> %v", lastGen, gen)
+			}
+			lastGen = gen
+		}
+	}
+	if !sawRun {
+		t.Fatal("no poll observed the run section")
+	}
+	if lastGen <= 0 {
+		t.Errorf("no poll observed a positive index generation (last = %v)", lastGen)
+	}
+	// The final state matches what TestHealthzReportsRun pins for a
+	// completed run.
+	run, _ := getJSON(t, url)["run"].(map[string]any)
+	if run == nil || run["done"] != true {
+		t.Errorf("run section after completion = %v", run)
+	}
+}
+
 // TestMetricsHistoryFacade drives the metrics-history plane through the
 // facade: StartMetricsHistory publishes the ring, queries move the
 // counters, and /debug/metrics/history serves rates a sparkline can draw.

@@ -43,6 +43,7 @@ import (
 	"insitubits/internal/metrics"
 	"insitubits/internal/mining"
 	"insitubits/internal/offline"
+	"insitubits/internal/profiling"
 	"insitubits/internal/qlog"
 	"insitubits/internal/query"
 	"insitubits/internal/replay"
@@ -481,6 +482,49 @@ var (
 // MetricsHistoryStatusName is the registry status key a started history
 // publishes its dump under.
 const MetricsHistoryStatusName = telemetry.HistoryStatusName
+
+// MetricExemplar is one traced sample a latency histogram retains; the
+// OpenMetrics exposition on /metrics attaches it to the matching
+// histogram bucket so a slow bucket links to /debug/traces?id=.
+type MetricExemplar = telemetry.Exemplar
+
+// --- Continuous profiling (internal/profiling) ---
+
+// ProfilingConfig configures the background profile collector;
+// ProfileSnapshotMeta describes one captured snapshot (stamped with the
+// in-situ run's generation/phase/step and the metrics-history cursor);
+// ProfileTopReport is the symbolized top/diff view /debug/profiles and
+// `bitmapctl profile` serve; Profile/ProfileFuncValue/ProfileLabelValue
+// are the parsed pprof views behind it; ProfilingStatus is the
+// collector's live status (the "profiling" registry status key).
+type (
+	ProfilingConfig     = profiling.Config
+	ProfileCollector    = profiling.Collector
+	ProfileSnapshot     = profiling.Snapshot
+	ProfileSnapshotMeta = profiling.SnapshotMeta
+	ProfileTopReport    = profiling.TopReport
+	Profile             = profiling.Profile
+	ProfileFuncValue    = profiling.FuncValue
+	ProfileLabelValue   = profiling.LabelValue
+	ProfilingStatus     = profiling.Status
+	ProfilingRunInfo    = profiling.RunInfo
+)
+
+// StartProfiling starts the continuous collector (and enables the pprof
+// label plane); ParseProfile decodes a gzipped pprof profile without
+// external dependencies; DiffProfiles is the symbolized delta between two
+// parsed profiles; ProfilingEnabled/SetProfilingEnabled expose the label
+// gate on its own (one atomic load on the query path when off).
+var (
+	StartProfiling      = profiling.Start
+	ParseProfile        = profiling.Parse
+	DiffProfiles        = profiling.Diff
+	ProfilingEnabled    = profiling.Enabled
+	SetProfilingEnabled = profiling.SetEnabled
+	ProfileWithLabels   = profiling.Label
+	ProfilingKinds      = profiling.Kinds
+	ProfilingStatusName = profiling.StatusName
+)
 
 // --- Subgroup discovery (internal/subgroup) ---
 

@@ -70,7 +70,9 @@ func (SharedCores) run(cfg Config, red *reducer, sel *selector) (*Result, error)
 		st.SetAttrInt("step", int64(t))
 		sp := rt.root.Child(SpanSimulate)
 		ssp := st.Child(SpanSimulate)
+		unlabel := rt.enterPhase(stepCtx, SpanSimulate)
 		fields, err := runStep(cfg, rt, t, cfg.Cores)
+		unlabel()
 		ssp.End()
 		sp.End()
 		if err != nil {
@@ -79,14 +81,18 @@ func (SharedCores) run(cfg Config, red *reducer, sel *selector) (*Result, error)
 		}
 		sp = rt.root.Child(SpanReduce)
 		rsp := st.Child(SpanReduce)
+		unlabel = rt.enterPhase(stepCtx, SpanReduce)
 		summary, err := runReduce(cfg, red, rt, fields, cfg.Cores, t)
+		unlabel()
 		rsp.End()
 		sp.End()
 		if err != nil {
 			st.End()
 			return nil, err
 		}
+		unlabel = rt.enterPhase(stepCtx, SpanSelect)
 		sel.offer(stepCtx, t, summary)
+		unlabel()
 		st.End()
 		if sel.err != nil {
 			// Persistence failed; later steps could compute but never land.
@@ -161,7 +167,9 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 			st.SetAttrInt("step", int64(t))
 			sp := rt.root.Child(SpanSimulate)
 			ssp := st.Child(SpanSimulate)
+			unlabel := rt.enterPhase(stepCtx, SpanSimulate)
 			fields, err := runStep(cfg, rt, t, s.SimCores)
+			unlabel()
 			ssp.End()
 			sp.End()
 			rt.enqueued()
@@ -199,7 +207,9 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 		}
 		sp := rt.root.Child(SpanReduce)
 		rsp := q.span.Child(SpanReduce)
+		unlabel := rt.enterPhase(q.ctx, SpanReduce)
 		summary, err := runReduce(cfg, red, rt, q.fields, s.ReduceCores, q.step)
+		unlabel()
 		rsp.End()
 		sp.End()
 		if err != nil {
@@ -208,7 +218,9 @@ func (s SeparateCores) run(cfg Config, red *reducer, sel *selector) (*Result, er
 			drain()
 			return nil, err
 		}
+		unlabel = rt.enterPhase(q.ctx, SpanSelect)
 		sel.offer(q.ctx, q.step, summary)
+		unlabel()
 		q.span.End()
 		if sel.err != nil {
 			drain()

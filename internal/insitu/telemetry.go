@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"insitubits/internal/codec"
+	"insitubits/internal/profiling"
 	"insitubits/internal/selection"
 	"insitubits/internal/telemetry"
 )
@@ -101,12 +102,16 @@ type runTelemetry struct {
 	// Live run-status state behind the RunStatusName provider.
 	workload     string
 	method       string
+	codecName    string
 	strategyDesc string
 	steps        int
 	start        time.Time
-	currentStep  atomic.Int64
-	selectedN    atomic.Int64
-	bytesOut     atomic.Int64
+	// phase is the in-situ phase currently executing (SpanSimulate, ...,
+	// "done"); the profiling collector stamps snapshots with it.
+	phase       atomic.Value // string
+	currentStep atomic.Int64
+	selectedN   atomic.Int64
+	bytesOut    atomic.Int64
 	// codecBins counts bins by encoding: wah, bbc, dense, other.
 	codecBins   [4]atomic.Int64
 	generation  atomic.Uint64
@@ -124,16 +129,28 @@ func newRunTelemetry(cfg Config) *runTelemetry {
 		reg = telemetry.Default
 	}
 	rt := &runTelemetry{
-		tr:       telemetry.NewTracer(),
-		workload: cfg.Sim.Name(),
-		method:   cfg.Method.String(),
-		steps:    cfg.Steps,
-		start:    time.Now(),
+		tr:        telemetry.NewTracer(),
+		workload:  cfg.Sim.Name(),
+		method:    cfg.Method.String(),
+		codecName: cfg.Codec.String(),
+		steps:     cfg.Steps,
+		start:     time.Now(),
 	}
 	rt.currentStep.Store(-1)
 	rt.journal.Store("none")
+	rt.phase.Store("")
 	reg.AttachTracer(TracerName, rt.tr)
 	reg.PublishStatus(RunStatusName, rt.status)
+	// The profiling collector stamps each snapshot with this run's
+	// generation, phase, and step. Like the run status, the last run's
+	// info stays visible after the run completes.
+	profiling.SetRunInfo(func() profiling.RunInfo {
+		return profiling.RunInfo{
+			Generation: rt.generation.Load(),
+			Phase:      rt.phaseName(),
+			Step:       int(rt.currentStep.Load()),
+		}
+	})
 	rt.root = rt.tr.Start(SpanRun)
 	rt.queueDepth = reg.Gauge("insitu.queue_depth")
 	rt.stepsDone = reg.Counter("insitu.steps_processed")
@@ -186,6 +203,29 @@ func (rt *runTelemetry) status() any {
 		st.TraceID = id
 	}
 	return st
+}
+
+// phaseName returns the current in-situ phase, "" before the first one.
+func (rt *runTelemetry) phaseName() string {
+	if s, ok := rt.phase.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// enterPhase marks phase as the run's current in-situ phase and — when
+// continuous profiling is enabled — tags the goroutine (and any workers
+// it spawns) with pprof labels for the phase, workload, and codec, so
+// CPU samples attribute to "reduce under WAH" rather than a bare stack.
+// The returned closure restores the caller's labels; the phase marker
+// stays until the next enterPhase, matching how the profiling collector
+// samples it. One atomic store plus one atomic load when profiling is
+// disabled.
+func (rt *runTelemetry) enterPhase(ctx context.Context, phase string) func() {
+	rt.phase.Store(phase)
+	_, unlabel := profiling.Label(ctx,
+		"phase", phase, "workload", rt.workload, "codec", rt.codecName)
+	return unlabel
 }
 
 // currentStepCount is the steps-offered count (currentStep+1, floored at 0).
@@ -277,6 +317,7 @@ func (rt *runTelemetry) dequeued() {
 func (rt *runTelemetry) finish(res *Result) {
 	rt.root.End()
 	rt.done.Store(true)
+	rt.phase.Store("done")
 	res.Breakdown.Simulate = rt.tr.Phase(SpanRun, SpanSimulate).Total
 	res.Breakdown.Reduce = rt.tr.Phase(SpanRun, SpanReduce).Total
 	res.Breakdown.Select = rt.tr.Phase(SpanRun, SpanSelect).Total

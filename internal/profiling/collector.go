@@ -1,0 +1,327 @@
+package profiling
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"insitubits/internal/telemetry"
+)
+
+// StatusName is the registry status key the collector publishes under;
+// /debug/profiles serves the same data.
+const StatusName = "profiling"
+
+// Kinds are the profile kinds every snapshot carries. CPU is a sampled
+// window of Config.CPUDuration; the others are instantaneous (heap,
+// goroutine) or cumulative-since-start (mutex, block) states.
+var Kinds = []string{"cpu", "heap", "goroutine", "mutex", "block"}
+
+// Config parameterizes a Collector. The zero value gets sane defaults:
+// the Default telemetry registry, a 30s cycle with a 1s CPU window, a
+// 16-snapshot ring, mutex sampling at 1/100 events, and block sampling
+// at 1ms granularity.
+type Config struct {
+	// Registry receives the collector's own counters, the "profiling"
+	// status provider, and the /debug/profiles handler.
+	Registry *telemetry.Registry
+	// History, when set, stamps each snapshot with the metrics-history
+	// cursor at capture time so profiles align with metric windows.
+	History *telemetry.History
+	// Interval is the cycle period; CPUDuration the CPU sampling window
+	// inside each cycle (duty cycle = CPUDuration/Interval).
+	Interval    time.Duration
+	CPUDuration time.Duration
+	// Capacity is the snapshot ring size.
+	Capacity int
+	// MutexFraction and BlockRateNs are passed to
+	// runtime.SetMutexProfileFraction / SetBlockProfileRate while the
+	// collector runs (restored on Stop). Zero means the defaults; a
+	// negative value leaves the runtime setting untouched.
+	MutexFraction int
+	BlockRateNs   int
+}
+
+func (c *Config) defaults() {
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.CPUDuration <= 0 {
+		c.CPUDuration = time.Second
+	}
+	if c.CPUDuration > c.Interval/2 {
+		c.CPUDuration = c.Interval / 2
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 16
+	}
+	if c.MutexFraction == 0 {
+		c.MutexFraction = 100
+	}
+	if c.BlockRateNs == 0 {
+		c.BlockRateNs = int(time.Millisecond)
+	}
+}
+
+// Snapshot is one captured profile set plus the correlation stamps that
+// tie it to the other observability planes.
+type Snapshot struct {
+	Meta SnapshotMeta
+	// Profiles maps kind → gzipped profile.proto bytes, exactly what
+	// `go tool pprof` reads.
+	Profiles map[string][]byte
+}
+
+// SnapshotMeta is the ring-listing view of a snapshot.
+type SnapshotMeta struct {
+	ID            uint64         `json:"id"`
+	UnixNs        int64          `json:"unix_ns"`
+	CPUWindowNs   int64          `json:"cpu_window_ns"`
+	Generation    uint64         `json:"generation"`
+	Phase         string         `json:"phase,omitempty"`
+	Step          int            `json:"step,omitempty"`
+	HistoryCursor uint64         `json:"history_cursor"`
+	Sizes         map[string]int `json:"sizes"`
+}
+
+// Collector is the background profile snapshotter. Build one with Start;
+// tests drive Snap directly for determinism.
+type Collector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ring   []*Snapshot
+	next   int
+	full   bool
+	nextID uint64
+
+	snapshots *telemetry.Counter
+	errors    *telemetry.Counter
+
+	prevMutex int
+	stop      chan struct{}
+	stopOnce  sync.Once
+	done      chan struct{}
+}
+
+// Start builds a collector, enables the label plane and the mutex/block
+// sampling rates, registers the "profiling" status provider and the
+// /debug/profiles handler on the registry, and starts the periodic
+// capture loop. Stop it with Stop.
+func Start(cfg Config) *Collector {
+	cfg.defaults()
+	c := &Collector{
+		cfg:       cfg,
+		ring:      make([]*Snapshot, cfg.Capacity),
+		nextID:    1,
+		snapshots: cfg.Registry.Counter("profiling.snapshots"),
+		errors:    cfg.Registry.Counter("profiling.errors"),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	SetEnabled(true)
+	if cfg.MutexFraction >= 0 {
+		c.prevMutex = runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	if cfg.BlockRateNs >= 0 {
+		runtime.SetBlockProfileRate(cfg.BlockRateNs)
+	}
+	cfg.Registry.PublishStatus(StatusName, func() any { return c.Status() })
+	cfg.Registry.RegisterDebugHandler("/debug/profiles", c.Handler())
+	go c.run()
+	return c
+}
+
+func (c *Collector) run() {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	c.Snap() //nolint:errcheck // errors are counted, the loop goes on
+	for {
+		select {
+		case <-tick.C:
+			c.Snap() //nolint:errcheck
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Snap captures one snapshot now and appends it to the ring. The CPU
+// window blocks for Config.CPUDuration (interrupted by Stop); the other
+// kinds are instantaneous. Safe for concurrent use with readers, but
+// only one Snap runs at a time (CPU profiling is process-global).
+func (c *Collector) Snap() (*Snapshot, error) {
+	if c == nil {
+		return nil, fmt.Errorf("profiling: nil collector")
+	}
+	snap := &Snapshot{Profiles: make(map[string][]byte, len(Kinds))}
+	var firstErr error
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		// Another CPU profile is running (a /debug/pprof/profile fetch):
+		// skip the CPU kind this cycle rather than fight over it.
+		firstErr = err
+		c.errors.Inc()
+	} else {
+		select {
+		case <-time.After(c.cfg.CPUDuration):
+		case <-c.stop:
+		}
+		pprof.StopCPUProfile()
+		snap.Profiles["cpu"] = append([]byte(nil), buf.Bytes()...)
+	}
+	for _, kind := range Kinds[1:] {
+		p := pprof.Lookup(kind)
+		if p == nil {
+			continue
+		}
+		buf.Reset()
+		if err := p.WriteTo(&buf, 0); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			c.errors.Inc()
+			continue
+		}
+		snap.Profiles[kind] = append([]byte(nil), buf.Bytes()...)
+	}
+	info := currentRunInfo()
+	sizes := make(map[string]int, len(snap.Profiles))
+	for k, b := range snap.Profiles {
+		sizes[k] = len(b)
+	}
+	c.mu.Lock()
+	snap.Meta = SnapshotMeta{
+		ID:            c.nextID,
+		UnixNs:        time.Now().UnixNano(),
+		CPUWindowNs:   c.cfg.CPUDuration.Nanoseconds(),
+		Generation:    info.Generation,
+		Phase:         info.Phase,
+		Step:          info.Step,
+		HistoryCursor: c.cfg.History.Cursor(),
+		Sizes:         sizes,
+	}
+	c.nextID++
+	c.ring[c.next] = snap
+	c.next++
+	if c.next == len(c.ring) {
+		c.next, c.full = 0, true
+	}
+	c.mu.Unlock()
+	c.snapshots.Inc()
+	return snap, firstErr
+}
+
+// Snapshots lists the retained snapshot metadata, oldest first. Nil-safe.
+func (c *Collector) Snapshots() []SnapshotMeta {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []SnapshotMeta
+	emit := func(s *Snapshot) {
+		if s != nil {
+			out = append(out, s.Meta)
+		}
+	}
+	if c.full {
+		for _, s := range c.ring[c.next:] {
+			emit(s)
+		}
+	}
+	for _, s := range c.ring[:c.next] {
+		emit(s)
+	}
+	return out
+}
+
+// Get returns the snapshot with the given ID, or nil if it left the ring.
+func (c *Collector) Get(id uint64) *Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.ring {
+		if s != nil && s.Meta.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// Latest returns the n most recent snapshots, oldest first.
+func (c *Collector) Latest(n int) []*Snapshot {
+	if c == nil || n <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var all []*Snapshot
+	if c.full {
+		all = append(all, c.ring[c.next:]...)
+	}
+	all = append(all, c.ring[:c.next]...)
+	keep := all[:0]
+	for _, s := range all {
+		if s != nil {
+			keep = append(keep, s)
+		}
+	}
+	if len(keep) > n {
+		keep = keep[len(keep)-n:]
+	}
+	return append([]*Snapshot(nil), keep...)
+}
+
+// Status is the "profiling" status-provider payload.
+type Status struct {
+	Enabled     bool           `json:"enabled"`
+	IntervalNs  int64          `json:"interval_ns"`
+	CPUWindowNs int64          `json:"cpu_window_ns"`
+	Capacity    int            `json:"capacity"`
+	Snapshots   []SnapshotMeta `json:"snapshots"`
+}
+
+// Status reports the collector's configuration and ring contents.
+func (c *Collector) Status() Status {
+	if c == nil {
+		return Status{}
+	}
+	return Status{
+		Enabled:     Enabled(),
+		IntervalNs:  c.cfg.Interval.Nanoseconds(),
+		CPUWindowNs: c.cfg.CPUDuration.Nanoseconds(),
+		Capacity:    c.cfg.Capacity,
+		Snapshots:   c.Snapshots(),
+	}
+}
+
+// Stop halts the capture loop, restores the runtime sampling rates, and
+// disables the label plane. The ring stays readable (the status provider
+// and handler keep serving the frozen snapshots). Safe to call more than
+// once; nil-safe.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		<-c.done
+		if c.cfg.MutexFraction >= 0 {
+			runtime.SetMutexProfileFraction(c.prevMutex)
+		}
+		if c.cfg.BlockRateNs >= 0 {
+			runtime.SetBlockProfileRate(0)
+		}
+		SetEnabled(false)
+	})
+}

@@ -1,0 +1,188 @@
+package profiling
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the collector's ring over HTTP (mounted by Start at
+// /debug/profiles on the registry's debug server):
+//
+//	GET ?                         ring listing (Status JSON)
+//	GET ?id=N&kind=cpu            raw gzipped profile.proto — feed it to
+//	                              `go tool pprof`
+//	GET ?id=N&kind=cpu&top=20     symbolized top-N JSON (&sample= picks a
+//	                              sample type, &by=<label> aggregates by
+//	                              pprof label instead of function)
+//	GET ?diff=A,B&kind=cpu&top=20 symbolized delta profile (B − A)
+func (c *Collector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		kind := q.Get("kind")
+		if kind == "" {
+			kind = "cpu"
+		}
+		if diff := q.Get("diff"); diff != "" {
+			c.serveDiff(w, diff, kind, q)
+			return
+		}
+		idStr := q.Get("id")
+		if idStr == "" {
+			writeJSON(w, c.Status())
+			return
+		}
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad id "+idStr, http.StatusBadRequest)
+			return
+		}
+		snap := c.Get(id)
+		if snap == nil {
+			http.Error(w, fmt.Sprintf("snapshot %d not in ring", id), http.StatusNotFound)
+			return
+		}
+		data := snap.Profiles[kind]
+		if data == nil {
+			http.Error(w, fmt.Sprintf("snapshot %d has no %q profile", id, kind), http.StatusNotFound)
+			return
+		}
+		topN, hasTop := topParam(q.Get("top"))
+		byLabel := q.Get("by")
+		if !hasTop && byLabel == "" {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition",
+				fmt.Sprintf("attachment; filename=%s-%d.pb.gz", kind, id))
+			w.Write(data) //nolint:errcheck // best-effort over HTTP
+			return
+		}
+		p, err := Parse(data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		sample := q.Get("sample")
+		rep := TopReport{
+			Kind:       kind,
+			From:       id,
+			To:         id,
+			FromMeta:   snap.Meta,
+			ToMeta:     snap.Meta,
+			SampleType: sampleTypeName(p, sample),
+			Unit:       sampleUnit(p, sample),
+			Total:      p.Total(p.ValueIndex(sample)),
+		}
+		if byLabel != "" {
+			rep.ByLabel = byLabel
+			rep.Labels = p.ByLabel(sample, byLabel, topN)
+		} else {
+			rep.Entries = p.Top(sample, topN)
+		}
+		writeJSON(w, rep)
+	})
+}
+
+// TopReport is the JSON shape of the symbolized top and diff views.
+type TopReport struct {
+	Kind       string       `json:"kind"`
+	SampleType string       `json:"sample_type"`
+	Unit       string       `json:"unit"`
+	From       uint64       `json:"from"`
+	To         uint64       `json:"to"`
+	FromMeta   SnapshotMeta `json:"from_meta"`
+	ToMeta     SnapshotMeta `json:"to_meta"`
+	// Total is the summed sample value: of the single snapshot for a top
+	// view, of the newer snapshot for a diff.
+	Total   int64        `json:"total"`
+	Entries []FuncValue  `json:"entries,omitempty"`
+	ByLabel string       `json:"by_label,omitempty"`
+	Labels  []LabelValue `json:"labels,omitempty"`
+}
+
+func (c *Collector) serveDiff(w http.ResponseWriter, diff, kind string, q map[string][]string) {
+	lo, hi, ok := strings.Cut(diff, ",")
+	if !ok {
+		http.Error(w, "diff wants two ids: ?diff=A,B", http.StatusBadRequest)
+		return
+	}
+	fromID, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+	toID, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad diff ids "+diff, http.StatusBadRequest)
+		return
+	}
+	from, to := c.Get(fromID), c.Get(toID)
+	if from == nil || to == nil {
+		http.Error(w, "diff snapshot not in ring", http.StatusNotFound)
+		return
+	}
+	fp, err := Parse(from.Profiles[kind])
+	if err != nil {
+		http.Error(w, fmt.Sprintf("snapshot %d: %v", fromID, err), http.StatusInternalServerError)
+		return
+	}
+	tp, err := Parse(to.Profiles[kind])
+	if err != nil {
+		http.Error(w, fmt.Sprintf("snapshot %d: %v", toID, err), http.StatusInternalServerError)
+		return
+	}
+	var sample string
+	if v := q["sample"]; len(v) > 0 {
+		sample = v[0]
+	}
+	topN := 20
+	if v := q["top"]; len(v) > 0 {
+		if n, ok := topParam(v[0]); ok {
+			topN = n
+		}
+	}
+	writeJSON(w, TopReport{
+		Kind:       kind,
+		SampleType: sampleTypeName(tp, sample),
+		Unit:       sampleUnit(tp, sample),
+		From:       fromID,
+		To:         toID,
+		FromMeta:   from.Meta,
+		ToMeta:     to.Meta,
+		Total:      tp.Total(tp.ValueIndex(sample)),
+		Entries:    Diff(fp, tp, sample, topN),
+	})
+}
+
+func sampleTypeName(p *Profile, sample string) string {
+	if i := p.ValueIndex(sample); i >= 0 {
+		return p.SampleTypes[i].Type
+	}
+	return sample
+}
+
+func sampleUnit(p *Profile, sample string) string {
+	if i := p.ValueIndex(sample); i >= 0 {
+		return p.SampleTypes[i].Unit
+	}
+	return ""
+}
+
+// topParam parses the &top= count; (0, false) when absent or malformed.
+func topParam(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data) //nolint:errcheck // best-effort over HTTP
+}

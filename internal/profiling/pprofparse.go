@@ -1,0 +1,472 @@
+package profiling
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A minimal reader for the pprof profile.proto wire format, written
+// against the protobuf encoding spec directly so the repo keeps its
+// no-dependency rule. It decodes exactly the fields the delta/top
+// reports need — sample types, samples (stacks, values, labels),
+// locations, functions, the string table, and the timing header — and
+// skips everything else wire-compatibly.
+//
+// profile.proto field numbers (github.com/google/pprof/proto/profile.proto):
+//
+//	Profile:  1 sample_type, 2 sample, 4 location, 5 function,
+//	          6 string_table, 9 time_nanos, 10 duration_nanos,
+//	          11 period_type, 12 period
+//	Sample:   1 location_id (repeated), 2 value (repeated), 3 label
+//	Label:    1 key, 2 str, 3 num            (key/str are string indices)
+//	Location: 1 id, 4 line (repeated)
+//	Line:     1 function_id
+//	Function: 1 id, 2 name                   (name is a string index)
+//	ValueType: 1 type, 2 unit                (string indices)
+
+// ValueType names one sample dimension, e.g. {cpu, nanoseconds}.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one decoded stack sample: function names leaf-first, one
+// value per sample type, plus its pprof labels.
+type Sample struct {
+	Funcs     []string
+	Values    []int64
+	Labels    map[string]string
+	NumLabels map[string]int64
+}
+
+// Profile is a decoded pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+}
+
+// Parse decodes a pprof profile in profile.proto format, gzipped (as the
+// runtime writes it) or raw.
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profiling: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: gunzip: %w", err)
+		}
+		data = raw
+	}
+	// First pass: collect raw sub-messages and the string table. The
+	// encoder may emit sections in any order, so resolution waits until
+	// everything is read.
+	var (
+		strs        []string
+		sampleTypes [][]byte
+		samples     [][]byte
+		locations   [][]byte
+		functions   [][]byte
+		periodType  []byte
+		p           = &Profile{}
+	)
+	err := eachField(data, func(num int, val uint64, sub []byte) error {
+		switch num {
+		case 1:
+			sampleTypes = append(sampleTypes, sub)
+		case 2:
+			samples = append(samples, sub)
+		case 4:
+			locations = append(locations, sub)
+		case 5:
+			functions = append(functions, sub)
+		case 6:
+			strs = append(strs, string(sub))
+		case 9:
+			p.TimeNanos = int64(val)
+		case 10:
+			p.DurationNanos = int64(val)
+		case 11:
+			periodType = sub
+		case 12:
+			p.Period = int64(val)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("profiling: parse profile: %w", err)
+	}
+	str := func(i uint64) string {
+		if i < uint64(len(strs)) {
+			return strs[i]
+		}
+		return ""
+	}
+	parseVT := func(sub []byte) ValueType {
+		var vt ValueType
+		eachField(sub, func(num int, val uint64, _ []byte) error { //nolint:errcheck // fn never errors
+			switch num {
+			case 1:
+				vt.Type = str(val)
+			case 2:
+				vt.Unit = str(val)
+			}
+			return nil
+		})
+		return vt
+	}
+	for _, sub := range sampleTypes {
+		p.SampleTypes = append(p.SampleTypes, parseVT(sub))
+	}
+	if periodType != nil {
+		p.PeriodType = parseVT(periodType)
+	}
+	// Functions: id → name.
+	funcName := make(map[uint64]string, len(functions))
+	for _, sub := range functions {
+		var id, name uint64
+		eachField(sub, func(num int, val uint64, _ []byte) error { //nolint:errcheck
+			switch num {
+			case 1:
+				id = val
+			case 2:
+				name = val
+			}
+			return nil
+		})
+		funcName[id] = str(name)
+	}
+	// Locations: id → function names (inline frames leaf-first, which is
+	// the order Line entries are encoded in).
+	locFuncs := make(map[uint64][]string, len(locations))
+	for _, sub := range locations {
+		var id uint64
+		var fns []string
+		eachField(sub, func(num int, val uint64, line []byte) error { //nolint:errcheck
+			switch num {
+			case 1:
+				id = val
+			case 4:
+				eachField(line, func(lnum int, lval uint64, _ []byte) error {
+					if lnum == 1 {
+						if name := funcName[lval]; name != "" {
+							fns = append(fns, name)
+						}
+					}
+					return nil
+				})
+			}
+			return nil
+		})
+		locFuncs[id] = fns
+	}
+	// Samples.
+	for _, sub := range samples {
+		var s Sample
+		eachField(sub, func(num int, val uint64, lsub []byte) error { //nolint:errcheck
+			switch num {
+			case 1: // location_id: packed or repeated varint
+				if lsub != nil {
+					eachVarint(lsub, func(v uint64) {
+						s.Funcs = append(s.Funcs, locFuncs[v]...)
+					})
+				} else {
+					s.Funcs = append(s.Funcs, locFuncs[val]...)
+				}
+			case 2: // value
+				if lsub != nil {
+					eachVarint(lsub, func(v uint64) { s.Values = append(s.Values, int64(v)) })
+				} else {
+					s.Values = append(s.Values, int64(val))
+				}
+			case 3: // label
+				var key, sval uint64
+				var nval int64
+				var hasNum bool
+				eachField(lsub, func(lnum int, lval uint64, _ []byte) error {
+					switch lnum {
+					case 1:
+						key = lval
+					case 2:
+						sval = lval
+					case 3:
+						nval, hasNum = int64(lval), true
+					}
+					return nil
+				})
+				if k := str(key); k != "" {
+					if sv := str(sval); sv != "" {
+						if s.Labels == nil {
+							s.Labels = make(map[string]string, 4)
+						}
+						s.Labels[k] = sv
+					} else if hasNum {
+						if s.NumLabels == nil {
+							s.NumLabels = make(map[string]int64, 2)
+						}
+						s.NumLabels[k] = nval
+					}
+				}
+			}
+			return nil
+		})
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+// eachField walks one protobuf message, invoking fn per field with the
+// varint value (wire type 0) or sub-message/bytes payload (wire type 2;
+// val is 0 and sub is non-nil). Fixed32/64 fields are skipped.
+func eachField(buf []byte, fn func(num int, val uint64, sub []byte) error) error {
+	for len(buf) > 0 {
+		tag, n := uvarint(buf)
+		if n <= 0 {
+			return fmt.Errorf("bad field tag")
+		}
+		buf = buf[n:]
+		num := int(tag >> 3)
+		switch tag & 7 {
+		case 0: // varint
+			v, n := uvarint(buf)
+			if n <= 0 {
+				return fmt.Errorf("bad varint in field %d", num)
+			}
+			buf = buf[n:]
+			if err := fn(num, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(buf) < 8 {
+				return fmt.Errorf("short fixed64 in field %d", num)
+			}
+			buf = buf[8:]
+		case 2: // length-delimited
+			l, n := uvarint(buf)
+			if n <= 0 || uint64(len(buf)-n) < l {
+				return fmt.Errorf("bad length in field %d", num)
+			}
+			if err := fn(num, 0, buf[n:n+int(l)]); err != nil {
+				return err
+			}
+			buf = buf[n+int(l):]
+		case 5: // fixed32
+			if len(buf) < 4 {
+				return fmt.Errorf("short fixed32 in field %d", num)
+			}
+			buf = buf[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d in field %d", tag&7, num)
+		}
+	}
+	return nil
+}
+
+// eachVarint decodes a packed varint payload.
+func eachVarint(buf []byte, fn func(v uint64)) {
+	for len(buf) > 0 {
+		v, n := uvarint(buf)
+		if n <= 0 {
+			return
+		}
+		fn(v)
+		buf = buf[n:]
+	}
+}
+
+// uvarint is binary.Uvarint without the import, returning (value, width).
+func uvarint(buf []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range buf {
+		if i == 10 {
+			return 0, -1
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, 0
+}
+
+// ---------------------------------------------------------------------------
+// Symbolized reports.
+
+// FuncValue is one row of a top or delta report: flat is the value
+// attributed to samples where the function is the leaf frame, cum the
+// value of every sample the function appears in. In a delta report both
+// are (to − from) differences and may be negative (improvements).
+type FuncValue struct {
+	Name string `json:"name"`
+	Flat int64  `json:"flat"`
+	Cum  int64  `json:"cum"`
+}
+
+// LabelValue is one row of a by-label attribution report.
+type LabelValue struct {
+	Value string `json:"value"`
+	Total int64  `json:"total"`
+}
+
+// ValueIndex finds the sample-type index matching name ("cpu", "samples",
+// "inuse_space", "alloc_space", ...). An empty name selects the last
+// sample type — the pprof default (cpu time for CPU profiles, inuse_space
+// for heap). Returns -1 when the name matches nothing.
+func (p *Profile) ValueIndex(name string) int {
+	if p == nil || len(p.SampleTypes) == 0 {
+		return -1
+	}
+	if name == "" {
+		return len(p.SampleTypes) - 1
+	}
+	for i, vt := range p.SampleTypes {
+		if vt.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Total sums every sample's value at index vi.
+func (p *Profile) Total(vi int) int64 {
+	var total int64
+	if p == nil {
+		return 0
+	}
+	for _, s := range p.Samples {
+		if vi >= 0 && vi < len(s.Values) {
+			total += s.Values[vi]
+		}
+	}
+	return total
+}
+
+// flatCum aggregates the profile by function name at value index vi.
+func (p *Profile) flatCum(vi int) map[string]*FuncValue {
+	out := make(map[string]*FuncValue)
+	if p == nil {
+		return out
+	}
+	for _, s := range p.Samples {
+		if vi < 0 || vi >= len(s.Values) {
+			continue
+		}
+		v := s.Values[vi]
+		if v == 0 || len(s.Funcs) == 0 {
+			continue
+		}
+		get := func(name string) *FuncValue {
+			fv := out[name]
+			if fv == nil {
+				fv = &FuncValue{Name: name}
+				out[name] = fv
+			}
+			return fv
+		}
+		get(s.Funcs[0]).Flat += v
+		seen := make(map[string]bool, len(s.Funcs))
+		for _, name := range s.Funcs {
+			if !seen[name] {
+				seen[name] = true
+				get(name).Cum += v
+			}
+		}
+	}
+	return out
+}
+
+// Top returns the top-n functions by flat value for the named sample type.
+func (p *Profile) Top(sampleType string, n int) []FuncValue {
+	return rank(p.flatCum(p.ValueIndex(sampleType)), n)
+}
+
+// ByLabel aggregates total value per distinct value of the pprof label
+// key — the resource-attribution view: ByLabel("cpu", "op", 10) says
+// which query operators burned the CPU, ByLabel("cpu", "phase", 10)
+// which pipeline phases.
+func (p *Profile) ByLabel(sampleType, key string, n int) []LabelValue {
+	vi := p.ValueIndex(sampleType)
+	totals := make(map[string]int64)
+	if p != nil && vi >= 0 {
+		for _, s := range p.Samples {
+			if vi >= len(s.Values) {
+				continue
+			}
+			val := s.Labels[key]
+			if val == "" {
+				val = "(unlabeled)"
+			}
+			totals[val] += s.Values[vi]
+		}
+	}
+	out := make([]LabelValue, 0, len(totals))
+	for v, t := range totals {
+		out = append(out, LabelValue{Value: v, Total: t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Value < out[j].Value
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Diff computes the symbolized delta profile (to − from) by function
+// name, sorted by flat regression first. CPU snapshots are fixed-length
+// windows, so the delta compares two equal windows; cumulative kinds
+// (mutex, block, alloc_space) yield the growth between the snapshots.
+func Diff(from, to *Profile, sampleType string, n int) []FuncValue {
+	a := from.flatCum(from.ValueIndex(sampleType))
+	b := to.flatCum(to.ValueIndex(sampleType))
+	merged := make(map[string]*FuncValue, len(b))
+	for name, fv := range b {
+		merged[name] = &FuncValue{Name: name, Flat: fv.Flat, Cum: fv.Cum}
+	}
+	for name, fv := range a {
+		m := merged[name]
+		if m == nil {
+			m = &FuncValue{Name: name}
+			merged[name] = m
+		}
+		m.Flat -= fv.Flat
+		m.Cum -= fv.Cum
+	}
+	for name, fv := range merged {
+		if fv.Flat == 0 && fv.Cum == 0 {
+			delete(merged, name)
+		}
+	}
+	return rank(merged, n)
+}
+
+// rank sorts by flat descending (name ascending on ties) and truncates.
+func rank(m map[string]*FuncValue, n int) []FuncValue {
+	out := make([]FuncValue, 0, len(m))
+	for _, fv := range m {
+		out = append(out, *fv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

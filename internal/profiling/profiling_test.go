@@ -1,0 +1,315 @@
+package profiling
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Hand-rolled profile.proto encoder — the parser's test fixture builder.
+// Encoding by hand keeps the round-trip independent of the runtime's
+// profile writer, so parser regressions can't hide behind it.
+
+type protoBuf struct{ bytes.Buffer }
+
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.WriteByte(byte(v))
+}
+
+func (b *protoBuf) tag(num, wire int) { b.varint(uint64(num)<<3 | uint64(wire)) }
+
+func (b *protoBuf) vfield(num int, v uint64) {
+	b.tag(num, 0)
+	b.varint(v)
+}
+
+func (b *protoBuf) bfield(num int, data []byte) {
+	b.tag(num, 2)
+	b.varint(uint64(len(data)))
+	b.Write(data)
+}
+
+func (b *protoBuf) msg(num int, fn func(*protoBuf)) {
+	var sub protoBuf
+	fn(&sub)
+	b.bfield(num, sub.Bytes())
+}
+
+// testProfile encodes a two-sample-type profile:
+//
+//	strings:   1 samples, 2 count, 3 cpu, 4 nanoseconds,
+//	           5 bitvec.leaf, 6 query.root, 7 op, 8 count
+//	functions: 1 bitvec.leaf, 2 query.root
+//	locations: 1 → bitvec.leaf, 2 → query.root
+//	sample A:  stack [leaf, root] (packed ids), values [3, leafCPU],
+//	           label op=count
+//	sample B:  stack [root] (unpacked id), values [2, rootCPU]
+func testProfile(t *testing.T, leafCPU, rootCPU int64) []byte {
+	t.Helper()
+	var p protoBuf
+	for _, s := range []string{"", "samples", "count", "cpu", "nanoseconds",
+		"bitvec.leaf", "query.root", "op", "count"} {
+		p.bfield(6, []byte(s))
+	}
+	p.msg(1, func(b *protoBuf) { b.vfield(1, 1); b.vfield(2, 2) }) // samples/count
+	p.msg(1, func(b *protoBuf) { b.vfield(1, 3); b.vfield(2, 4) }) // cpu/nanoseconds
+	for id := uint64(1); id <= 2; id++ {
+		id := id
+		p.msg(5, func(b *protoBuf) { b.vfield(1, id); b.vfield(2, 4+id) })
+		p.msg(4, func(b *protoBuf) {
+			b.vfield(1, id)
+			b.msg(4, func(l *protoBuf) { l.vfield(1, id) })
+		})
+	}
+	p.msg(2, func(b *protoBuf) {
+		var ids, vals protoBuf
+		ids.varint(1)
+		ids.varint(2)
+		b.bfield(1, ids.Bytes())
+		vals.varint(3)
+		vals.varint(uint64(leafCPU))
+		b.bfield(2, vals.Bytes())
+		b.msg(3, func(l *protoBuf) { l.vfield(1, 7); l.vfield(2, 8) })
+	})
+	p.msg(2, func(b *protoBuf) {
+		b.vfield(1, 2) // unpacked location_id
+		b.vfield(2, 2)
+		b.vfield(2, uint64(rootCPU))
+	})
+	p.vfield(9, 1700000000_000000000)
+	p.vfield(10, uint64(time.Second.Nanoseconds()))
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(p.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return gz.Bytes()
+}
+
+func TestParseTopDiffByLabel(t *testing.T) {
+	p, err := Parse(testProfile(t, 300, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SampleTypes) != 2 || p.SampleTypes[1] != (ValueType{"cpu", "nanoseconds"}) {
+		t.Fatalf("sample types = %+v", p.SampleTypes)
+	}
+	if p.DurationNanos != time.Second.Nanoseconds() {
+		t.Errorf("duration = %d", p.DurationNanos)
+	}
+	// Empty sample type selects the last ("cpu"), the pprof default.
+	if got := p.ValueIndex(""); got != 1 {
+		t.Fatalf("default value index = %d", got)
+	}
+	if total := p.Total(1); total != 500 {
+		t.Errorf("total = %d, want 500", total)
+	}
+	top := p.Top("", 10)
+	want := []FuncValue{
+		{Name: "bitvec.leaf", Flat: 300, Cum: 300},
+		{Name: "query.root", Flat: 200, Cum: 500},
+	}
+	if len(top) != 2 || top[0] != want[0] || top[1] != want[1] {
+		t.Errorf("top = %+v, want %+v", top, want)
+	}
+	// The "samples" dimension is addressable by name.
+	if st := p.Top("samples", 1); len(st) != 1 || st[0].Flat != 3 {
+		t.Errorf("samples top = %+v", st)
+	}
+	by := p.ByLabel("", "op", 10)
+	if len(by) != 2 || by[0] != (LabelValue{"count", 300}) || by[1] != (LabelValue{"(unlabeled)", 200}) {
+		t.Errorf("by label = %+v", by)
+	}
+
+	// Diff: leaf grew 300→700, root shrank 200→100.
+	p2, err := Parse(testProfile(t, 700, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(p, p2, "", 10)
+	if len(d) != 2 || d[0] != (FuncValue{Name: "bitvec.leaf", Flat: 400, Cum: 400}) {
+		t.Fatalf("diff = %+v", d)
+	}
+	if d[1].Name != "query.root" || d[1].Flat != -100 {
+		t.Errorf("diff shrink = %+v", d[1])
+	}
+	// Identical profiles diff to nothing.
+	if d := Diff(p, p, "", 10); len(d) != 0 {
+		t.Errorf("self-diff = %+v", d)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte{0x1f, 0x8b, 0x00}); err == nil {
+		t.Error("truncated gzip parsed")
+	}
+	if _, err := Parse([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Error("garbage proto parsed")
+	}
+	if p, err := Parse(nil); err != nil || len(p.Samples) != 0 {
+		t.Errorf("empty profile: %v %+v", err, p)
+	}
+}
+
+func TestLabelGate(t *testing.T) {
+	SetEnabled(false)
+	ctx := context.Background()
+	got, unlabel := Label(ctx, "op", "count")
+	if got != ctx {
+		t.Error("disabled Label changed the context")
+	}
+	unlabel()
+
+	SetEnabled(true)
+	defer SetEnabled(false)
+	ctx2, unlabel := Label(ctx, "op", "count", "", "dropped", "odd")
+	if ctx2 == ctx {
+		t.Error("enabled Label did not attach labels")
+	}
+	if v, ok := pprof.Label(ctx2, "op"); !ok || v != "count" {
+		t.Errorf("label op = %q %v", v, ok)
+	}
+	if _, ok := pprof.Label(ctx2, ""); ok {
+		t.Error("empty key survived")
+	}
+	unlabel()
+	var seen string
+	Do(ctx, func(ctx context.Context) {
+		seen, _ = pprof.Label(ctx, "phase")
+	}, "phase", "reduce")
+	if seen != "reduce" {
+		t.Errorf("Do label = %q", seen)
+	}
+	// All-empty pairs collapse to a no-op even when enabled.
+	if got, _ := Label(ctx, "", ""); got != ctx {
+		t.Error("empty pairs allocated a label set")
+	}
+}
+
+// newTestCollector builds an unstarted collector (no background loop, no
+// global state) so tests drive Snap deterministically.
+func newTestCollector(capacity int, cpu time.Duration) *Collector {
+	cfg := Config{Interval: time.Hour, CPUDuration: cpu, Capacity: capacity,
+		MutexFraction: -1, BlockRateNs: -1}
+	cfg.defaults()
+	cfg.Registry = nil // exercise nil-safe counters
+	return &Collector{
+		cfg:    cfg,
+		ring:   make([]*Snapshot, cfg.Capacity),
+		nextID: 1,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+func TestCollectorRingAndHandler(t *testing.T) {
+	c := newTestCollector(2, 10*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Snap(); err != nil {
+			t.Fatalf("snap %d: %v", i, err)
+		}
+	}
+	metas := c.Snapshots()
+	if len(metas) != 2 || metas[0].ID != 2 || metas[1].ID != 3 {
+		t.Fatalf("ring metas = %+v", metas)
+	}
+	for _, m := range metas {
+		if m.Sizes["goroutine"] == 0 || m.Sizes["heap"] == 0 || m.Sizes["cpu"] == 0 {
+			t.Errorf("snapshot %d missing kinds: %v", m.ID, m.Sizes)
+		}
+	}
+	if c.Get(1) != nil {
+		t.Error("evicted snapshot still reachable")
+	}
+	if got := c.Latest(1); len(got) != 1 || got[0].Meta.ID != 3 {
+		t.Errorf("latest = %+v", got)
+	}
+	// Every stored profile parses as valid pprof proto.
+	snap := c.Get(3)
+	for kind, data := range snap.Profiles {
+		if _, err := Parse(data); err != nil {
+			t.Errorf("kind %s: %v", kind, err)
+		}
+	}
+
+	h := c.Handler()
+	get := func(url string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		return rr
+	}
+	// Listing.
+	rr := get("/debug/profiles")
+	var st Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Snapshots) != 2 || st.Capacity != 2 {
+		t.Errorf("status = %+v", st)
+	}
+	// Raw fetch is gzip (pprof-compatible).
+	rr = get("/debug/profiles?id=3&kind=goroutine")
+	if body := rr.Body.Bytes(); len(body) < 2 || body[0] != 0x1f || body[1] != 0x8b {
+		t.Error("raw fetch not gzipped proto")
+	}
+	// Symbolized top: the goroutine profile always has samples.
+	rr = get("/debug/profiles?id=3&kind=goroutine&top=5")
+	var rep TopReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 || len(rep.Entries) == 0 {
+		t.Errorf("goroutine top empty: %+v", rep)
+	}
+	// Diff between the two retained snapshots.
+	rr = get("/debug/profiles?diff=2,3&kind=goroutine&top=5")
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.From != 2 || rep.To != 3 {
+		t.Errorf("diff report ids = %d,%d", rep.From, rep.To)
+	}
+	// Error paths.
+	for url, want := range map[string]int{
+		"/debug/profiles?id=99":          404,
+		"/debug/profiles?id=bogus":       400,
+		"/debug/profiles?diff=2":         400,
+		"/debug/profiles?diff=1,3":       404,
+		"/debug/profiles?id=3&kind=none": 404,
+	} {
+		if rr := get(url); rr.Code != want {
+			t.Errorf("%s → %d, want %d", url, rr.Code, want)
+		}
+	}
+}
+
+func TestRunInfoStamp(t *testing.T) {
+	SetRunInfo(func() RunInfo { return RunInfo{Generation: 42, Phase: "reduce", Step: 7} })
+	defer SetRunInfo(nil)
+	c := newTestCollector(2, time.Millisecond)
+	s, err := c.Snap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Meta.Generation != 42 || s.Meta.Phase != "reduce" || s.Meta.Step != 7 {
+		t.Errorf("meta = %+v", s.Meta)
+	}
+	SetRunInfo(nil)
+	s2, _ := c.Snap()
+	if s2.Meta.Generation != 0 {
+		t.Errorf("unregistered run info still stamped: %+v", s2.Meta)
+	}
+}

@@ -1,0 +1,157 @@
+package profiling_test
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"insitubits/internal/binning"
+	"insitubits/internal/codec"
+	"insitubits/internal/index"
+	"insitubits/internal/profiling"
+	"insitubits/internal/query"
+	"insitubits/internal/telemetry"
+)
+
+// TestProfileSmoke is the end-to-end acceptance check for the profiling
+// plane (the `make profile-smoke` target): drive a codec-heavy query
+// workload across a codec switch (generation bump), capture a CPU
+// snapshot on each side, and require that the symbolized delta between
+// the two names at least one codec word-loop function. It lives in an
+// external package so it exercises the same import path a binary does
+// (profiling ← query ← index), and it skips rather than fails when the
+// host denies CPU profiling samples (some CI sandboxes do).
+func TestProfileSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU capture windows are too slow for -short")
+	}
+	m, err := binning.NewUniform(0, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 31*4000)
+	for i := range data {
+		data[i] = float64((i / 31) % 8)
+	}
+	// The load goroutine reads the live index through an atomic pointer;
+	// the generation bump below publishes a freshly built index the same
+	// way the in-situ pipeline does (an index is immutable once shared).
+	var cur atomic.Pointer[index.Index]
+	cur.Store(index.BuildCodec(data, m, codec.WAH))
+
+	// Background load: the compressed-bitmap word loops the diff must name.
+	stop := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		ctx := context.Background()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x := cur.Load()
+			s := query.Subset{ValueLo: 0, ValueHi: 8, SpatialLo: 31, SpatialHi: x.N() - 31}
+			if _, err := query.Count(ctx, x, s); err != nil {
+				panic(err)
+			}
+			if _, err := query.Sum(ctx, x, query.Subset{ValueLo: 1, ValueHi: 7}); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	defer func() { close(stop); <-loadDone }()
+
+	reg := telemetry.NewRegistry()
+	c := profiling.Start(profiling.Config{
+		Registry:    reg,
+		Interval:    time.Hour, // the initial snap is snapshot A; B is manual
+		CPUDuration: 300 * time.Millisecond,
+		Capacity:    4,
+	})
+	defer c.Stop()
+
+	// Wait for the startup snapshot (it blocks for the CPU window).
+	deadline := time.Now().Add(10 * time.Second)
+	for len(c.Snapshots()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("startup snapshot never landed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Generation bump between the two snapshots: build the BBC-coded index
+	// off to the side and publish it atomically, so in-flight queries keep
+	// reading the WAH index until the swap (recoding a live index in place
+	// would race with them).
+	genA := cur.Load().Generation()
+	x2 := index.BuildCodec(data, m, codec.BBC)
+	if x2.Generation() == genA {
+		t.Fatalf("rebuild did not bump the generation (still %d)", genA)
+	}
+	cur.Store(x2)
+	snapB, err := c.Snap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas := c.Snapshots()
+	snapA := c.Get(metas[0].ID)
+
+	pa, err := profiling.Parse(snapA.Profiles["cpu"])
+	if err != nil {
+		t.Fatalf("snapshot A cpu: %v", err)
+	}
+	pb, err := profiling.Parse(snapB.Profiles["cpu"])
+	if err != nil {
+		t.Fatalf("snapshot B cpu: %v", err)
+	}
+	if pa.Total(pa.ValueIndex("")) == 0 || pb.Total(pb.ValueIndex("")) == 0 {
+		t.Skip("CPU profiler returned no samples on this host")
+	}
+
+	// The acceptance bar: between the two generations the union of top and
+	// delta entries names a codec word loop — a function in the bitvec,
+	// codec, or index packages (WAH/BBC runs, dense words, or the
+	// bin-bitmap walkers that drive them).
+	names := map[string]bool{}
+	for _, fv := range profiling.Diff(pa, pb, "", 40) {
+		names[fv.Name] = true
+	}
+	for _, fv := range pb.Top("", 40) {
+		names[fv.Name] = true
+	}
+	found := ""
+	for name := range names {
+		if strings.Contains(name, "bitvec.") || strings.Contains(name, "codec.") ||
+			strings.Contains(name, "index.") {
+			found = name
+			break
+		}
+	}
+	if found == "" {
+		t.Errorf("no codec word-loop function in top/diff; saw %d functions: %v",
+			len(names), firstN(names, 15))
+	} else {
+		t.Logf("codec word loop attributed: %s", found)
+	}
+
+	// The query prologue labels CPU samples with the op while profiling is
+	// enabled; at least one sample should carry it in a 300ms window under
+	// sustained load. Advisory (sampling is probabilistic): log, don't fail.
+	if by := pb.ByLabel("", "op", 10); len(by) > 0 {
+		t.Logf("samples by op label: %+v", by)
+	}
+}
+
+func firstN(set map[string]bool, n int) []string {
+	out := make([]string, 0, n)
+	for s := range set {
+		if len(out) == n {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}

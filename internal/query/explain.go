@@ -637,9 +637,8 @@ func maskedSumImpl(m *Masked, s Subset, prof *Node, sp *telemetry.ActiveSpan) (A
 
 // BitsAnalyze is Bits with a measured profile.
 func BitsAnalyze(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, *Profile, error) {
-	defer observe(tel.bits)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.bits")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.bits", tel.bits, x)
+	defer end()
 	return bitsAnalyze(ctx, x, s, false)
 }
 
@@ -654,9 +653,8 @@ func bitsAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (bit
 
 // CountAnalyze is Count with a measured profile.
 func CountAnalyze(ctx context.Context, x *index.Index, s Subset) (int, *Profile, error) {
-	defer observe(tel.count)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.count")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.count", tel.count, x)
+	defer end()
 	return countAnalyze(ctx, x, s, false)
 }
 
@@ -671,9 +669,8 @@ func countAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (in
 
 // SumAnalyze is Sum with a measured profile.
 func SumAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Profile, error) {
-	defer observe(tel.sum)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.sum")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.sum", tel.sum, x)
+	defer end()
 	return sumAnalyze(ctx, x, s, false)
 }
 
@@ -688,9 +685,8 @@ func sumAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (Aggr
 
 // MeanAnalyze is Mean with a measured profile.
 func MeanAnalyze(ctx context.Context, x *index.Index, s Subset) (Aggregate, *Profile, error) {
-	defer observe(tel.sum)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.mean")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.mean", tel.sum, x)
+	defer end()
 	return meanAnalyze(ctx, x, s, false)
 }
 
@@ -705,9 +701,8 @@ func meanAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (Agg
 
 // QuantileAnalyze is Quantile with a measured profile.
 func QuantileAnalyze(ctx context.Context, x *index.Index, s Subset, q float64) (Aggregate, *Profile, error) {
-	defer observe(tel.quantile)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.quantile")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.quantile", tel.quantile, x)
+	defer end()
 	return quantileAnalyze(ctx, x, s, q, false)
 }
 
@@ -722,9 +717,8 @@ func quantileAnalyze(ctx context.Context, x *index.Index, s Subset, q float64, l
 
 // MinMaxAnalyze is MinMax with a measured profile.
 func MinMaxAnalyze(ctx context.Context, x *index.Index, s Subset) (min, max Aggregate, p *Profile, err error) {
-	defer observe(tel.minmax)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.minmax")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.minmax", tel.minmax, x)
+	defer end()
 	return minMaxAnalyze(ctx, x, s, false)
 }
 
@@ -739,9 +733,8 @@ func minMaxAnalyze(ctx context.Context, x *index.Index, s Subset, light bool) (m
 
 // SumMaskedAnalyze is SumMasked with a measured profile.
 func SumMaskedAnalyze(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggregate, *Profile, error) {
-	defer observe(tel.masked)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.sum-masked")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.sum-masked", tel.masked, x)
+	defer end()
 	return sumMaskedAnalyze(ctx, x, mask, false)
 }
 
@@ -756,9 +749,8 @@ func sumMaskedAnalyze(ctx context.Context, x *index.Index, mask bitvec.Bitmap, l
 
 // CorrelationAnalyze is Correlation with a measured profile.
 func CorrelationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metrics.Pair, *Profile, error) {
-	defer observe(tel.correlation)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.correlation")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.correlation", tel.correlation, xa)
+	defer end()
 	return correlationAnalyze(ctx, xa, xb, sa, sb, false)
 }
 
@@ -773,9 +765,8 @@ func correlationAnalyze(ctx context.Context, xa, xb *index.Index, sa, sb Subset,
 
 // SumAnalyze is Masked.Sum with a measured profile.
 func (m *Masked) SumAnalyze(ctx context.Context, s Subset) (Aggregate, *Profile, error) {
-	defer observe(tel.masked)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.masked-sum")
-	defer sp.End()
+	ctx, _, end := begin(ctx, "query.masked-sum", tel.masked, m.X)
+	defer end()
 	return m.sumAnalyze(ctx, s, false)
 }
 

@@ -15,7 +15,6 @@ import (
 	"insitubits/internal/bitvec"
 	"insitubits/internal/index"
 	"insitubits/internal/metrics"
-	"insitubits/internal/telemetry"
 )
 
 // Subset selects elements by value range and/or element (spatial) range.
@@ -56,9 +55,8 @@ func (s Subset) spatialBounds(n int) (lo, hi int) {
 // Pass context.Background() when tracing is irrelevant — the disabled
 // path is a single atomic load, covered by the gated overhead guard.
 func Bits(ctx context.Context, x *index.Index, s Subset) (bitvec.Bitmap, error) {
-	defer observe(tel.bits)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.bits")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.bits", tel.bits, x)
+	defer end()
 	if profiled() {
 		v, _, err := bitsAnalyze(ctx, x, s, captureOnly())
 		return v, err
@@ -127,9 +125,8 @@ type Aggregate struct {
 // Count returns the exact number of subset elements (counting is exact on
 // bitmaps; only value reconstruction is approximate).
 func Count(ctx context.Context, x *index.Index, s Subset) (int, error) {
-	defer observe(tel.count)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.count")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.count", tel.count, x)
+	defer end()
 	if profiled() {
 		n, _, err := countAnalyze(ctx, x, s, captureOnly())
 		return n, err
@@ -147,9 +144,8 @@ func (s Subset) binSelected(x *index.Index, b int) bool {
 
 // Sum estimates the subset's value sum.
 func Sum(ctx context.Context, x *index.Index, s Subset) (Aggregate, error) {
-	defer observe(tel.sum)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.sum")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.sum", tel.sum, x)
+	defer end()
 	if profiled() {
 		agg, _, err := sumAnalyze(ctx, x, s, captureOnly())
 		return agg, err
@@ -161,9 +157,8 @@ func Sum(ctx context.Context, x *index.Index, s Subset) (Aggregate, error) {
 // bitvector mask — the building block for analyses whose selections are
 // produced by bitwise combinations (subgroup discovery, incomplete data).
 func SumMasked(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggregate, error) {
-	defer observe(tel.masked)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.sum-masked")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.sum-masked", tel.masked, x)
+	defer end()
 	if profiled() {
 		agg, _, err := sumMaskedAnalyze(ctx, x, mask, captureOnly())
 		return agg, err
@@ -183,9 +178,8 @@ func MeanMasked(ctx context.Context, x *index.Index, mask bitvec.Bitmap) (Aggreg
 
 // Mean estimates the subset's average value.
 func Mean(ctx context.Context, x *index.Index, s Subset) (Aggregate, error) {
-	defer observe(tel.sum)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.mean")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.mean", tel.sum, x)
+	defer end()
 	if profiled() {
 		agg, _, err := meanAnalyze(ctx, x, s, captureOnly())
 		return agg, err
@@ -197,9 +191,8 @@ func Mean(ctx context.Context, x *index.Index, s Subset) (Aggregate, error) {
 // bounded by the edges of the bin the quantile falls into: the true
 // quantile of the discarded data is guaranteed inside [Lo, Hi].
 func Quantile(ctx context.Context, x *index.Index, s Subset, q float64) (Aggregate, error) {
-	defer observe(tel.quantile)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.quantile")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.quantile", tel.quantile, x)
+	defer end()
 	if profiled() {
 		agg, _, err := quantileAnalyze(ctx, x, s, q, captureOnly())
 		return agg, err
@@ -211,9 +204,8 @@ func Quantile(ctx context.Context, x *index.Index, s Subset, q float64) (Aggrega
 // minimum lies in [Aggregate.Lo, Aggregate.Estimate] of min (and similarly
 // for max), where Estimate is the midpoint of the extreme occupied bin.
 func MinMax(ctx context.Context, x *index.Index, s Subset) (min, max Aggregate, err error) {
-	defer observe(tel.minmax)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.minmax")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.minmax", tel.minmax, x)
+	defer end()
 	if profiled() {
 		min, max, _, err := minMaxAnalyze(ctx, x, s, captureOnly())
 		return min, max, err
@@ -226,9 +218,8 @@ func MinMax(ctx context.Context, x *index.Index, s Subset) (min, max Aggregate, 
 // to a subset — value ranges apply per variable, the spatial range applies
 // to both. It touches only bitmaps.
 func Correlation(ctx context.Context, xa, xb *index.Index, sa, sb Subset) (metrics.Pair, error) {
-	defer observe(tel.correlation)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.correlation")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.correlation", tel.correlation, xa)
+	defer end()
 	if profiled() {
 		pair, _, err := correlationAnalyze(ctx, xa, xb, sa, sb, captureOnly())
 		return pair, err
@@ -257,9 +248,8 @@ func (m *Masked) Missing() int { return m.X.N() - m.Valid.Count() }
 
 // Sum aggregates over valid elements only.
 func (m *Masked) Sum(ctx context.Context, s Subset) (Aggregate, error) {
-	defer observe(tel.masked)()
-	ctx, sp := telemetry.StartSpan(ctx, "query.masked-sum")
-	defer sp.End()
+	ctx, sp, end := begin(ctx, "query.masked-sum", tel.masked, m.X)
+	defer end()
 	if profiled() {
 		agg, _, err := m.sumAnalyze(ctx, s, captureOnly())
 		return agg, err

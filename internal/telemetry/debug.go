@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"time"
 )
 
@@ -18,6 +19,8 @@ import (
 //
 //	/telemetry             the registry snapshot as JSON
 //	/metrics               the snapshot in Prometheus text exposition format
+//	                       (OpenMetrics with exemplars when the request
+//	                       Accepts application/openmetrics-text)
 //	/healthz               liveness plus run/qlog/cache component status
 //	/debug/traces          recent kept traces; ?id= fetches one (&format=chrome|otlp|json)
 //	/debug/run             the "run" live-status provider (the in-situ pipeline)
@@ -49,7 +52,12 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 		}
 		w.Write(data)
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if wantsOpenMetrics(req) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			r.WriteOpenMetrics(w) //nolint:errcheck // best-effort over HTTP
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w) //nolint:errcheck // best-effort over HTTP
 	})
@@ -101,11 +109,22 @@ func (r *Registry) ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		// Late-registered debug handlers (the profiling collector's
+		// /debug/profiles) are looked up per request, so they work no
+		// matter whether the collector started before or after the
+		// server.
+		if h := r.DebugHandler(req.URL.Path); h != nil {
+			h.ServeHTTP(w, req)
+			return
+		}
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		fmt.Fprint(w, "insitubits debug server\n\n/telemetry\n/metrics\n/healthz\n/debug/traces\n/debug/run\n/debug/cache\n/debug/metrics/history\n/debug/vars\n/debug/pprof/\n")
+		for _, p := range r.debugHandlerPaths() {
+			fmt.Fprintf(w, "%s\n", p)
+		}
 	})
 	r.ensureBuildInfo()
 	ln, err := net.Listen("tcp", addr)
@@ -128,6 +147,61 @@ func (d *DebugServer) Close() error {
 
 // processStart anchors /healthz uptime.
 var processStart = time.Now()
+
+// debugHandler is the handler type extra debug routes register as (the
+// alias keeps the Registry struct definition free of an http import).
+type debugHandler = http.Handler
+
+// RegisterDebugHandler mounts an extra handler on the registry's debug
+// server under path (e.g. "/debug/profiles"). Registration is dynamic:
+// the route serves whether it was registered before or after ServeDebug.
+// A nil handler unregisters the path. Nil-safe.
+func (r *Registry) RegisterDebugHandler(path string, h http.Handler) {
+	if r == nil || path == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h == nil {
+		delete(r.handlers, path)
+		return
+	}
+	if r.handlers == nil {
+		r.handlers = make(map[string]debugHandler)
+	}
+	r.handlers[path] = h
+}
+
+// DebugHandler returns the handler registered for path, or nil. Nil-safe.
+func (r *Registry) DebugHandler(path string) http.Handler {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.handlers[path]
+}
+
+// debugHandlerPaths lists the registered extra routes, sorted.
+func (r *Registry) debugHandlerPaths() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return names(r.handlers)
+}
+
+// wantsOpenMetrics reports whether a /metrics request negotiated the
+// OpenMetrics exposition: an Accept header naming
+// application/openmetrics-text, or the explicit ?format=openmetrics
+// escape hatch for curl.
+func wantsOpenMetrics(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text")
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")

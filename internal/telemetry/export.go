@@ -34,6 +34,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
+	r.runUpdaters()
 	r.mu.RLock()
 	counters := make([]*Counter, 0, len(r.counters))
 	for _, c := range r.counters {

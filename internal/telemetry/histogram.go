@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math/bits"
 	"sync"
+	"time"
 )
 
 // Histogram bucketing: values in [0,16) are exact; larger values land in
@@ -26,6 +27,70 @@ const (
 type Histogram struct {
 	name   string
 	shards [histShards]histShard
+
+	// Exemplars: one slot per value magnitude band (8 bits of bit-length
+	// each), holding the most recent trace-ID-stamped sample in that band.
+	// Only RecordExemplar calls with a non-empty trace ID touch them, so
+	// untraced recording pays nothing.
+	exMu sync.Mutex
+	ex   [exemplarSlots]Exemplar
+}
+
+// exemplarSlots bands the int64 value range by bit length (8 bits per
+// slot), so exemplars spread across magnitudes — for latencies that is
+// roughly sub-µs, µs, ms, s bands — instead of the newest sample evicting
+// everything.
+const exemplarSlots = 8
+
+// Exemplar links one recorded sample to the trace it came from — the
+// OpenMetrics exposition attaches it to the histogram bucket the value
+// falls in, closing the metrics→trace loop.
+type Exemplar struct {
+	Value   int64  `json:"value"`
+	TraceID string `json:"trace_id"`
+	UnixNs  int64  `json:"unix_ns"`
+}
+
+// exemplarSlot maps a value to its magnitude band.
+func exemplarSlot(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return (bits.Len64(uint64(v)) - 1) / 8
+}
+
+// RecordExemplar adds one sample like Record and, when traceID is
+// non-empty, remembers the (value, trace ID) pair as the exemplar for the
+// value's magnitude band. Nil-safe; with an empty traceID it is exactly
+// Record.
+func (h *Histogram) RecordExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Record(v)
+	if traceID == "" {
+		return
+	}
+	slot := exemplarSlot(v)
+	h.exMu.Lock()
+	h.ex[slot] = Exemplar{Value: v, TraceID: traceID, UnixNs: time.Now().UnixNano()}
+	h.exMu.Unlock()
+}
+
+// exemplars returns the populated exemplar slots, ascending by value.
+func (h *Histogram) exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	h.exMu.Lock()
+	for _, e := range h.ex {
+		if e.TraceID != "" {
+			out = append(out, e)
+		}
+	}
+	h.exMu.Unlock()
+	return out
 }
 
 type histShard struct {
@@ -108,6 +173,9 @@ type HistogramSnapshot struct {
 	P50   int64   `json:"p50"`
 	P90   int64   `json:"p90"`
 	P99   int64   `json:"p99"`
+	// Exemplars are trace-linked samples, ascending by value, one per
+	// populated magnitude band (see RecordExemplar).
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 
 	buckets []int64
 }
@@ -147,6 +215,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	snap.P50 = snap.Quantile(0.50)
 	snap.P90 = snap.Quantile(0.90)
 	snap.P99 = snap.Quantile(0.99)
+	snap.Exemplars = h.exemplars()
 	return snap
 }
 

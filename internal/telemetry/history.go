@@ -21,12 +21,20 @@ type HistorySample struct {
 // samples oldest-first plus per-second rates derived from consecutive
 // counter deltas — what `bitmapctl top` renders as sparklines.
 type HistoryDump struct {
-	IntervalNs int64           `json:"interval_ns"`
-	Capacity   int             `json:"capacity"`
-	Samples    []HistorySample `json:"samples"`
+	IntervalNs int64 `json:"interval_ns"`
+	Capacity   int   `json:"capacity"`
+	// Cursor is the monotonic count of samples taken since the history
+	// started (it keeps counting past ring wraparound). The profiling
+	// collector stamps each profile snapshot with this cursor, so a
+	// profile aligns with the metrics window it was captured in.
+	Cursor  uint64          `json:"cursor"`
+	Samples []HistorySample `json:"samples"`
 	// Rates maps counter name → per-second rate between consecutive
-	// samples (len(Samples)-1 points, clamped at 0 — counter resets from
-	// a registry swap must not render as negative traffic).
+	// samples (len(Samples)-1 points). A counter reset — a registry swap,
+	// an index Recode, a process restart behind the same scrape target —
+	// makes the raw delta negative; following the Prometheus convention
+	// the new value is treated as the growth since the reset, so rates
+	// never go negative and post-reset traffic is not swallowed.
 	Rates map[string][]float64 `json:"rates,omitempty"`
 }
 
@@ -43,6 +51,7 @@ type History struct {
 	samples []HistorySample // ring storage
 	next    int             // next write position
 	full    bool
+	cursor  uint64 // monotonic samples taken (never wraps with the ring)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -104,10 +113,23 @@ func (h *History) Sample() {
 	h.mu.Lock()
 	h.samples[h.next] = s
 	h.next++
+	h.cursor++
 	if h.next == len(h.samples) {
 		h.next, h.full = 0, true
 	}
 	h.mu.Unlock()
+}
+
+// Cursor returns the monotonic count of samples taken so far. Profile
+// snapshots record it to correlate with the metrics-history window.
+// Nil-safe.
+func (h *History) Cursor() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cursor
 }
 
 // Dump returns the retained samples oldest-first with derived per-second
@@ -124,6 +146,7 @@ func (h *History) Dump() HistoryDump {
 	out := HistoryDump{
 		IntervalNs: h.interval.Nanoseconds(),
 		Capacity:   len(h.samples),
+		Cursor:     h.cursor,
 		Samples:    make([]HistorySample, 0, n),
 	}
 	if h.full {
@@ -149,7 +172,12 @@ func (h *History) Stop() {
 }
 
 // deriveRates computes per-second counter rates between consecutive
-// samples for every counter present in the newest sample.
+// samples for every counter present in the newest sample. A negative raw
+// delta means the counter reset between the two samples (registry swap,
+// process restart behind the same address); per the Prometheus rate()
+// convention the post-reset value counts as the growth since the reset —
+// the best lower bound available — and the rate is clamped at zero, so
+// `bitmapctl top` sparklines never dip below the axis.
 func deriveRates(samples []HistorySample) map[string][]float64 {
 	last := samples[len(samples)-1].Counters
 	rates := make(map[string][]float64, len(last))
@@ -160,7 +188,11 @@ func deriveRates(samples []HistorySample) map[string][]float64 {
 			if dt <= 0 {
 				continue
 			}
-			d := float64(samples[i].Counters[name] - samples[i-1].Counters[name])
+			cur := float64(samples[i].Counters[name])
+			d := cur - float64(samples[i-1].Counters[name])
+			if d < 0 {
+				d = cur // counter reset: growth restarts from zero
+			}
 			if d < 0 {
 				d = 0
 			}

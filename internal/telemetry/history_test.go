@@ -44,17 +44,31 @@ func TestHistoryRingAndRates(t *testing.T) {
 			t.Errorf("rate %d = %g, want > 0 (counter grows every sample)", i, r)
 		}
 	}
-	// A counter reset must clamp to zero, not go negative.
-	clamped := deriveRates([]HistorySample{
+	if d.Cursor != 6 {
+		t.Errorf("cursor = %d, want 6 (monotonic past wraparound)", d.Cursor)
+	}
+	if h.Cursor() != 6 {
+		t.Errorf("Cursor() = %d, want 6", h.Cursor())
+	}
+	// A counter reset (100 → 5) must read as post-reset growth (+5 over
+	// 1s → 5/s), never a negative rate.
+	reset := deriveRates([]HistorySample{
 		{UnixNs: 1e9, Counters: map[string]int64{"x": 100}},
 		{UnixNs: 2e9, Counters: map[string]int64{"x": 5}},
+		{UnixNs: 3e9, Counters: map[string]int64{"x": 5}},
 	})
-	if clamped["x"][0] != 0 {
-		t.Errorf("reset rate = %g, want 0", clamped["x"][0])
+	if reset["x"][0] != 5 {
+		t.Errorf("reset rate = %g, want 5 (growth since reset)", reset["x"][0])
+	}
+	if reset["x"][1] != 0 {
+		t.Errorf("steady post-reset rate = %g, want 0", reset["x"][1])
 	}
 	var nilH *History
 	if dump := nilH.Dump(); dump.Capacity != 0 {
 		t.Error("nil history dump not empty")
+	}
+	if nilH.Cursor() != 0 {
+		t.Error("nil history cursor not zero")
 	}
 	nilH.Stop()
 }

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// OpenMetrics text exposition (version 1.0.0), stdlib-only. The classic
+// Prometheus 0.0.4 writer (prometheus.go) renders histograms as quantile
+// summaries, but OpenMetrics forbids exemplars on summaries — and the
+// exemplar is the whole point of this exposition: each histogram bucket
+// line can carry the trace ID of a sample that landed in it, so a slow
+// `insitubits_query_latency_ns` bucket links straight to
+// `/debug/traces?id=<trace_id>`, which links to the qlog record stamped
+// with the same ID. /metrics serves this format when the scraper sends
+// `Accept: application/openmetrics-text` (or `?format=openmetrics`).
+//
+// Differences from the 0.0.4 exposition:
+//
+//	counters    family insitubits_<name>, sample insitubits_<name>_total
+//	histograms  cumulative le-bucket histogram (edges at powers of 16
+//	            from 256 up, +Inf) with `# {trace_id="..."} v ts`
+//	            exemplars, plus _sum/_count
+//	terminator  "# EOF"
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// omEdges are the cumulative bucket upper edges of the OpenMetrics
+// histogram exposition. They sit on power-of-two boundaries, so every
+// internal log bucket (histogram.go) maps exactly into one edge span —
+// the exposition is a lossless coarsening, never a re-binning estimate.
+// For nanosecond latencies the edges read: 256ns, ~4.1µs, ~65µs, ~1ms,
+// ~16.8ms, ~268ms, ~4.3s, ~68.7s.
+var omEdges = []int64{
+	1 << 8, 1 << 12, 1 << 16, 1 << 20, 1 << 24, 1 << 28, 1 << 32, 1 << 36,
+}
+
+// WriteOpenMetrics writes a point-in-time snapshot of the registry in
+// OpenMetrics text format. Nil-safe (writes only the EOF terminator).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.Snapshot().WriteOpenMetrics(w)
+}
+
+// WriteOpenMetrics renders the snapshot in OpenMetrics text format.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	bw := &errWriter{w: w}
+	if len(s.BuildInfo) > 0 {
+		m := promPrefix + "build_info"
+		labels := make([]string, 0, len(s.BuildInfo))
+		for _, k := range names(s.BuildInfo) {
+			labels = append(labels, fmt.Sprintf("%s=\"%s\"", promName(k)[len(promPrefix):], promLabel(s.BuildInfo[k])))
+		}
+		bw.printf("# TYPE %s gauge\n%s{%s} 1\n", m, m, strings.Join(labels, ","))
+	}
+	for _, name := range names(s.Counters) {
+		m := promName(name)
+		bw.printf("# TYPE %s counter\n%s_total %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range names(s.Gauges) {
+		g := s.Gauges[name]
+		m := promName(name)
+		bw.printf("# TYPE %s gauge\n%s %d\n", m, m, g.Value)
+		bw.printf("# TYPE %s_max gauge\n%s_max %d\n", m, m, g.Max)
+	}
+	for _, name := range names(s.Histograms) {
+		writeOMHistogram(bw, promName(name), s.Histograms[name])
+	}
+	if len(s.Spans) > 0 {
+		countMetric := promPrefix + "span_count"
+		durMetric := promPrefix + "span_duration_ns"
+		bw.printf("# TYPE %s counter\n# TYPE %s counter\n", countMetric, durMetric)
+		tracers := make([]string, 0, len(s.Spans))
+		for t := range s.Spans {
+			tracers = append(tracers, t)
+		}
+		sort.Strings(tracers)
+		for _, t := range tracers {
+			for _, root := range s.Spans[t] {
+				writeOMSpan(bw, countMetric, durMetric, t, "", root)
+			}
+		}
+	}
+	bw.printf("# EOF\n")
+	return bw.err
+}
+
+// writeOMHistogram renders one histogram family: cumulative le buckets
+// (with exemplars attached to the bucket span each exemplar value falls
+// in), _sum, and _count.
+func writeOMHistogram(bw *errWriter, m string, h HistogramSnapshot) {
+	bw.printf("# TYPE %s histogram\n", m)
+	// Fold the fine internal buckets into the coarse exposition edges.
+	// Internal bucket spans never straddle a power-of-two boundary, so
+	// assigning each to the first edge at or above its upper bound is
+	// exact.
+	counts := make([]int64, len(omEdges)+1) // +1 for +Inf
+	h.eachBucket(func(idx int, c int64) {
+		_, hi := bucketBounds(idx)
+		slot := len(omEdges)
+		for i, e := range omEdges {
+			if hi <= e {
+				slot = i
+				break
+			}
+		}
+		counts[slot] += c
+	})
+	cum := int64(0)
+	prevEdge := int64(-1)
+	for i := range counts {
+		cum += counts[i]
+		le := "+Inf"
+		edge := int64(1)<<62 + (int64(1)<<62 - 1) // effectively MaxInt64
+		if i < len(omEdges) {
+			edge = omEdges[i]
+			le = fmt.Sprintf("%d", edge)
+		}
+		line := fmt.Sprintf("%s_bucket{le=\"%s\"} %d", m, le, cum)
+		for _, ex := range h.Exemplars {
+			if ex.Value > prevEdge && ex.Value <= edge {
+				line += fmt.Sprintf(" # {trace_id=\"%s\"} %d %.9f",
+					promLabel(ex.TraceID), ex.Value, float64(ex.UnixNs)/1e9)
+				break
+			}
+		}
+		bw.printf("%s\n", line)
+		prevEdge = edge
+	}
+	bw.printf("%s_sum %d\n%s_count %d\n", m, h.Sum, m, h.Count)
+}
+
+// eachBucket visits the populated internal buckets of a snapshot.
+func (s HistogramSnapshot) eachBucket(fn func(idx int, count int64)) {
+	for idx, c := range s.buckets {
+		if c != 0 {
+			fn(idx, c)
+		}
+	}
+}
+
+func writeOMSpan(bw *errWriter, countMetric, durMetric, tracer, prefix string, sp SpanSnapshot) {
+	path := prefix + sp.Name
+	labels := fmt.Sprintf("{tracer=\"%s\",path=\"%s\"}", promLabel(tracer), promLabel(path))
+	bw.printf("%s_total%s %d\n", countMetric, labels, sp.Count)
+	bw.printf("%s_total%s %d\n", durMetric, labels, sp.TotalNs)
+	for _, c := range sp.Children {
+		writeOMSpan(bw, countMetric, durMetric, tracer, path+"/", c)
+	}
+}

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// omSample is one parsed OpenMetrics sample line.
+type omSample struct {
+	name          string
+	labels        map[string]string
+	value         float64
+	exemplarTrace string
+	exemplarValue float64
+}
+
+// parseOpenMetrics is a deliberately independent reader of the exposition
+// — it shares no code with the writer, so a malformed exemplar suffix or
+// bucket line fails here rather than round-tripping silently. It returns
+// the samples and whether the mandatory # EOF terminator was seen.
+func parseOpenMetrics(t *testing.T, text string) (samples []omSample, eof bool) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == "# EOF" {
+				eof = true
+			}
+			continue
+		}
+		if eof {
+			t.Fatalf("sample after # EOF: %q", line)
+		}
+		var s omSample
+		rest := line
+		// Optional exemplar suffix: " # {k=\"v\"} value [timestamp]".
+		if body, ex, ok := strings.Cut(line, " # "); ok {
+			rest = body
+			if !strings.HasPrefix(ex, "{") {
+				t.Fatalf("bad exemplar %q in %q", ex, line)
+			}
+			lab, tail, ok := strings.Cut(ex[1:], "} ")
+			if !ok {
+				t.Fatalf("unterminated exemplar labels in %q", line)
+			}
+			k, v, ok := strings.Cut(lab, "=")
+			if !ok || k != "trace_id" {
+				t.Fatalf("exemplar label %q, want trace_id", lab)
+			}
+			s.exemplarTrace = strings.Trim(v, `"`)
+			parts := strings.Fields(tail)
+			if len(parts) < 1 || len(parts) > 2 {
+				t.Fatalf("exemplar tail %q", tail)
+			}
+			ev, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				t.Fatalf("exemplar value %q: %v", parts[0], err)
+			}
+			s.exemplarValue = ev
+			if len(parts) == 2 {
+				if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
+					t.Fatalf("exemplar timestamp %q: %v", parts[1], err)
+				}
+			}
+		}
+		// Name, optional {labels}, value.
+		nameEnd := strings.IndexAny(rest, "{ ")
+		if nameEnd < 0 {
+			t.Fatalf("unparsable line %q", line)
+		}
+		s.name = rest[:nameEnd]
+		rest = rest[nameEnd:]
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				t.Fatalf("unterminated labels in %q", line)
+			}
+			s.labels = map[string]string{}
+			for _, kv := range strings.Split(rest[1:end], ",") {
+				if kv == "" {
+					continue
+				}
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					t.Fatalf("bad label %q in %q", kv, line)
+				}
+				s.labels[k] = strings.Trim(v, `"`)
+			}
+			rest = rest[end+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			t.Fatalf("no value in %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("value %q in %q: %v", fields[0], line, err)
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	return samples, eof
+}
+
+// TestOpenMetricsExemplarRoundTrip records latency samples stamped with
+// known trace IDs and validates — with the independent parser above —
+// that the exposition carries them as bucket exemplars that round-trip
+// to the exact trace ID, land in the right le bucket, and keep the
+// cumulative bucket counts monotone.
+func TestOpenMetricsExemplarRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("query.latency_ns")
+	reg.Counter("query.count").Add(7)
+	reg.Gauge("cache.bytes").Set(123)
+	// Two traced samples in different magnitude bands plus untraced bulk.
+	h.RecordExemplar(900, "tracefast01")
+	h.RecordExemplar(2_000_000, "traceslow02")
+	for i := 0; i < 100; i++ {
+		h.Record(int64(1000 + i))
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, eof := parseOpenMetrics(t, buf.String())
+	if !eof {
+		t.Fatal("missing # EOF terminator")
+	}
+
+	var buckets []omSample
+	exemplars := map[string]omSample{}
+	var count, total float64
+	for _, s := range samples {
+		switch s.name {
+		case "insitubits_query_latency_ns_bucket":
+			buckets = append(buckets, s)
+			if s.exemplarTrace != "" {
+				exemplars[s.exemplarTrace] = s
+			}
+		case "insitubits_query_latency_ns_count":
+			count = s.value
+		case "insitubits_query_count_total":
+			total = s.value
+		}
+	}
+	if total != 7 {
+		t.Errorf("counter total = %g, want 7", total)
+	}
+	if count != 102 {
+		t.Errorf("histogram count = %g, want 102", count)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no bucket lines")
+	}
+	// Buckets: cumulative, monotone, terminated by +Inf == count.
+	prev := -1.0
+	for _, b := range buckets {
+		if b.labels["le"] == "" {
+			t.Fatalf("bucket without le: %+v", b)
+		}
+		if b.value < prev {
+			t.Fatalf("bucket counts not monotone: %+v", buckets)
+		}
+		prev = b.value
+	}
+	if last := buckets[len(buckets)-1]; last.labels["le"] != "+Inf" || last.value != count {
+		t.Errorf("+Inf bucket = %+v, want le=+Inf value=%g", last, count)
+	}
+	// Both trace IDs round-trip, attached to the bucket their value is in.
+	for _, want := range []struct {
+		trace string
+		value float64
+	}{{"tracefast01", 900}, {"traceslow02", 2_000_000}} {
+		ex, ok := exemplars[want.trace]
+		if !ok {
+			t.Fatalf("trace %s has no exemplar; buckets: %+v", want.trace, buckets)
+		}
+		if ex.exemplarValue != want.value {
+			t.Errorf("trace %s exemplar value = %g, want %g", want.trace, ex.exemplarValue, want.value)
+		}
+		if le := ex.labels["le"]; le != "+Inf" {
+			edge, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("le %q: %v", le, err)
+			}
+			if want.value > edge {
+				t.Errorf("trace %s exemplar %g above its bucket edge %g", want.trace, want.value, edge)
+			}
+		}
+	}
+}
+
+// TestMetricsContentNegotiation covers /metrics serving both expositions:
+// classic 0.0.4 by default, OpenMetrics when the Accept header (or the
+// ?format=openmetrics escape hatch) asks for it.
+func TestMetricsContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("query.latency_ns").RecordExemplar(5000, "tracenego03")
+	srv, err := reg.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	fetch := func(accept, query string) (string, string) {
+		req, _ := http.NewRequest("GET", "http://"+srv.Addr+"/metrics"+query, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), resp.Header.Get("Content-Type")
+	}
+
+	classic, ct := fetch("", "")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("default content type = %q", ct)
+	}
+	if strings.Contains(classic, "# EOF") || strings.Contains(classic, "_bucket{") {
+		t.Error("default exposition leaked OpenMetrics syntax")
+	}
+	om, ct := fetch("application/openmetrics-text; version=1.0.0", "")
+	if !strings.Contains(ct, "application/openmetrics-text") {
+		t.Errorf("negotiated content type = %q", ct)
+	}
+	if !strings.Contains(om, "# EOF") || !strings.Contains(om, `# {trace_id="tracenego03"}`) {
+		t.Errorf("OpenMetrics exposition missing exemplar or EOF:\n%s", om)
+	}
+	if omQ, _ := fetch("", "?format=openmetrics"); !strings.Contains(omQ, "# EOF") {
+		t.Error("?format=openmetrics not honored")
+	}
+	// The negotiated output parses with the independent reader too.
+	if _, eof := parseOpenMetrics(t, om); !eof {
+		t.Error("negotiated exposition unterminated")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

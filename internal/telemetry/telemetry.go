@@ -40,6 +40,8 @@ type Registry struct {
 	tracers   map[string]*Tracer
 	status    map[string]func() any
 	buildInfo map[string]string
+	updaters  []func()
+	handlers  map[string]debugHandler // extra debug-server routes (see debug.go)
 }
 
 // Default is the process-wide registry the instrumented packages (bitvec,
@@ -172,6 +174,32 @@ func (r *Registry) StatusValue(name string) (any, bool) {
 		return nil, false
 	}
 	return fn(), true
+}
+
+// RegisterUpdater adds a hook that Snapshot runs before collecting, so
+// pull-style sources (the runtime-metrics collector) can refresh their
+// gauges right when a snapshot, scrape, or history sample is taken.
+// Updaters must be fast and must not call Snapshot. Nil-safe.
+func (r *Registry) RegisterUpdater(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.updaters = append(r.updaters, fn)
+	r.mu.Unlock()
+}
+
+// runUpdaters invokes the registered pre-snapshot hooks.
+func (r *Registry) runUpdaters() {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	ups := r.updaters
+	r.mu.RUnlock()
+	for _, fn := range ups {
+		fn()
+	}
 }
 
 // SetBuildInfo merges static build-identity labels (version, go version,
