@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead profile-smoke fuzz-smoke crash-matrix plan-diff replay-diff ci
+.PHONY: all build test vet race race-hot bench bench-json bench-check trace-smoke overhead profile-smoke fuzz-smoke crash-matrix plan-diff replay-diff serve-chaos serve-smoke ci
 
 all: build
 
@@ -19,10 +19,11 @@ race:
 # Race pass focused on the packages with the most lock-free state: the
 # query layer (slow-log gate, capture gate, codec counters), the telemetry
 # registry (incl. the metrics-history ring), the workload-log writer, the
-# profiling label gate + snapshot ring, and the root package (the /healthz
+# profiling label gate + snapshot ring, the query server (admission
+# semaphore, catalog generation swaps), and the root package (the /healthz
 # probe racing a pipeline's concurrent generation publishes).
 race-hot:
-	$(GO) test -race . ./internal/query/ ./internal/telemetry/ ./internal/qlog/ ./internal/profiling/
+	$(GO) test -race . ./internal/query/ ./internal/telemetry/ ./internal/qlog/ ./internal/profiling/ ./internal/serve/
 
 # Telemetry micro-benchmarks plus the instrumented-vs-disabled append pair.
 bench:
@@ -87,7 +88,22 @@ plan-diff:
 # digests across all three codecs, planner on/off, and cache on/off —
 # including against a codec-recoded index — and a tampered digest must fail.
 replay-diff:
-	$(GO) test -run 'TestReplay|TestCaptureWorkload' -v ./internal/replay/ ./internal/query/
+	$(GO) test -run 'TestReplay|TestCaptureWorkload' -v ./internal/replay/ ./internal/query/ ./internal/serve/
+
+# The serving chaos matrix (docs/SERVING.md "Chaos harness"): overload
+# storms against tiny admission limits (zero 5xx, every answer
+# digest-verified), slow-loris connections starved out by the read
+# deadline, reloads published mid-storm (every answer correct for the
+# generation it claims), drain under load, and per-request panic
+# isolation — all under the race detector.
+serve-chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/serve/
+
+# The serving smoke gate: a retrying load run against default limits must
+# complete with zero errors, zero unrecovered sheds, and digest-stable
+# answers.
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke' ./internal/serve/
 
 # The crash-safety acceptance suite (docs/ROBUSTNESS.md): kill a run at
 # every recorded write boundary and every mid-write offset, resume, and
@@ -96,4 +112,4 @@ replay-diff:
 crash-matrix:
 	$(GO) test -race -run 'TestCrashMatrix|TestResume|TestTransient|TestWorkerPanic|TestFsck' -v ./internal/insitu/
 
-ci: vet build race-hot race plan-diff replay-diff trace-smoke profile-smoke bench-check overhead crash-matrix fuzz-smoke
+ci: vet build race-hot race plan-diff replay-diff trace-smoke profile-smoke bench-check overhead crash-matrix serve-chaos serve-smoke fuzz-smoke

@@ -24,7 +24,8 @@ import (
 //	bitmapctl diag -addr localhost:6060 -qlog workload.isql -fsck outdir/ -out diag.tar.gz
 //
 // The bundle holds the debug surfaces (healthz, telemetry, both metrics
-// expositions, the metrics-history ring, traces, run and cache status),
+// expositions, the metrics-history ring, traces, run, query-server and
+// cache status),
 // the profiling ring (listing plus the newest snapshots' raw pprof
 // profiles), and — when pointed at local artifacts — a workload-log tail
 // and summary, a slow-log tail, and an fsck summary of an output
@@ -66,6 +67,7 @@ func cmdDiag(args []string) error {
 		{"metrics.om", base + "/metrics?format=openmetrics"},
 		{"metrics-history.json", base + "/debug/metrics/history"},
 		{"run.json", base + "/debug/run"},
+		{"serve.json", base + "/debug/serve"},
 		{"cache.json", base + "/debug/cache"},
 		{"traces.json", base + "/debug/traces"},
 		{"profiles/status.json", base + "/debug/profiles"},

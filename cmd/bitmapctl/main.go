@@ -17,6 +17,8 @@
 //	bitmapctl diag -addr localhost:6060 -out diag.tar.gz
 //	bitmapctl replay -log workload.isql [-concurrency N] [-speedup X] index.isbm
 //	bitmapctl workload -log workload.isql [index.isbm]
+//	bitmapctl query -addr http://localhost:8689 -op count -var temp -lo V -hi V
+//	bitmapctl load -addr http://localhost:8689 -rate 500 -duration 10s
 //
 // Raw input files use the .israw format (WriteRawFile); `bitmapctl genraw`
 // produces a demo file from the Heat3D workload.
@@ -136,6 +138,8 @@ func main() {
 		err = cmdDiag(args)
 	case "cache-stats":
 		err = cmdCacheStats(args)
+	case "load":
+		err = cmdLoad(args)
 	case "replay":
 		err = cmdReplay(args)
 	case "workload":
@@ -151,7 +155,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] [-cache-mb N] [-qlog FILE] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|profile|diag|cache-stats|replay|workload|evolve|genraw|genocean> ...`)
+	fmt.Fprintln(os.Stderr, `usage: bitmapctl [-debug-addr ADDR] [-cache-mb N] [-qlog FILE] <build|info|stat|convert|query|explain|histogram|entropy|mi|emd|aggregate|mine|subgroup|vars|manifest|fsck|top|profile|diag|cache-stats|replay|workload|load|evolve|genraw|genocean> ...`)
 }
 
 func loadIndex(path string) (*insitubits.Index, error) {
@@ -332,13 +336,28 @@ func cmdConvert(args []string) error {
 
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", "", "query a running insitu-serve instead of a local file (e.g. http://localhost:8689)")
+	op := fs.String("op", "count", "remote operator: count | sum | mean | quantile | minmax | bits | correlation | explain (with -addr)")
+	varName := fs.String("var", "", "served variable name (with -addr; optional when one variable is served)")
+	varB := fs.String("var-b", "", "second operand for -op correlation (with -addr)")
 	lo := fs.Float64("lo", 0, "lower value bound (inclusive, bin-granular)")
 	hi := fs.Float64("hi", 0, "upper value bound (exclusive, bin-granular)")
+	slo := fs.Int("slo", 0, "lower spatial bound (inclusive element position)")
+	shi := fs.Int("shi", 0, "upper spatial bound (exclusive element position)")
+	q := fs.Float64("q", 0.5, "quantile for -op quantile")
+	timeoutMs := fs.Int64("timeout-ms", 0, "per-request deadline override sent to the server (0 = server default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *addr != "" {
+		return remoteQuery(*addr, &insitubits.ServeQueryRequest{
+			Op: *op, Var: *varName, VarB: *varB,
+			ValueLo: *lo, ValueHi: *hi, SpatialLo: *slo, SpatialHi: *shi,
+			Q: *q, BValueLo: *lo, BValueHi: *hi, TimeoutMs: *timeoutMs,
+		})
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: bitmapctl query -lo V -hi V FILE")
+		return fmt.Errorf("usage: bitmapctl query [-addr URL] -lo V -hi V FILE")
 	}
 	x, err := loadIndex(fs.Arg(0))
 	if err != nil {

@@ -18,6 +18,10 @@ import (
 //
 //	bitmapctl top -addr localhost:6060
 //	bitmapctl top -addr localhost:6060 -once   # one snapshot, no refresh
+//
+// Pointed at an insitu-serve debug address (no pipeline run, but a
+// /debug/serve surface), it renders the query-server dashboard instead:
+// admission pressure, shed counters and catalog generation.
 func cmdTop(args []string) error {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:6060", "debug server address (host:port)")
@@ -30,9 +34,19 @@ func cmdTop(args []string) error {
 		*interval = 100 * time.Millisecond
 	}
 	url := fmt.Sprintf("http://%s/debug/run", *addr)
+	serveURL := fmt.Sprintf("http://%s/debug/serve", *addr)
 	histURL := fmt.Sprintf("http://%s/debug/metrics/history", *addr)
 	for {
-		st, err := fetchRunStatus(url)
+		out, err := "", error(nil)
+		if st, rerr := fetchRunStatus(url); rerr == nil {
+			out = renderTop(st)
+		} else if sst, serr := fetchServeStatus(serveURL); serr == nil {
+			// No pipeline run here — but a query server is publishing
+			// /debug/serve, so show its dashboard instead.
+			out = renderServeTop(sst)
+		} else {
+			err = rerr
+		}
 		if err != nil {
 			if *once {
 				return err
@@ -41,7 +55,6 @@ func cmdTop(args []string) error {
 			// and keep polling.
 			fmt.Printf("\033[H\033[2Jbitmapctl top: %v (retrying every %s)\n", err, *interval)
 		} else {
-			out := renderTop(st)
 			// The metrics history is optional (the server may not have
 			// started a sampler) — render sparklines when it's there.
 			if hist, herr := fetchMetricsHistory(histURL); herr == nil {
@@ -76,6 +89,28 @@ func fetchRunStatus(url string) (insitubits.RunStatus, error) {
 	}
 	if err := json.Unmarshal(body, &st); err != nil {
 		return st, fmt.Errorf("decoding run status: %w", err)
+	}
+	return st, nil
+}
+
+// fetchServeStatus GETs and decodes one /debug/serve snapshot.
+func fetchServeStatus(url string) (insitubits.ServeStatus, error) {
+	var st insitubits.ServeStatus
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("%s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("decoding serve status: %w", err)
 	}
 	return st, nil
 }
@@ -167,6 +202,30 @@ func renderTop(st insitubits.RunStatus) string {
 	return b.String()
 }
 
+// renderServeTop formats one query-server snapshot as a terminal screen.
+// Pure — the refresh loop and the tests share it.
+func renderServeTop(st insitubits.ServeStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "insitu-serve  %s", st.State)
+	if len(st.Vars) > 0 {
+		fmt.Fprintf(&b, "  vars=%s", strings.Join(st.Vars, ","))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "catalog   generation %d", st.CatalogGen)
+	if st.Step >= 0 {
+		fmt.Fprintf(&b, ", step %d", st.Step)
+	}
+	fmt.Fprintf(&b, ", %d reloads\n", st.Reloads)
+	fmt.Fprintf(&b, "inflight  %s %d/%d\n", progressBar(st.Inflight, st.MaxInflight, 30), st.Inflight, st.MaxInflight)
+	fmt.Fprintf(&b, "queued    %s %d/%d\n", progressBar(st.Queued, st.MaxQueue, 30), st.Queued, st.MaxQueue)
+	fmt.Fprintf(&b, "requests  %d total, %d admitted, %d shed, %d queue-cancelled, %d refused\n",
+		st.Requests, st.Admitted, st.Shed, st.Cancelled, st.Refused)
+	if st.Panics > 0 {
+		fmt.Fprintf(&b, "panics    %d isolated (500s served, see the slow/workload logs)\n", st.Panics)
+	}
+	return b.String()
+}
+
 // queryOpCounters are the per-entry-point counters summed into the
 // queries/s rate line.
 var queryOpCounters = []string{
@@ -216,6 +275,8 @@ func renderHistory(d insitubits.MetricsHistoryDump, width int) string {
 		fmt.Fprintf(&b, "%-9s %s %.4g%s\n", label, sparkline(vals, width), last, unit)
 	}
 	line("queries", "/s", sumRates(queryOpCounters...))
+	line("served", "/s", sumRates("serve.requests"))
+	line("shed", "/s", sumRates("serve.shed"))
 	line("scans", " words/s", sumRates("query.codec_ops.wah", "query.codec_ops.bbc", "query.codec_ops.dense", "query.codec_ops.other"))
 	line("steps", "/s", sumRates("insitu.steps_processed"))
 	line("qlog", " rec/s", sumRates("qlog.records"))

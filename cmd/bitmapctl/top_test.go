@@ -66,6 +66,71 @@ func TestRenderTop(t *testing.T) {
 	}
 }
 
+func TestRenderServeTop(t *testing.T) {
+	st := insitubits.ServeStatus{
+		State:       "ready",
+		CatalogGen:  3,
+		Step:        40,
+		Vars:        []string{"pres", "temp"},
+		MaxInflight: 8,
+		MaxQueue:    32,
+		Inflight:    4,
+		Queued:      2,
+		Requests:    1000,
+		Admitted:    950,
+		Shed:        50,
+		Cancelled:   3,
+		Refused:     1,
+		Panics:      2,
+	}
+	out := renderServeTop(st)
+	for _, want := range []string{
+		"insitu-serve  ready",
+		"vars=pres,temp",
+		"generation 3, step 40",
+		"4/8",
+		"2/32",
+		"1000 total, 950 admitted, 50 shed, 3 queue-cancelled, 1 refused",
+		"panics    2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderServeTop output missing %q:\n%s", want, out)
+		}
+	}
+	st.Panics = 0
+	st.Step = -1
+	out = renderServeTop(st)
+	if strings.Contains(out, "panics") {
+		t.Errorf("panic line rendered with zero panics:\n%s", out)
+	}
+	if strings.Contains(out, "step -1") {
+		t.Errorf("explicit-file catalog must not render a step:\n%s", out)
+	}
+}
+
+func TestFetchServeStatusFallback(t *testing.T) {
+	// A serve debug server: /debug/run 404s, /debug/serve answers — the
+	// path `bitmapctl top` takes against insitu-serve.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/debug/serve" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Write([]byte(`{"state":"ready","catalog_generation":2,"step":7,"vars":["temp"],"max_inflight":8,"max_queue":32}`))
+	}))
+	defer srv.Close()
+	if _, err := fetchRunStatus(srv.URL + "/debug/run"); err == nil {
+		t.Fatal("expected /debug/run to 404 on a serve-only debug server")
+	}
+	st, err := fetchServeStatus(srv.URL + "/debug/serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "ready" || st.CatalogGen != 2 || st.Step != 7 {
+		t.Errorf("decoded serve status: %+v", st)
+	}
+}
+
 func TestProgressBar(t *testing.T) {
 	if got := progressBar(0, 0, 10); got != "[----------]" {
 		t.Errorf("zero-total bar: %q", got)

@@ -49,6 +49,7 @@ import (
 	"insitubits/internal/replay"
 	"insitubits/internal/sampling"
 	"insitubits/internal/selection"
+	"insitubits/internal/serve"
 	"insitubits/internal/sim"
 	"insitubits/internal/sim/heat3d"
 	"insitubits/internal/sim/lulesh"
@@ -769,3 +770,40 @@ var (
 	ZEncode3    = zorder.Encode3
 	ZDecode3    = zorder.Decode3
 )
+
+// --- Query serving (internal/serve) ---
+
+// QueryServer is the hardened concurrent query daemon behind cmd/insitu-serve:
+// it loads immutable index files once (shared, read-only, generation-stamped),
+// executes the full query API over HTTP/JSON with per-request deadlines,
+// admission control (bounded queue, 429 + Retry-After shedding), per-request
+// panic isolation, zero-downtime catalog reloads and graceful drain. See
+// docs/SERVING.md.
+type (
+	ServeConfig        = serve.Config
+	QueryServer        = serve.Server
+	ServeStatus        = serve.Status
+	ServeEntry         = serve.Entry
+	ServeClient        = serve.Client
+	ServeQueryRequest  = serve.QueryRequest
+	ServeQueryResponse = serve.QueryResponse
+	ServeStatusError   = serve.StatusError
+	ServeLoadConfig    = serve.LoadConfig
+	ServeLoadReport    = serve.LoadReport
+)
+
+// NewQueryServer builds a server; RunServeLoad is the open-loop load
+// generator the chaos harness and `bitmapctl load` drive; ErrServeShed is
+// the admission-queue-full sentinel behind every 429.
+var (
+	NewQueryServer = serve.New
+	RunServeLoad   = serve.RunLoad
+	ErrServeShed   = serve.ErrShed
+	// ValidTraceID reports whether a string is a well-formed W3C/OTLP
+	// 128-bit trace ID; the server uses it to vet propagated IDs.
+	ValidTraceID = telemetry.ValidTraceID
+)
+
+// ServeStatusName is the registry status key the server publishes its
+// admission/shed counters under (read by bitmapctl top and diag).
+const ServeStatusName = serve.StatusName

@@ -123,6 +123,14 @@ type Config struct {
 	// (4 attempts, 1ms base, 100ms cap). Crashes are never retried.
 	Retry iosim.Backoff
 
+	// OnPublish, when set, is invoked after each selected step's artifacts
+	// are durably committed — written, fsynced, and sealed by the journal's
+	// select record. An embedded query server (internal/serve) hangs its
+	// zero-downtime catalog reload off this; cross-process servers poll the
+	// journal instead. Called on the selection goroutine between steps, so
+	// the hook must not block for long.
+	OnPublish func(step int)
+
 	// resume carries the replay state Resume derived from the run journal;
 	// nil for a fresh run.
 	resume *resumeState
@@ -652,6 +660,9 @@ func (s *selector) write(ctx context.Context, sum *stepSummary) {
 	}
 	if s.w != nil && s.err == nil {
 		s.err = s.w.writeStep(ctx, sum)
+		if s.err == nil && s.cfg.OnPublish != nil {
+			s.cfg.OnPublish(sum.step)
+		}
 	}
 }
 

@@ -98,7 +98,13 @@ type Record struct {
 	// Result is the canonical result digest (DigestBitmap / DigestInt /
 	// DigestFloats), empty when the query failed.
 	Result string `json:"result,omitempty"`
+	// Source names the capture surface when it is not the in-process
+	// default: "serve" for records captured on insitu-serve's request
+	// path (Writer.SetSource). Replay ignores it — a server-captured log
+	// re-executes exactly like a local one.
+	Source string `json:"source,omitempty"`
 	// TraceID cross-references the identity trace, when one was recorded.
+	// On serving-path records this is the client's propagated trace ID.
 	TraceID string `json:"trace_id,omitempty"`
 	// Err records the query error, if it failed.
 	Err string `json:"error,omitempty"`

@@ -35,6 +35,10 @@ type Writer struct {
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
+
+	// source, when set, is stamped into every appended record that does
+	// not already carry one (SetSource).
+	source atomic.Pointer[string]
 }
 
 // Health is the writer's self-report, published as the "qlog" status
@@ -90,6 +94,11 @@ func (w *Writer) Append(rec *Record) {
 	rec.Seq = w.seq.Add(1)
 	if rec.UnixNs == 0 {
 		rec.UnixNs = time.Now().UnixNano()
+	}
+	if rec.Source == "" {
+		if src := w.source.Load(); src != nil {
+			rec.Source = *src
+		}
 	}
 	line, err := encodeRecord(rec)
 	if err != nil {
@@ -157,6 +166,21 @@ func (w *Writer) Close() error {
 		}
 	})
 	return w.closeErr
+}
+
+// SetSource makes every record appended from now on carry this source tag
+// (unless the record already has one). insitu-serve stamps "serve" so a
+// replayed log distinguishes serving-path captures from in-process ones.
+// Nil-safe; "" clears the tag.
+func (w *Writer) SetSource(source string) {
+	if w == nil {
+		return
+	}
+	if source == "" {
+		w.source.Store(nil)
+		return
+	}
+	w.source.Store(&source)
 }
 
 // Path reports the log file's path. Nil-safe.

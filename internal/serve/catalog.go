@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"insitubits/internal/index"
+	"insitubits/internal/insitu"
+	"insitubits/internal/store"
+)
+
+// Entry is one served variable: an immutable, shared, read-only index
+// loaded once per catalog generation. The index's own Generation() keys
+// bitcache entries, so retiring an Entry invalidates exactly its cached
+// bitmaps and nothing else.
+type Entry struct {
+	Name  string `json:"name"`
+	Path  string `json:"path"`
+	Step  int    `json:"step"` // manifest/journal step, -1 for plain files
+	Bytes int64  `json:"bytes"`
+	N     int    `json:"n"`
+	Bins  int    `json:"bins"`
+	Gen   uint64 `json:"generation"`
+
+	X *index.Index `json:"-"`
+}
+
+// catalog is one immutable generation of the server's loaded indexes.
+// Requests capture a single *catalog pointer at admission and use it for
+// the whole request, so a concurrent reload can never serve one operand
+// from the old generation and another from the new — the no-mixed-answer
+// guarantee the chaos harness checks.
+type catalog struct {
+	gen     uint64 // server-side catalog generation, bumped per swap
+	step    int    // newest committed step loaded, -1 for plain files
+	source  string // the directory or file list the loader reads
+	fprint  string // change fingerprint watchers compare (loadFingerprint)
+	entries map[string]*Entry
+	names   []string // sorted
+}
+
+// get resolves a variable name; the empty name resolves iff exactly one
+// variable is served (the single-index convenience).
+func (c *catalog) get(name string) (*Entry, error) {
+	if c == nil || len(c.entries) == 0 {
+		return nil, fmt.Errorf("serve: no indexes loaded")
+	}
+	if name == "" {
+		if len(c.names) == 1 {
+			return c.entries[c.names[0]], nil
+		}
+		return nil, fmt.Errorf("serve: %d variables served, request must name one of %s",
+			len(c.names), strings.Join(c.names, ", "))
+	}
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown variable %q (serving %s)", name, strings.Join(c.names, ", "))
+	}
+	return e, nil
+}
+
+func newCatalog(entries []*Entry, step int, source, fprint string) *catalog {
+	c := &catalog{step: step, source: source, fprint: fprint, entries: make(map[string]*Entry, len(entries))}
+	for _, e := range entries {
+		c.entries[e.Name] = e
+		c.names = append(c.names, e.Name)
+	}
+	sort.Strings(c.names)
+	return c
+}
+
+// loadIndexFile reads one .isbm container into an Entry.
+func loadIndexFile(name, path string, step int) (*Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	x, err := store.ReadIndex(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	return &Entry{
+		Name: name, Path: path, Step: step, Bytes: st.Size(),
+		N: x.N(), Bins: x.Bins(), Gen: x.Generation(), X: x,
+	}, nil
+}
+
+// loadFiles builds a catalog from explicit "name=path" specs (a bare path
+// takes its base name, extension stripped, as the variable name).
+func loadFiles(specs []string) (*catalog, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("serve: no index files given")
+	}
+	var entries []*Entry
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			path = spec
+			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("serve: duplicate variable name %q", name)
+		}
+		seen[name] = true
+		e, err := loadIndexFile(name, path, -1)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return newCatalog(entries, -1, strings.Join(specs, ","), filesFingerprint(entries)), nil
+}
+
+// filesFingerprint fingerprints an explicit file set by path and size,
+// order-independently (Reload re-lists the specs in sorted-name order).
+func filesFingerprint(entries []*Entry) string {
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		parts = append(parts, fmt.Sprintf("%s:%d", e.Path, e.Bytes))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// loadDir builds a catalog from an in-situ run's output directory. The run
+// journal is the source of truth while a run is live — its select records
+// are the commit markers, appended only after the step's artifacts are
+// durable — so the newest select record names exactly the files that are
+// safe to serve mid-run. A finished run without a journal falls back to
+// the manifest.
+func loadDir(dir string) (*catalog, error) {
+	fprint, err := dirFingerprint(dir)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, jerr := insitu.ReadJournal(dir)
+	if jerr == nil {
+		var newest *insitu.JournalRecord
+		for i := range recs {
+			if recs[i].Kind == insitu.KindSelect {
+				newest = &recs[i]
+			}
+		}
+		if newest == nil {
+			return nil, fmt.Errorf("serve: %s: journal has no committed step yet", dir)
+		}
+		var entries []*Entry
+		for _, jf := range newest.Files {
+			if !strings.HasSuffix(jf.Path, ".isbm") {
+				return nil, fmt.Errorf("serve: %s holds %s summaries, not bitmap indexes (run with -method bitmaps)", dir, filepath.Ext(jf.Path))
+			}
+			e, err := loadIndexFile(jf.Var, filepath.Join(dir, jf.Path), newest.Step)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, e)
+		}
+		return newCatalog(entries, newest.Step, dir, fprint), nil
+	}
+	man, merr := insitu.ReadManifest(dir)
+	if merr != nil {
+		return nil, fmt.Errorf("serve: %s: no readable journal (%v) or manifest (%v)", dir, jerr, merr)
+	}
+	if len(man.Selected) == 0 {
+		return nil, fmt.Errorf("serve: %s: manifest lists no selected steps", dir)
+	}
+	last := man.Selected[len(man.Selected)-1]
+	var entries []*Entry
+	for _, mf := range man.Files {
+		if mf.Step != last {
+			continue
+		}
+		if !strings.HasSuffix(mf.Path, ".isbm") {
+			return nil, fmt.Errorf("serve: %s holds %s summaries, not bitmap indexes (run with -method bitmaps)", dir, filepath.Ext(mf.Path))
+		}
+		e, err := loadIndexFile(mf.Var, filepath.Join(dir, mf.Path), mf.Step)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("serve: %s: no artifacts for newest step %d", dir, last)
+	}
+	return newCatalog(entries, last, dir, fprint), nil
+}
+
+// dirFingerprint captures the directory state a watcher polls: the journal
+// grows by whole appended frames on every publish, so its size (plus the
+// manifest's, written once at run end) changes exactly when there is
+// something new to load.
+func dirFingerprint(dir string) (string, error) {
+	var jn, mn int64 = -1, -1
+	if st, err := os.Stat(filepath.Join(dir, insitu.JournalName)); err == nil {
+		jn = st.Size()
+	}
+	if st, err := os.Stat(filepath.Join(dir, insitu.ManifestName)); err == nil {
+		mn = st.Size()
+	}
+	if jn < 0 && mn < 0 {
+		return "", fmt.Errorf("serve: %s: neither %s nor %s exists", dir, insitu.JournalName, insitu.ManifestName)
+	}
+	return fmt.Sprintf("journal=%d manifest=%d", jn, mn), nil
+}

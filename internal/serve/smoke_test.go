@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the CI smoke gate (`make serve-smoke`): bring a
+// server up on real defaults, run a retrying load-generator against it,
+// and require zero failures of any kind plus digest-correct answers.
+func TestServeSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rep := RunLoad(context.Background(), LoadConfig{
+		Base:  ts.URL,
+		Rate:  500,
+		Total: 250,
+		Vars:  []string{"temp", "pres"},
+		Ops:   []string{"count", "sum", "mean", "quantile", "minmax"},
+		Retry: true,
+	})
+	if rep.Errors5x != 0 || rep.Errors4x != 0 || rep.Network != 0 {
+		t.Fatalf("smoke run failed: %+v", rep)
+	}
+	if rep.Shed != 0 {
+		t.Fatalf("smoke run shed %d requests even with retries", rep.Shed)
+	}
+	if rep.OK != rep.Sent {
+		t.Fatalf("smoke run: %d/%d succeeded", rep.OK, rep.Sent)
+	}
+	if len(rep.DigestConflicts) != 0 {
+		t.Fatalf("digest conflicts in steady state: %v", rep.DigestConflicts)
+	}
+	t.Logf("smoke: %d ok, %.0f req/s, p50=%v p99=%v", rep.OK, rep.Throughput(), rep.P50, rep.P99)
+}
+
+// BenchmarkServeQuery measures end-to-end served query latency (HTTP +
+// admission + execution) at increasing client concurrency — the
+// latency-under-concurrency table in EXPERIMENTS.md.
+func BenchmarkServeQuery(b *testing.B) {
+	_, ts := newTestServer(b, Config{MaxInflight: 16, MaxQueue: 256, DefaultTimeout: 10 * time.Second})
+	for _, par := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", par), func(b *testing.B) {
+			b.SetParallelism(par)
+			b.RunParallel(func(pb *testing.PB) {
+				cl := &Client{Base: ts.URL}
+				req := &QueryRequest{Op: "count", Var: "temp", ValueLo: 1, ValueHi: 5}
+				for pb.Next() {
+					if _, err := cl.Query(context.Background(), req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

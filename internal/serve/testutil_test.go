@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+
+	"insitubits/internal/insitu"
+	"insitubits/internal/iosim"
+	"insitubits/internal/selection"
+	"insitubits/internal/sim/heat3d"
+	"insitubits/internal/telemetry"
+)
+
+// iosimBackoff keeps the test file's backoff literal short.
+type iosimBackoff = iosim.Backoff
+
+// newTestTraceRecorder installs a keep-everything trace recorder for the
+// test's duration so trace-ID propagation is observable end to end.
+func newTestTraceRecorder(t testing.TB) *telemetry.TraceRecorder {
+	t.Helper()
+	rec := telemetry.NewTraceRecorder(telemetry.TraceConfig{Capacity: 64, SampleEvery: 1})
+	telemetry.SetTraceRecorder(rec)
+	t.Cleanup(func() { telemetry.SetTraceRecorder(nil) })
+	return rec
+}
+
+// runInsituFixture runs a small bitmaps-method in-situ pipeline into a
+// temp output directory and returns the directory — journal and manifest
+// both present, newest select record naming real .isbm files.
+func runInsituFixture(t testing.TB, selectSteps int) string {
+	t.Helper()
+	dir := t.TempDir()
+	h, err := heat3d.New(12, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := iosim.NewStore(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := insitu.Config{
+		Sim:       h,
+		Steps:     selectSteps * 2,
+		Select:    selectSteps,
+		Method:    insitu.Bitmaps,
+		Bins:      32,
+		Metric:    selection.ConditionalEntropy,
+		Cores:     2,
+		Store:     st,
+		OutputDir: dir,
+	}
+	if _, err := insitu.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}

@@ -275,6 +275,57 @@ func (r *TraceRecorder) StartTrace(ctx context.Context, name string) (context.Co
 	return ContextWithSpan(ctx, sp), sp
 }
 
+// StartTraceWithID begins a new trace like StartTrace, but adopts the
+// caller-supplied trace ID — the W3C-style propagation path a server uses
+// to join its spans to a client's trace. The ID must be 32 lowercase hex
+// digits and not all-zero (ValidTraceID); anything else falls back to a
+// freshly minted ID, so a malicious or sloppy client can never corrupt the
+// ring's keying. Nil-safe.
+func (r *TraceRecorder) StartTraceWithID(ctx context.Context, name, traceID string) (context.Context, *ActiveSpan) {
+	if r == nil {
+		return ctx, nil
+	}
+	if !ValidTraceID(traceID) {
+		return r.StartTrace(ctx, name)
+	}
+	seq := r.started.Add(1)
+	at := &activeTrace{
+		rec:     r,
+		traceID: traceID,
+		name:    name,
+		sampled: r.cfg.SampleEvery == 1 || seq%uint64(r.cfg.SampleEvery) == 1,
+		startNs: time.Now().UnixNano(),
+	}
+	sp := &ActiveSpan{
+		at:     at,
+		spanID: newID(64),
+		name:   name,
+		start:  time.Now(),
+		root:   true,
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// ValidTraceID reports whether id is a well-formed 128-bit trace ID: 32
+// lowercase hex digits, not all zero (the invalid ID in both OTLP and the
+// W3C traceparent spec).
+func ValidTraceID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
 type spanCtxKey struct{}
 
 // ContextWithSpan returns a context carrying the span (nil span returns
